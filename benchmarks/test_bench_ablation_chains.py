@@ -1,0 +1,63 @@
+"""Ablation bench: scan-chain count vs TDV/TAT (paper Section 4.2).
+
+Table 1's TDV/TAT columns follow equations (1) and (2); the paper notes
+their reductions are slightly smaller than the raw pattern reduction
+because each pattern's data grows with the inserted flip-flops.  This
+bench sweeps the chain count at a fixed flip-flop budget and prints the
+resulting series, verifying the structural behaviour of the equations:
+
+* TAT falls roughly as 1/n with the chain count (shift depth shrinks);
+* TDV is nearly flat (more chains, shorter shifts — same bits), rising
+  only through the per-pattern rounding overhead;
+* adding test points (more FFs) raises both at constant pattern count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import write_artifact
+from repro.core import (
+    test_application_time_cycles,
+    test_data_volume_bits,
+)
+
+FFS = 1652          # s38417 + 1% TPs
+PATTERNS = 400
+
+
+def test_ablation_chain_count(out_dir, benchmark):
+    def series():
+        rows = []
+        for n_chains in (1, 2, 4, 8, 16, 32, 64):
+            l_max = math.ceil(FFS / n_chains)
+            rows.append((
+                n_chains,
+                l_max,
+                test_data_volume_bits(n_chains, l_max, PATTERNS),
+                test_application_time_cycles(n_chains, l_max, PATTERNS),
+            ))
+        return rows
+
+    rows = benchmark(series)
+    lines = [
+        f"Chain-count ablation at {FFS} FFs, {PATTERNS} patterns",
+        f"{'#chains':>8} {'l_max':>6} {'TDV(bits)':>12} {'TAT(cycles)':>12}",
+    ]
+    for n, l, tdv, tat in rows:
+        lines.append(f"{n:>8} {l:>6} {tdv:>12} {tat:>12}")
+    text = "\n".join(lines)
+    write_artifact(out_dir, "ablation_chains.txt", text)
+    print(text)
+
+    # TAT scales ~1/n; TDV stays within rounding of constant.
+    tats = [row[3] for row in rows]
+    assert tats[-1] < tats[0] / 16
+    tdvs = [row[2] for row in rows]
+    assert max(tdvs) < 1.2 * min(tdvs)
+
+    # More flip-flops (test points) => more data and time per pattern.
+    bigger = test_data_volume_bits(16, math.ceil((FFS + 80) / 16),
+                                   PATTERNS)
+    assert bigger > test_data_volume_bits(16, math.ceil(FFS / 16),
+                                          PATTERNS)

@@ -1,0 +1,79 @@
+"""Ablation bench: timing-aware test-point exclusion (paper Section 5).
+
+The paper discusses excluding test points from paths with small slack:
+"our results show that this approach is feasible, but it requires
+timing analysis ... Excluding test points from critical paths lowers
+the positive effects of TPI."  This bench quantifies both halves of
+that sentence on one circuit:
+
+* the timing-aware variant places no test points on the baseline
+  near-critical paths;
+* its residual hard-fault population is at least as large as the
+  unconstrained variant's (the testability price).
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+from repro.circuits import s38417_like
+from repro.core import FlowConfig, run_flow
+from repro.library import cmos130
+from repro.sta import StaConfig
+from repro.tpi import critical_nets
+
+SCALE = 0.06
+TP_PERCENT = 3.0
+
+
+def _flow(exclude=frozenset()):
+    return run_flow(s38417_like(scale=SCALE), cmos130(), FlowConfig(
+        tp_percent=TP_PERCENT,
+        exclude_nets=exclude,
+        run_atpg_phase=False,
+    ))
+
+
+def test_ablation_timing_aware_exclusion(out_dir, benchmark):
+    # Baseline layout for path discovery.
+    baseline = run_flow(s38417_like(scale=SCALE), cmos130(), FlowConfig(
+        tp_percent=0.0, run_atpg_phase=False,
+        sta=StaConfig(paths_per_domain=400),
+    ))
+    worst = baseline.sta.worst_path()
+    threshold = worst.slack_ps + max(200.0, 0.2 * worst.total_ps)
+    excluded = frozenset(critical_nets(
+        baseline.sta.all_paths(), slack_threshold_ps=threshold,
+    ))
+
+    unconstrained = _flow()
+    aware = benchmark.pedantic(
+        lambda: _flow(excluded), rounds=1, iterations=1,
+    )
+
+    lines = [
+        "Timing-aware TPI ablation (paper Section 5)",
+        f"  baseline T_cp: {worst.total_ps:.0f} ps; "
+        f"{len(excluded)} nets excluded",
+    ]
+    for label, run in (("unconstrained", unconstrained),
+                       ("timing-aware", aware)):
+        path = run.sta.worst_path()
+        hard = run.tpi.hard_faults_after if run.tpi else 0
+        lines.append(
+            f"  {label:<14} T_cp {path.total_ps:7.0f} ps, "
+            f"TPs inserted {run.n_test_points}, "
+            f"hard faults left {hard}"
+        )
+    text = "\n".join(lines)
+    write_artifact(out_dir, "ablation_exclusion.txt", text)
+    print(text)
+
+    # The exclusion is honoured.
+    for record in aware.tpi.inserted:
+        assert record.net not in excluded
+    # Testability price: the constrained run leaves at least as many
+    # hard faults behind.
+    assert (
+        aware.tpi.hard_faults_after
+        >= unconstrained.tpi.hard_faults_after
+    )

@@ -1,0 +1,73 @@
+"""Extension bench: TPI combined with deterministic LBIST (Section 5).
+
+The paper's closing recommendation: excluding test points from critical
+paths costs coverage, so "for LBIST, the combination of TPI with DLBIST
+is therefore attractive" — the deterministic bit-flipping shell
+restores full coverage while test points keep the shell small.  This
+bench prices that combination: pseudo-random coverage, final coverage
+and estimated bit-flip-function area with and without test points,
+reproducing the companion paper's claim that TPI + DLBIST needs less
+silicon than either technique alone.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+from repro.circuits import s38417_like
+from repro.lbist import DlbistConfig, run_dlbist
+from repro.library import cmos130
+from repro.scan import insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+SCALE = 0.05
+PATTERNS = 2048
+TSFF_AREA_UM2 = 45.4  # one TSFF of the 130 nm-class library
+
+
+def _session(tp_percent: float):
+    circuit = s38417_like(scale=SCALE)
+    n_tp = 0
+    if tp_percent:
+        n_tp = round(tp_percent / 100 * circuit.num_flip_flops)
+        insert_test_points(circuit, cmos130(), TpiConfig(
+            n_test_points=n_tp,
+        ))
+    insert_scan(circuit, cmos130(), max_chain_length=100)
+    return n_tp, run_dlbist(circuit, DlbistConfig(n_patterns=PATTERNS))
+
+
+def test_dlbist_with_and_without_test_points(out_dir, benchmark):
+    _, base = _session(0.0)
+    n_tp, boosted = benchmark.pedantic(
+        lambda: _session(2.0), rounds=1, iterations=1,
+    )
+
+    tp_area = n_tp * TSFF_AREA_UM2
+    lines = [
+        f"TPI + bit-flipping DLBIST ({PATTERNS} pseudo-random patterns)",
+        f"{'':<14}{'pseudo FC':>10}{'final FC':>10}{'cubes':>7}"
+        f"{'flips':>7}{'BFF um2':>9}{'DFT um2':>9}",
+        (
+            f"{'no TPs':<14}{100 * base.pseudo_random_coverage:>9.2f}%"
+            f"{100 * base.final_coverage:>9.2f}%{base.n_cubes:>7}"
+            f"{base.n_flips:>7}{base.bff_area_um2:>9.0f}"
+            f"{base.bff_area_um2:>9.0f}"
+        ),
+        (
+            f"{'2% TPs':<14}{100 * boosted.pseudo_random_coverage:>9.2f}%"
+            f"{100 * boosted.final_coverage:>9.2f}%{boosted.n_cubes:>7}"
+            f"{boosted.n_flips:>7}{boosted.bff_area_um2:>9.0f}"
+            f"{boosted.bff_area_um2 + tp_area:>9.0f}"
+        ),
+    ]
+    text = "\n".join(lines)
+    write_artifact(out_dir, "dlbist_tpi.txt", text)
+    print(text)
+
+    # Test points lift the pseudo-random floor and shrink the
+    # deterministic top-up (fewer cubes, fewer flips, smaller BFF).
+    assert boosted.pseudo_random_coverage > base.pseudo_random_coverage
+    assert boosted.n_flips < base.n_flips
+    assert boosted.bff_area_um2 < base.bff_area_um2
+    # Both reach comparable final coverage — the DLBIST promise.
+    assert abs(boosted.final_coverage - base.final_coverage) < 0.02

@@ -1,0 +1,53 @@
+"""Bench: paper Figure 3 — layout after floorplanning, placement, routing.
+
+Renders the three stages of one layout as SVG files (rings, rows, cells,
+wires) plus a terminal density map, and checks the geometric facts the
+figure illustrates: the square chip, the ring stack around the core,
+rows abutted for power/ground sharing, and filler-completed rows after
+the full flow.  The benchmark times the routed-view rendering.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+from repro.circuits import s38417_like
+from repro.core import FlowConfig, ascii_density, render_svg, run_flow
+from repro.library import cmos130
+
+
+def test_figure3(out_dir, benchmark):
+    circuit = s38417_like(scale=0.05)
+    result = run_flow(circuit, cmos130(), FlowConfig(
+        tp_percent=3.0, run_atpg_phase=False,
+    ))
+
+    fp = render_svg(circuit, result.plan, stage="floorplan")
+    pl = render_svg(circuit, result.plan, result.placement,
+                    stage="placement")
+    rt = benchmark.pedantic(
+        lambda: render_svg(circuit, result.plan, result.placement,
+                           result.routed, stage="routed"),
+        rounds=1, iterations=1,
+    )
+    write_artifact(out_dir, "figure3a_floorplan.svg", fp)
+    write_artifact(out_dir, "figure3b_placement.svg", pl)
+    write_artifact(out_dir, "figure3c_routed.svg", rt)
+    density = ascii_density(circuit, result.placement)
+    write_artifact(out_dir, "figure3_density.txt", density)
+    print(density)
+
+    # The three views are progressively richer.
+    assert len(fp) < len(pl) < len(rt)
+    assert "line" in rt and "line" not in fp
+
+    # Geometry facts from the figure.
+    plan = result.plan
+    assert plan.chip.width == plan.chip.height      # square chip
+    assert 0.9 <= plan.aspect_ratio <= 1.1          # near-square core
+    assert plan.n_rows > 10
+    # Rows are filled completely after filler insertion.
+    occupancy = result.placement.row_occupancy_sites(circuit)
+    assert all(
+        used == row.n_sites
+        for row, used in zip(plan.rows, occupancy)
+    )

@@ -1,0 +1,65 @@
+"""Bench: paper Table 2 — impact of TPI on silicon area.
+
+Regenerates the area rows per circuit and sweep level: #cells, #rows,
+total row length, core area (+%), filler-cell share, chip area (+%) and
+routed wirelength.  Shape assertions encode the paper's findings:
+
+* core and chip area increase nearly linearly with the number of
+  inserted test points, and the increase is small (sub-percent per
+  test-point percent at the paper's sizes);
+* the cell count rises with every level (TSFFs plus support buffers);
+* the chip stays square while the core may drift slightly rectangular,
+  so the chip-area increase can exceed the core-area increase;
+* wirelength stays in the same regime (separate from-scratch layouts
+  may route slightly shorter, as the paper observes).
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+from repro.core import format_table2
+
+
+def test_table2(circuit_sweep, out_dir, benchmark):
+    result = circuit_sweep
+    rows = benchmark.pedantic(
+        result.table2_rows, rounds=1, iterations=1,
+    )
+    text = format_table2(rows)
+    write_artifact(out_dir, f"table2_{result.name}.txt", text)
+    print(text)
+
+    base = rows[0]
+    for row in rows[1:]:
+        # Logic cells grow with every TSFF; the *total* count also
+        # includes fillers, whose number varies with gap fragmentation,
+        # so the strict monotonicity check uses the logic census and
+        # the total only gets a coarse band.
+        assert row["n_cells_logic"] >= base["n_cells_logic"]
+        assert row["n_cells"] >= 0.95 * base["n_cells"]
+        assert row["core_area_um2"] >= base["core_area_um2"] - 1e-6
+
+    top = rows[-1]
+    # Area grows with test points, but stays bounded: the TSFF overhead
+    # is a few percent of the core even at 5% TPs on scaled circuits.
+    assert 0.0 <= top["core_inc_percent"] <= 15.0
+    assert 0.0 <= top["chip_inc_percent"] <= 20.0
+
+    # Rough linearity: the area increase correlates with #TP (monotone
+    # regression check over the sweep).
+    incs = [r["core_inc_percent"] for r in rows]
+    tps = [r["n_tp"] for r in rows]
+    assert all(
+        i2 >= i1 - 0.5
+        for (t1, i1), (t2, i2) in zip(zip(tps, incs), zip(tps[1:], incs[1:]))
+        if t2 > t1
+    )
+
+    # Filler share is a plausible single-digit fraction of the core.
+    for row in rows:
+        assert 0.0 <= row["filler_area_percent"] <= 60.0
+
+    # Wirelength stays in the same regime across the sweep.
+    for row in rows:
+        assert row["wirelength_um"] > 0
+        assert row["wirelength_um"] < 2.0 * base["wirelength_um"]

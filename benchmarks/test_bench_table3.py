@@ -1,0 +1,79 @@
+"""Bench: paper Table 3 — impact of TPI on timing.
+
+Regenerates the timing rows per circuit, clock domain and sweep level:
+test points on the critical path, T_cp (+%), F_max and the eq. (3)
+decomposition (T_wires, T_intrinsic, T_load-dep, T_setup, T_skew).
+Shape assertions encode the paper's findings:
+
+* the critical-path delay grows with the number of inserted test
+  points (roughly linearly, occasionally dipping when a from-scratch
+  layout happens to route shorter — the paper observes the same);
+* cell delay (intrinsic + load-dependent) dominates the decomposition;
+* the decomposition terms sum to T_cp exactly;
+* slow nodes exist and are reported, not fixed (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import write_artifact
+from repro.core import format_table3
+
+
+def test_table3(circuit_sweep, out_dir, benchmark):
+    result = circuit_sweep
+    rows = benchmark.pedantic(
+        result.table3_rows, rounds=1, iterations=1,
+    )
+    text = format_table3(rows)
+    write_artifact(out_dir, f"table3_{result.name}.txt", text)
+    print(text)
+
+    by_domain = defaultdict(list)
+    for row in rows:
+        by_domain[row["domain"]].append(row)
+
+    # The degradation trend is asserted on the *binding* domain (the
+    # slowest one).  Fast domains with huge slack (the paper's circuit 1
+    # runs "much faster than 8 MHz and 64 MHz as required") see a
+    # different critical path in every from-scratch layout and bounce
+    # around harmlessly — the paper observes exactly this.
+    binding = max(
+        by_domain,
+        key=lambda d: max(r["t_cp_ps"] for r in by_domain[d]),
+    )
+
+    for domain, series in by_domain.items():
+        series.sort(key=lambda r: r["tp_percent"])
+        base = series[0]
+        top = series[-1]
+
+        for row in series:
+            # Eq. (3): the five terms sum to T_cp.
+            total = (
+                row["t_wires_ps"] + row["t_intrinsic_ps"]
+                + row["t_load_dep_ps"] + row["t_setup_ps"]
+                + row["t_skew_ps"]
+            )
+            assert abs(total - row["t_cp_ps"]) < 1.0
+            # Cell delay contributes most (paper Section 4.4).
+            cell = row["t_intrinsic_ps"] + row["t_load_dep_ps"]
+            assert cell > row["t_wires_ps"]
+            assert cell > abs(row["t_skew_ps"])
+            # F_max is the reciprocal of T_cp.
+            assert abs(row["fmax_mhz"] - 1e6 / row["t_cp_ps"]) < 0.5
+
+        if domain != binding:
+            continue
+        # Performance degrades with test points: the paper reports 5%
+        # or more; we assert the direction plus a nontrivial magnitude
+        # somewhere in the sweep, on the binding domain.
+        worst_inc = max(r["t_cp_inc_percent"] for r in series)
+        assert top["t_cp_ps"] >= base["t_cp_ps"] * 0.97
+        assert worst_inc > 1.0, (
+            f"{result.name}/{domain}: no timing impact measured"
+        )
+        # At least one swept layout routes a test point onto (or next
+        # to) the critical path.
+        assert any(r["n_tp_cp"] > 0 for r in series[1:])

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's full flow once and print its metrics.
+
+Builds a scaled s38417 clone, inserts 2% test points, runs the Figure 2
+flow (TPI + scan -> placement -> scan reorder -> ECO/CTS/route ->
+extraction -> STA -> ATPG) and prints the Table 1/2/3 quantities for
+this single layout.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+import time
+
+from repro.circuits import s38417_like
+from repro.core import FlowConfig, run_flow
+from repro.library import cmos130
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.06
+    print(f"Generating s38417 clone at scale {scale} ...")
+    circuit = s38417_like(scale=scale)
+    print(f"  {circuit.num_cells} cells, "
+          f"{circuit.num_flip_flops} flip-flops")
+
+    config = FlowConfig(tp_percent=2.0, target_utilization=0.97)
+    t0 = time.time()
+    result = run_flow(circuit, cmos130(), config)
+    print(f"Flow finished in {time.time() - t0:.1f} s "
+          f"(stages: {', '.join(f'{k}={v:.1f}s' for k, v in result.stage_seconds.items())})")
+
+    print("\n-- Test data (Table 1 quantities) --")
+    m = result.test_metrics()
+    print(f"  test points     : {m.n_test_points}")
+    print(f"  flip-flops      : {m.n_flip_flops}")
+    print(f"  scan chains     : {m.n_chains} (l_max {m.l_max})")
+    print(f"  faults          : {m.n_faults}")
+    print(f"  fault coverage  : {100 * m.fault_coverage:.2f} %")
+    print(f"  fault efficiency: {100 * m.fault_efficiency:.2f} %")
+    print(f"  SAF patterns    : {m.n_patterns}")
+    print(f"  TDV             : {m.tdv_bits} bits")
+    print(f"  TAT             : {m.tat_cycles} cycles")
+
+    print("\n-- Silicon area (Table 2 quantities) --")
+    a = result.area_metrics()
+    print(f"  cells           : {a['n_cells']:.0f}")
+    print(f"  rows            : {a['n_rows']:.0f}")
+    print(f"  core area       : {a['core_area_um2']:.0f} um^2")
+    print(f"  filler area     : {100 * a['filler_fraction']:.2f} %")
+    print(f"  chip area       : {a['chip_area_um2']:.0f} um^2")
+    print(f"  wirelength      : {a['wirelength_um']:.0f} um")
+
+    print("\n-- Timing (Table 3 quantities) --")
+    for domain in sorted(result.sta.paths):
+        p = result.sta.critical(domain)
+        if p is None:
+            continue
+        print(f"  domain {domain}: T_cp {p.total_ps:.0f} ps "
+              f"(F_max {p.fmax_mhz:.1f} MHz), "
+              f"{p.n_test_points} test point(s) on the critical path")
+        print(f"    T_wires {p.t_wires_ps:.0f} + T_intrinsic "
+              f"{p.t_intrinsic_ps:.0f} + T_load {p.t_load_dep_ps:.0f} + "
+              f"T_setup {p.t_setup_ps:.0f} + T_skew {p.t_skew_ps:.0f} ps")
+    print(f"  slow nodes: {len(result.sta.slow_nodes)}, "
+          f"hold violations: {result.sta.hold_violations}")
+
+
+if __name__ == "__main__":
+    main()

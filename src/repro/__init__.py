@@ -1,0 +1,29 @@
+"""repro: a pure-Python reproduction of "Impact of Test Point Insertion
+on Silicon Area and Timing during Layout" (Vranken, Sapei, Wunderlich;
+DATE 2004).
+
+The package implements the complete experimental stack of the paper:
+
+* a gate-level netlist model and 130 nm-class standard-cell library;
+* testability analysis (SCOAP, COP, fanout-free regions);
+* iterative test-point insertion with the TSFF of Fig. 1;
+* full-scan insertion, layout-driven scan-chain reordering, and
+  compact deterministic ATPG (PODEM, dynamic + static compaction);
+* row-based layout generation (floorplan, analytic placement, ECO,
+  clock-tree synthesis, filler insertion, congestion-aware routing);
+* RC extraction and static timing analysis with the paper's eq. (3)
+  path decomposition;
+* the experiment drivers that regenerate Tables 1-3 and Figure 3.
+
+Quick start::
+
+    from repro.circuits import s38417_like
+    from repro.core import FlowConfig, run_flow
+    from repro.library import cmos130
+
+    circuit = s38417_like(scale=0.1)
+    result = run_flow(circuit, cmos130(), FlowConfig(tp_percent=1.0))
+    print(result.test_metrics())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Stuck-at ATPG: fault model, simulation, PODEM, compaction, engine."""
+
+from repro.atpg.compaction import pack_block, reverse_order_compaction
+from repro.atpg.engine import AtpgConfig, AtpgResult, run_atpg
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import Fault, FaultList, FaultStatus, build_fault_list
+from repro.atpg.patterns import from_pattern_text, scan_load_schedule, to_pattern_text
+from repro.atpg.podem import PodemEngine, TestCube
+from repro.atpg.simulator import BitSimulator, render_expr
+
+__all__ = [
+    "AtpgConfig",
+    "from_pattern_text",
+    "scan_load_schedule",
+    "to_pattern_text",
+    "AtpgResult",
+    "BitSimulator",
+    "Fault",
+    "FaultList",
+    "FaultSimulator",
+    "FaultStatus",
+    "PodemEngine",
+    "TestCube",
+    "build_fault_list",
+    "pack_block",
+    "render_expr",
+    "reverse_order_compaction",
+    "run_atpg",
+]

@@ -1,0 +1,86 @@
+"""Static test-set compaction.
+
+Reverse-order fault simulation: patterns are replayed newest-first
+against a fresh copy of the target fault set, and only patterns that
+detect at least one still-undetected fault survive.  Deterministic
+patterns generated late in ATPG tend to cover many early random-phase
+detections, so replaying in reverse discards the now-redundant early
+patterns — the classic cheap static compaction used after dynamic
+(fill-based) compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.atpg.faults import Fault
+from repro.atpg.fault_sim import FaultSimulator
+
+
+def pack_block(sim_inputs: Sequence[str], patterns: Sequence[int]
+               ) -> Dict[str, int]:
+    """Pack integer-encoded patterns into per-input block words.
+
+    Args:
+        sim_inputs: Input nets in bit order (bit *j* of a pattern is the
+            value of ``sim_inputs[j]``).
+        patterns: Up to ``width`` patterns.
+
+    Returns:
+        Word per input net, pattern *i* in bit *i*.
+    """
+    words = {net: 0 for net in sim_inputs}
+    for i, pattern in enumerate(patterns):
+        bit = 1 << i
+        for j, net in enumerate(sim_inputs):
+            if (pattern >> j) & 1:
+                words[net] |= bit
+    return words
+
+
+def reverse_order_compaction(
+    fsim: FaultSimulator,
+    patterns: List[int],
+    targets: List[Fault],
+) -> List[int]:
+    """Drop patterns that detect nothing new when replayed newest-first.
+
+    Args:
+        fsim: Fault simulator over the test-mode view.
+        patterns: Integer-encoded patterns, oldest first.
+        targets: Faults the compacted set must still detect (class
+            representatives; only in-view faults are considered).
+
+    Returns:
+        The surviving patterns, in their original relative order.
+    """
+    width = fsim.sim.width
+    inputs = fsim.sim.view.input_nets
+    remaining = {f for f in targets if fsim.in_view(f)}
+    keep: List[int] = []
+
+    reversed_patterns = list(reversed(patterns))
+    for start in range(0, len(reversed_patterns), width):
+        block = reversed_patterns[start:start + width]
+        if not remaining:
+            break
+        words = pack_block(inputs, block)
+        detections = fsim.run_block(words, remaining)
+        # Within a block, earlier bits correspond to newer patterns.
+        per_bit: Dict[int, List[Fault]] = {}
+        for fault, word in detections.items():
+            bit = 0
+            while word:
+                if word & 1:
+                    per_bit.setdefault(bit, []).append(fault)
+                word >>= 1
+                bit += 1
+        for bit, pattern in enumerate(block):
+            new = [
+                f for f in per_bit.get(bit, ()) if f in remaining
+            ]
+            if new:
+                keep.append(pattern)
+                remaining.difference_update(new)
+    keep.reverse()
+    return keep

@@ -1,0 +1,109 @@
+"""Test-pattern interchange: a STIL-flavoured text format.
+
+Writes the compacted scan test set in a simple, diffable text format
+(and reads it back): a header naming the scan inputs in bit order,
+then one line per pattern with the load values.  The format carries
+exactly what a tester needs for the capture patterns of a full-scan
+design — scan-cell load values per pattern — without the ceremony of
+full STIL; real pattern volumes (Table 1's TDV) follow from it via the
+chain configuration and equations (1)-(2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.atpg.engine import AtpgResult
+
+#: Format marker written in the header.
+MAGIC = "repro-patterns v1"
+
+
+def to_pattern_text(result: AtpgResult,
+                    circuit_name: str = "design") -> str:
+    """Serialise a test set.
+
+    Bit *j* of every pattern line (leftmost character first) is the
+    value of ``result.input_nets[j]``.
+    """
+    n = len(result.input_nets)
+    lines = [
+        f"# {MAGIC}",
+        f"# design: {circuit_name}",
+        f"# inputs: {n}",
+        f"# patterns: {result.n_patterns}",
+        "inputs " + " ".join(result.input_nets),
+    ]
+    for pattern in result.patterns:
+        bits = "".join(
+            "1" if (pattern >> j) & 1 else "0" for j in range(n)
+        )
+        lines.append(bits)
+    return "\n".join(lines) + "\n"
+
+
+def from_pattern_text(text: str) -> Tuple[List[str], List[int]]:
+    """Parse a pattern file back into ``(input_nets, patterns)``.
+
+    Raises:
+        ValueError: Malformed file (missing header, ragged lines,
+            non-binary characters).
+    """
+    lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+    if not lines or not lines[0].startswith("inputs "):
+        raise ValueError("missing 'inputs' header line")
+    inputs = lines[0].split()[1:]
+    n = len(inputs)
+    patterns: List[int] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if len(line) != n:
+            raise ValueError(
+                f"line {lineno}: expected {n} bits, got {len(line)}"
+            )
+        value = 0
+        for j, ch in enumerate(line):
+            if ch == "1":
+                value |= 1 << j
+            elif ch != "0":
+                raise ValueError(
+                    f"line {lineno}: invalid character {ch!r}"
+                )
+        patterns.append(value)
+    return inputs, patterns
+
+
+def scan_load_schedule(
+    patterns: Sequence[int],
+    input_nets: Sequence[str],
+    chains: Sequence[Sequence[str]],
+    q_net_of: dict,
+) -> List[List[str]]:
+    """Per-chain shift streams for one pattern set.
+
+    Args:
+        patterns: Integer-encoded patterns.
+        input_nets: Bit order of the encoding.
+        chains: Scan chains as flip-flop instance lists (scan-in
+            first).
+        q_net_of: Maps a flip-flop instance to its Q net (which is the
+            controllable net the pattern bit addresses).
+
+    Returns:
+        For every pattern, the list of per-chain bit strings to shift
+        in (first-shifted bit first, i.e. destined for the chain tail).
+    """
+    index = {net: j for j, net in enumerate(input_nets)}
+    schedule: List[List[str]] = []
+    for pattern in patterns:
+        per_chain: List[str] = []
+        for chain in chains:
+            # The first bit shifted in ends at the chain's last FF.
+            bits = []
+            for name in reversed(chain):
+                j = index.get(q_net_of[name])
+                bits.append(
+                    "1" if j is not None and (pattern >> j) & 1 else "0"
+                )
+            per_chain.append("".join(bits))
+        schedule.append(per_chain)
+    return schedule

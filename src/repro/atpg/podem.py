@@ -1,0 +1,677 @@
+"""PODEM deterministic test-pattern generation.
+
+Classic PODEM (Goel) over the test-mode combinational view: objectives
+are justified by backtracing to primary/pseudo-primary inputs only,
+with five-valued reasoning carried as two three-valued machines (good
+and faulty).  The search is confined to the fault's *region* — the
+forward cone of the fault site plus the backward support of that cone —
+and implication evaluates compiled, table-driven three-valued node
+functions over flat value arrays (see :mod:`repro.atpg.threeval`),
+which keeps per-decision cost at a few microseconds per region node.
+
+Outcomes per fault: a test cube (partial input assignment guaranteed to
+detect the fault under any fill), a redundancy proof (search space
+exhausted), or an abort (backtrack limit), mirroring the detected /
+redundant / aborted classification behind the paper's fault-efficiency
+numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.atpg.faults import Fault
+from repro.atpg.threeval import (
+    ONE,
+    X,
+    ZERO,
+    compile_node3,
+    decode,
+    encode,
+    eval3_encoded,
+)
+from repro.library.logic import And, Const, LogicExpr, Mux, Not, Or, Var, Xor
+from repro.netlist.levelize import CombView
+from repro.netlist.net import PORT
+from repro.testability.scoap import ScoapResult
+
+
+@dataclass
+class TestCube:
+    """Result of one PODEM run.
+
+    Attributes:
+        status: ``"detected"``, ``"redundant"`` or ``"aborted"``.
+        assignment: Input-net assignment (only for detected faults);
+            unassigned inputs may be filled arbitrarily.
+        backtracks: Number of backtracks spent.
+    """
+
+    status: str
+    assignment: Dict[str, int]
+    backtracks: int = 0
+
+
+class PodemEngine:
+    """PODEM test generator bound to one combinational view.
+
+    Chronological backtracking alone locks into failing subspaces on
+    reconvergent logic, so the per-fault budget is split across several
+    *restarts*: the first runs the deterministic SCOAP-guided
+    heuristics, later ones randomise frontier and backtrace
+    tie-breaking.  Restarts recover most would-be aborts at a fraction
+    of the cost of a deep single search.
+
+    Args:
+        view: Test-mode combinational view.
+        scoap: SCOAP measures used as backtrace guidance (computed on
+            demand when omitted).
+        backtrack_limit: Total backtrack budget per fault.
+        restarts: Number of search restarts sharing the budget.
+    """
+
+    def __init__(self, view: CombView, scoap: Optional[ScoapResult] = None,
+                 backtrack_limit: int = 64, restarts: int = 4):
+        self.view = view
+        self.backtrack_limit = backtrack_limit
+        self.restarts = max(1, restarts)
+        self._rng = random.Random(0xDF7)
+        self._rand_active = False
+        if scoap is None:
+            from repro.testability.scoap import compute_scoap
+            scoap = compute_scoap(view)
+        self.scoap = scoap
+
+        # Net index space.
+        self.nidx: Dict[str, int] = {}
+        for net in view.input_nets:
+            self.nidx.setdefault(net, len(self.nidx))
+        for net in view.constants:
+            self.nidx.setdefault(net, len(self.nidx))
+        for node in view.nodes:
+            self.nidx.setdefault(node.out_net, len(self.nidx))
+        self.n_nets = len(self.nidx)
+
+        # Per-node compiled data, aligned with view.nodes order.
+        self.nodes = view.nodes
+        self.node_out: List[int] = []
+        self.node_fn3 = []
+        self.node_level: List[int] = []
+        self.readers_pos: Dict[int, List[int]] = {}
+        self.pos_of_outnet: Dict[str, int] = {}
+        for pos, node in enumerate(view.nodes):
+            out = self.nidx[node.out_net]
+            self.node_out.append(out)
+            self.node_level.append(node.level)
+            self.pos_of_outnet[node.out_net] = pos
+            pin_index = {
+                pin: self.nidx[net] for pin, net in node.pin_nets.items()
+            }
+            self.node_fn3.append(compile_node3(node.expr, pin_index))
+            for idx in set(pin_index.values()):
+                self.readers_pos.setdefault(idx, []).append(pos)
+
+        self.input_idx: Set[int] = {self.nidx[n] for n in view.input_nets}
+        self.obs_idx: Set[int] = {
+            self.nidx[n] for n in view.output_nets if n in self.nidx
+        }
+        self.observable_sinks = set(view.output_refs)
+
+        # Template value array with constants pre-applied.
+        self._template = bytearray(self.n_nets)
+        for net, value in view.constants.items():
+            self._template[self.nidx[net]] = encode(value)
+
+    # ------------------------------------------------------------------
+    # Region extraction
+    # ------------------------------------------------------------------
+    def _region(self, site: int) -> Tuple[List[int], Set[int]]:
+        """Forward cone + backward support (node positions), observables."""
+        forward_nets: Set[int] = {site}
+        stack = [site]
+        while stack:
+            idx = stack.pop()
+            for pos in self.readers_pos.get(idx, ()):
+                out = self.node_out[pos]
+                if out not in forward_nets:
+                    forward_nets.add(out)
+                    stack.append(out)
+        positions: Set[int] = set()
+        stack2 = list(forward_nets)
+        seen = set(stack2)
+        while stack2:
+            idx = stack2.pop()
+            net_name = self._name_of(idx)
+            pos = self.pos_of_outnet.get(net_name)
+            if pos is None or pos in positions:
+                continue
+            positions.add(pos)
+            for pin_net in set(self.nodes[pos].pin_nets.values()):
+                pidx = self.nidx[pin_net]
+                if pidx not in seen:
+                    seen.add(pidx)
+                    stack2.append(pidx)
+        ordered = sorted(positions, key=lambda p: self.node_level[p])
+        return ordered, forward_nets & self.obs_idx
+
+    def _name_of(self, idx: int) -> str:
+        if not hasattr(self, "_names"):
+            names = [""] * self.n_nets
+            for net, i in self.nidx.items():
+                names[i] = net
+            self._names = names
+        return self._names[idx]
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault,
+                 fixed: Optional[Dict[str, int]] = None,
+                 restarts: Optional[int] = None,
+                 backtrack_limit: Optional[int] = None) -> TestCube:
+        """Attempt to generate a test for ``fault``.
+
+        Runs up to :attr:`restarts` searches; the first is fully
+        deterministic, later ones randomise tie-breaking.  A redundancy
+        proof from any restart is final (the search space, not the
+        heuristics, was exhausted).
+
+        Args:
+            fault: Target fault.
+            fixed: Input-net values that must be respected (dynamic
+                compaction onto an existing test cube).  When the
+                search space is exhausted *under constraints* the
+                status is ``"incompatible"`` rather than
+                ``"redundant"`` — the fault may still be testable on a
+                fresh pattern.
+            restarts: Override the engine's restart count.
+            backtrack_limit: Override the engine's backtrack budget.
+        """
+        n_restarts = max(1, restarts if restarts is not None
+                         else self.restarts)
+        limit = (
+            backtrack_limit if backtrack_limit is not None
+            else self.backtrack_limit
+        )
+        budget = max(1, limit // n_restarts)
+        spent = 0
+        result = TestCube(status="aborted", assignment={})
+        for attempt in range(n_restarts):
+            self._rand_active = attempt > 0
+            self._rng.seed(hash((fault.net, fault.sink, fault.value, attempt)))
+            result = self._search(fault, budget, fixed)
+            spent += result.backtracks
+            result.backtracks = spent
+            if result.status in ("detected", "redundant"):
+                if result.status == "redundant" and fixed:
+                    result.status = "incompatible"
+                return result
+        return result
+
+    def _search(self, fault: Fault, backtrack_budget: int,
+                fixed: Optional[Dict[str, int]] = None) -> TestCube:
+        """One PODEM search with the current heuristic mode.
+
+        Implication is incremental: assignments propagate event-driven
+        through the fault region, every value change is recorded on a
+        trail, and backtracking unwinds the trail to the decision's
+        mark (DPLL-style), so each decision costs only its own cone
+        instead of a full region recompute.
+        """
+        site = self.nidx.get(fault.net)
+        if site is None:
+            return TestCube(status="aborted", assignment={})
+        region, region_obs = self._region(site)
+        region_set = set(region)
+        stuck_enc = encode(fault.value)
+        stem = fault.sink is None
+        branch_observed = fault.sink is not None and (
+            (fault.net, fault.sink) in self.observable_sinks
+            or fault.sink[0] == PORT
+        )
+        branch_pos: Optional[int] = None
+        branch_pin: Optional[str] = None
+        if fault.sink is not None and not branch_observed:
+            inst, pin = fault.sink
+            for pos in self.readers_pos.get(site, ()):
+                node = self.nodes[pos]
+                if node.inst.name == inst and node.pin_nets.get(pin) == fault.net:
+                    branch_pos = pos
+                    branch_pin = pin
+                    break
+            if branch_pos is None:
+                return TestCube(status="aborted", assignment={})
+
+        vg = bytearray(self._template)
+        vf = bytearray(self._template)
+        if fixed:
+            for net, value in fixed.items():
+                idx = self.nidx.get(net)
+                if idx is None:
+                    continue
+                enc = ONE if value else ZERO
+                vg[idx] = enc
+                vf[idx] = enc
+        if stem:
+            # The faulty machine sees the stuck value regardless of what
+            # (if anything) the good machine drives there.
+            vf[site] = stuck_enc
+
+        node_out = self.node_out
+        node_fn3 = self.node_fn3
+        levels = self.node_level
+
+        def eval_node(pos: int) -> Tuple[int, int]:
+            g = node_fn3[pos](vg)
+            if pos == branch_pos:
+                f = self._eval_branch(pos, vf, branch_pin, stuck_enc)
+            else:
+                f = node_fn3[pos](vf)
+            if stem and node_out[pos] == site:
+                f = stuck_enc
+            return g, f
+
+        # Base implication over the whole region (constants resolve).
+        for pos in region:
+            out = node_out[pos]
+            vg[out], vf[out] = eval_node(pos)
+
+        trail: List[Tuple[int, int, int]] = []  # (idx, old_g, old_f)
+
+        def propagate(start_idx: int) -> None:
+            heap: List[Tuple[int, int]] = []
+            queued = set()
+            for pos in self.readers_pos.get(start_idx, ()):
+                if pos in region_set:
+                    heapq.heappush(heap, (levels[pos], pos))
+                    queued.add(pos)
+            while heap:
+                _, pos = heapq.heappop(heap)
+                queued.discard(pos)
+                out = node_out[pos]
+                g, f = eval_node(pos)
+                if g == vg[out] and f == vf[out]:
+                    continue
+                trail.append((out, vg[out], vf[out]))
+                vg[out] = g
+                vf[out] = f
+                for reader in self.readers_pos.get(out, ()):
+                    if reader in region_set and reader not in queued:
+                        heapq.heappush(heap, (levels[reader], reader))
+                        queued.add(reader)
+
+        def assign(idx: int, value: int) -> None:
+            enc = ONE if value else ZERO
+            trail.append((idx, vg[idx], vf[idx]))
+            vg[idx] = enc
+            vf[idx] = stuck_enc if (stem and idx == site) else enc
+            propagate(idx)
+
+        def undo_to(mark: int) -> None:
+            while len(trail) > mark:
+                idx, old_g, old_f = trail.pop()
+                vg[idx] = old_g
+                vf[idx] = old_f
+
+        # Decisions: [net_idx, value, flipped, trail_mark].
+        decisions: List[List[int]] = []
+        backtracks = 0
+
+        while True:
+            conflict, detected = self._classify(
+                vg, vf, site, stuck_enc, branch_observed, region, region_obs,
+                branch_pos,
+            )
+            if detected:
+                return TestCube(
+                    status="detected",
+                    assignment={
+                        self._name_of(d[0]): d[1] for d in decisions
+                    },
+                    backtracks=backtracks,
+                )
+            target: Optional[Tuple[int, int]] = None
+            if not conflict:
+                objective = self._objective(
+                    vg, vf, site, stuck_enc, region, branch_pos, branch_pin
+                )
+                if objective is None:
+                    conflict = True
+                else:
+                    target = self._backtrace(objective, vg)
+                    conflict = target is None
+            if conflict:
+                while decisions and decisions[-1][2]:
+                    undo_to(decisions.pop()[3])
+                if not decisions:
+                    return TestCube(
+                        status="redundant",
+                        assignment={},
+                        backtracks=backtracks,
+                    )
+                backtracks += 1
+                if backtracks > backtrack_budget:
+                    return TestCube(
+                        status="aborted",
+                        assignment={},
+                        backtracks=backtracks,
+                    )
+                last = decisions[-1]
+                undo_to(last[3])
+                last[1] ^= 1
+                last[2] = 1
+                assign(last[0], last[1])
+                continue
+            idx, value = target
+            decisions.append([idx, value, 0, len(trail)])
+            assign(idx, value)
+
+    def _eval_branch(self, pos: int, vf: bytearray,
+                     branch_pin: str, stuck_enc: int) -> int:
+        """Evaluate the branch-faulted node with the pin forced."""
+        node = self.nodes[pos]
+        pin_values = {
+            pin: (stuck_enc if pin == branch_pin else vf[self.nidx[net]])
+            for pin, net in node.pin_nets.items()
+        }
+        return eval3_encoded(node.expr, pin_values)
+
+    # ------------------------------------------------------------------
+    # Search-state classification
+    # ------------------------------------------------------------------
+    def _classify(
+        self,
+        vg: bytearray,
+        vf: bytearray,
+        site: int,
+        stuck_enc: int,
+        branch_observed: bool,
+        region: List[int],
+        region_obs: Set[int],
+        branch_pos: Optional[int],
+    ) -> Tuple[bool, bool]:
+        """Return ``(conflict, detected)`` for the current state."""
+        site_g = vg[site]
+        if site_g == stuck_enc:
+            return True, False  # activation impossible on this path
+        activated = site_g != X
+        if activated and branch_observed:
+            return False, True
+        for idx in region_obs:
+            g, f = vg[idx], vf[idx]
+            if g != X and f != X and g != f:
+                return False, True
+        if not activated:
+            return False, False  # keep justifying activation
+        frontier = self._d_frontier(vg, vf, region, branch_pos, activated)
+        if not frontier:
+            return True, False
+        if not self._x_path(frontier, vg, vf):
+            return True, False
+        return False, False
+
+    def _d_frontier(self, vg: bytearray, vf: bytearray, region: List[int],
+                    branch_pos: Optional[int],
+                    activated: bool) -> List[int]:
+        """Node positions with a D input and an undetermined output.
+
+        For branch faults the D lives on the faulted *pin* rather than
+        on any net, so the faulted node itself joins the frontier as
+        soon as the fault is activated but its output is unresolved.
+        """
+        frontier = []
+        node_out = self.node_out
+        for pos in region:
+            out = node_out[pos]
+            if vg[out] != X and vf[out] != X:
+                continue
+            if pos == branch_pos and activated:
+                frontier.append(pos)
+                continue
+            for net in self.nodes[pos].pin_nets.values():
+                idx = self.nidx[net]
+                g, f = vg[idx], vf[idx]
+                if g != X and f != X and g != f:
+                    frontier.append(pos)
+                    break
+        return frontier
+
+    def _x_path(self, frontier: List[int], vg: bytearray,
+                vf: bytearray) -> bool:
+        """True when some frontier node reaches an observable via X nets."""
+        seen: Set[int] = set()
+        stack = [self.node_out[pos] for pos in frontier]
+        while stack:
+            idx = stack.pop()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            if vg[idx] != X and vf[idx] != X and vg[idx] == vf[idx]:
+                continue  # blocked: resolved identically in both machines
+            if idx in self.obs_idx:
+                return True
+            for pos in self.readers_pos.get(idx, ()):
+                out = self.node_out[pos]
+                if out not in seen:
+                    stack.append(out)
+        return False
+
+    # ------------------------------------------------------------------
+    # Objective selection
+    # ------------------------------------------------------------------
+    def _objective(
+        self,
+        vg: bytearray,
+        vf: bytearray,
+        site: int,
+        stuck_enc: int,
+        region: List[int],
+        branch_pos: Optional[int],
+        branch_pin: Optional[str],
+    ) -> Optional[Tuple[int, int]]:
+        """Pick the next (net index, value) goal."""
+        if vg[site] == X:
+            return site, 0 if stuck_enc == ONE else 1
+        frontier = self._d_frontier(vg, vf, region, branch_pos, True)
+        if not frontier:
+            return None
+        frontier.sort(
+            key=lambda p: self.scoap.co.get(self.nodes[p].out_net, 1e18)
+        )
+        if self._rand_active and len(frontier) > 1:
+            self._rng.shuffle(frontier)
+        for pos in frontier:
+            obj = self._propagation_objective(
+                pos, vg, vf,
+                stuck_enc if pos == branch_pos else None,
+                branch_pin if pos == branch_pos else None,
+            )
+            if obj is not None:
+                return obj
+        return None
+
+    def _propagation_objective(
+        self, pos: int, vg: bytearray, vf: bytearray,
+        forced_enc: Optional[int] = None,
+        forced_pin: Optional[str] = None,
+    ) -> Optional[Tuple[int, int]]:
+        """Choose an X side-input value that un-blocks propagation.
+
+        For the branch-faulted node, the faulty machine is evaluated
+        with the faulted pin forced to the stuck value.
+        """
+        node = self.nodes[pos]
+        x_pins = [
+            (pin, net, self.nidx[net])
+            for pin, net in node.pin_nets.items()
+            if vg[self.nidx[net]] == X
+            and net not in self.view.constants
+            and pin != forced_pin
+        ]
+        if not x_pins:
+            return None
+        fn = self.node_fn3[pos]
+
+        def eval_faulty() -> int:
+            if forced_pin is None:
+                return fn(vf)
+            return eval3_encoded(node.expr, {
+                p: (forced_enc if p == forced_pin else vf[self.nidx[n]])
+                for p, n in node.pin_nets.items()
+            })
+
+        # Look ahead: does assigning pin=v turn the output into a D?
+        for pin, net, idx in x_pins:
+            for enc in (ONE, ZERO):
+                old_g, old_f = vg[idx], vf[idx]
+                vg[idx] = enc
+                vf[idx] = enc
+                g = fn(vg)
+                f = eval_faulty()
+                vg[idx] = old_g
+                vf[idx] = old_f
+                if g != X and f != X and g != f:
+                    return idx, 1 if enc == ONE else 0
+        # Fallback: drive the easiest X input to its easier value.
+        pin, net, idx = min(
+            x_pins,
+            key=lambda pn: min(
+                self.scoap.cc0.get(pn[1], 1e18),
+                self.scoap.cc1.get(pn[1], 1e18),
+            ),
+        )
+        easier = (
+            0
+            if self.scoap.cc0.get(net, 1e18) <= self.scoap.cc1.get(net, 1e18)
+            else 1
+        )
+        return idx, easier
+
+    # ------------------------------------------------------------------
+    # Backtrace
+    # ------------------------------------------------------------------
+    def _backtrace(self, objective: Tuple[int, int],
+                   vg: bytearray) -> Optional[Tuple[int, int]]:
+        """Walk an objective back to an unassigned input net."""
+        idx, value = objective
+        for _ in range(100000):
+            if idx in self.input_idx:
+                if vg[idx] != X:
+                    return None  # already assigned: cannot justify
+                return idx, value
+            pos = self.pos_of_outnet.get(self._name_of(idx))
+            if pos is None:
+                return None  # constant or unreachable net
+            node = self.nodes[pos]
+            step = self._backtrace_expr(node.expr, value, node.pin_nets, vg)
+            if step is None:
+                return None
+            pin, value = step
+            idx = self.nidx[node.pin_nets[pin]]
+        raise RuntimeError("backtrace did not terminate")
+
+    def _backtrace_expr(
+        self,
+        expr: LogicExpr,
+        value: int,
+        pin_nets: Dict[str, str],
+        vg: bytearray,
+    ) -> Optional[Tuple[str, int]]:
+        """Choose an X pin and target value justifying ``value``."""
+
+        def pin_val(pin: str) -> int:
+            return vg[self.nidx[pin_nets[pin]]]
+
+        def is_x(e: LogicExpr) -> bool:
+            if isinstance(e, Var):
+                return pin_val(e.pin) == X
+            if isinstance(e, Const):
+                return False
+            if isinstance(e, Not):
+                return is_x(e.arg)
+            if isinstance(e, (And, Or)):
+                return any(is_x(a) for a in e.args)
+            if isinstance(e, Xor):
+                return is_x(e.a) or is_x(e.b)
+            if isinstance(e, Mux):
+                return is_x(e.sel) or is_x(e.a) or is_x(e.b)
+            raise TypeError(type(e).__name__)
+
+        def cc(e: LogicExpr, v: int) -> float:
+            if isinstance(e, Var):
+                table = self.scoap.cc1 if v else self.scoap.cc0
+                return table.get(pin_nets[e.pin], 1e18)
+            return 1.0  # internal operators: flat cost
+
+        def value_of(e: LogicExpr) -> int:
+            return eval3_encoded(
+                e, {p: pin_val(p) for p in e.support()}
+            )
+
+        if isinstance(expr, Var):
+            return expr.pin, value
+        if isinstance(expr, Const):
+            return None
+        if isinstance(expr, Not):
+            return self._backtrace_expr(expr.arg, 1 - value, pin_nets, vg)
+        if isinstance(expr, (And, Or)):
+            is_and = isinstance(expr, And)
+            controlling = 0 if is_and else 1
+            xs = [a for a in expr.args if is_x(a)]
+            if not xs:
+                return None
+            randomize = self._rand_active and len(xs) > 1
+            if value == (1 if is_and else 0):
+                child = (
+                    self._rng.choice(xs)
+                    if randomize
+                    else max(xs, key=lambda a: cc(a, 1 - controlling))
+                )
+                return self._backtrace_expr(
+                    child, 1 - controlling, pin_nets, vg
+                )
+            child = (
+                self._rng.choice(xs)
+                if randomize
+                else min(xs, key=lambda a: cc(a, controlling))
+            )
+            return self._backtrace_expr(child, controlling, pin_nets, vg)
+        if isinstance(expr, Xor):
+            a_x, b_x = is_x(expr.a), is_x(expr.b)
+            a_val = decode(value_of(expr.a))
+            b_val = decode(value_of(expr.b))
+            if a_x and b_val is not None:
+                return self._backtrace_expr(
+                    expr.a, value ^ b_val, pin_nets, vg
+                )
+            if b_x and a_val is not None:
+                return self._backtrace_expr(
+                    expr.b, value ^ a_val, pin_nets, vg
+                )
+            if a_x:
+                return self._backtrace_expr(expr.a, value, pin_nets, vg)
+            if b_x:
+                return self._backtrace_expr(expr.b, value, pin_nets, vg)
+            return None
+        if isinstance(expr, Mux):
+            s_val = decode(value_of(expr.sel))
+            if s_val is not None:
+                branch = expr.b if s_val else expr.a
+                return self._backtrace_expr(branch, value, pin_nets, vg)
+            a_val = decode(value_of(expr.a))
+            b_val = decode(value_of(expr.b))
+            if a_val == value and is_x(expr.sel):
+                return self._backtrace_expr(expr.sel, 0, pin_nets, vg)
+            if b_val == value and is_x(expr.sel):
+                return self._backtrace_expr(expr.sel, 1, pin_nets, vg)
+            if is_x(expr.a):
+                return self._backtrace_expr(expr.a, value, pin_nets, vg)
+            if is_x(expr.sel):
+                return self._backtrace_expr(expr.sel, 1, pin_nets, vg)
+            if is_x(expr.b):
+                return self._backtrace_expr(expr.b, value, pin_nets, vg)
+            return None
+        raise TypeError(f"unsupported expression node {type(expr).__name__}")

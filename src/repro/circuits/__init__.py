@@ -1,0 +1,27 @@
+"""Benchmark circuits: profile-driven synthetic equivalents of the
+paper's three designs plus the generic generator."""
+
+from repro.circuits.generators import CircuitProfile, ClockSpec, generate
+from repro.circuits.iscas import S38417_PROFILE, s38417_like
+from repro.circuits.stats import CircuitStats, compare_profiles, profile_circuit
+from repro.circuits.philips import (
+    CONTROL_CORE_PROFILE,
+    P26909_PROFILE,
+    control_core,
+    dsp_core_p26909,
+)
+
+__all__ = [
+    "CONTROL_CORE_PROFILE",
+    "CircuitStats",
+    "compare_profiles",
+    "profile_circuit",
+    "CircuitProfile",
+    "ClockSpec",
+    "P26909_PROFILE",
+    "S38417_PROFILE",
+    "control_core",
+    "dsp_core_p26909",
+    "generate",
+    "s38417_like",
+]

@@ -1,0 +1,560 @@
+"""Profile-driven generation of synthetic benchmark circuits.
+
+The paper evaluates on ISCAS'89 s38417 and two proprietary Philips
+cores.  The netlists of the Philips cores were never published, and the
+paper only relies on their aggregate structure: flip-flop count, gate
+count, clock domains, datapath-vs-control mix, and the presence of
+hard-to-test (random-pattern-resistant) logic that test points cure.
+
+This module builds circuits to such a profile.  Generation is seeded
+and fully deterministic.  Three structural ingredients are mixed:
+
+* **random control logic** — a levelised random DAG over a growing
+  signal pool with locality bias (controls logic depth) and a long-tail
+  fanout distribution;
+* **datapath blocks** — ripple-carry adder slices and mux trees, giving
+  the regular XOR/MUX-heavy structure of a DSP core;
+* **hard blocks** — wide AND-reduction trees, deep parity chains and
+  equality comparators: the classic random-pattern-resistant structures
+  that motivate test-point insertion in the first place.
+
+Every generated net is observable (dangling signals are folded into a
+reduction tree feeding an extra output), so fault coverage reflects the
+logic itself rather than generator artefacts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.library.cell import Library, LibraryCell
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """One clock domain of a profile.
+
+    Attributes:
+        name: Clock port name.
+        period_ps: Target period in ps.
+        ff_fraction: Fraction of the circuit's flip-flops in the domain.
+    """
+
+    name: str
+    period_ps: float
+    ff_fraction: float
+
+
+@dataclass
+class CircuitProfile:
+    """Structural recipe for a synthetic benchmark circuit.
+
+    Attributes:
+        name: Circuit name.
+        n_inputs: Primary data inputs (clocks excluded).
+        n_outputs: Primary outputs.
+        n_flip_flops: Flip-flop count (the paper's test-point percentages
+            are relative to this number).
+        n_gates: Combinational gate count.
+        clocks: Clock domains; fractions must sum to 1.
+        datapath_fraction: Share of gates built as datapath blocks.
+        hard_fraction: Share of gates built as random-pattern-resistant
+            blocks.
+        locality: Probability that a gate input is drawn from the most
+            recently created signals; higher values create deeper logic.
+        locality_window: Size of the "recent signals" window.
+        hard_block_width: Input width of each AND-reduction hard block.
+        target_depth: Soft cap on combinational logic depth (levels from
+            a register/input to a register/output).  Gate inputs deeper
+            than the per-gate budget are redrawn from shallower signals,
+            yielding realistic 20-40-level register-to-register paths.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_flip_flops: int
+    n_gates: int
+    clocks: Sequence[ClockSpec] = field(
+        default_factory=lambda: (ClockSpec("clk", 5000.0, 1.0),)
+    )
+    datapath_fraction: float = 0.0
+    hard_fraction: float = 0.12
+    locality: float = 0.58
+    locality_window: int = 128
+    hard_block_width: int = 14
+    target_depth: int = 30
+
+    def scaled(self, scale: float) -> "CircuitProfile":
+        """A proportionally smaller (or larger) copy of the profile.
+
+        Counts scale linearly with floors that keep tiny circuits
+        well-formed; clock structure and logic mix are preserved.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return CircuitProfile(
+            name=self.name if scale == 1.0 else f"{self.name}_s{scale:g}",
+            n_inputs=max(4, round(self.n_inputs * scale)),
+            n_outputs=max(4, round(self.n_outputs * scale)),
+            n_flip_flops=max(8, round(self.n_flip_flops * scale)),
+            n_gates=max(32, round(self.n_gates * scale)),
+            clocks=self.clocks,
+            datapath_fraction=self.datapath_fraction,
+            hard_fraction=self.hard_fraction,
+            locality=self.locality,
+            locality_window=self.locality_window,
+            hard_block_width=self.hard_block_width,
+            target_depth=self.target_depth,
+        )
+
+
+#: Cell mix of the random control logic, as (cell base name, weight).
+#: The mix is inverter/XOR/MUX-rich: heavily NAND/NOR-skewed random
+#: DAGs drift to extreme signal probabilities under reconvergence and
+#: manufacture accidentally untestable logic that synthesised netlists
+#: do not exhibit; this mix keeps COP profiles realistic so that the
+#: *deliberate* hard blocks dominate the random-resistant population.
+_CONTROL_MIX: Tuple[Tuple[str, float], ...] = (
+    ("NAND2_X1", 0.20),
+    ("NOR2_X1", 0.10),
+    ("INV_X1", 0.18),
+    ("NAND3_X1", 0.05),
+    ("NAND4_X1", 0.02),
+    ("NOR3_X1", 0.03),
+    ("AND2_X1", 0.07),
+    ("OR2_X1", 0.07),
+    ("AOI21_X1", 0.04),
+    ("OAI21_X1", 0.04),
+    ("XOR2_X1", 0.10),
+    ("MUX2_X1", 0.10),
+)
+
+
+class _Builder:
+    """Stateful helper that grows one circuit to a profile."""
+
+    def __init__(self, profile: CircuitProfile, library: Library,
+                 rng: random.Random):
+        self.profile = profile
+        self.lib = library
+        self.rng = rng
+        self.circuit = Circuit(profile.name)
+        self.signals: List[str] = []       # all driven data nets, in order
+        self.level: Dict[str, int] = {}    # logic depth of each signal
+        self.shallow: List[str] = []       # level-0 signals (PIs, FF Qs)
+        self.hard_roots: List[str] = []    # roots of hard blocks
+        self.capture_nets: List[str] = []  # shadow exits needing FFs
+        self.tag = "control"               # structural tag of new nets
+        self.tags: Dict[str, str] = {}     # net -> structural origin
+        self.gate_count = 0
+        self._mix_cells = [self.lib[name] for name, _ in _CONTROL_MIX]
+        self._mix_weights = [w for _, w in _CONTROL_MIX]
+
+    # -- signal pool ---------------------------------------------------
+    def pick_signal(self, max_level: Optional[int] = None,
+                    exclude: Sequence[str] = ()) -> str:
+        """Draw a gate input: recent with probability ``locality``.
+
+        When ``max_level`` is given, candidates deeper than it are
+        rejected (a few retries, then fall back to a level-0 signal) so
+        logic depth stays near the profile's ``target_depth``.  Signals
+        in ``exclude`` are avoided — real netlists do not feed the same
+        net into two pins of one gate (that would synthesise away).
+        """
+        rng, prof = self.rng, self.profile
+        for _ in range(8):
+            if self.signals and rng.random() < prof.locality:
+                window = self.signals[-prof.locality_window:]
+                pick = rng.choice(window)
+            else:
+                pick = rng.choice(self.signals)
+            if pick in exclude:
+                continue
+            if max_level is None or self.level[pick] <= max_level:
+                return pick
+        for pick in self.rng.sample(self.shallow, min(8, len(self.shallow))):
+            if pick not in exclude:
+                return pick
+        return rng.choice(self.shallow)
+
+    def pick_distinct(self, count: int,
+                      max_level: Optional[int] = None) -> List[str]:
+        """Draw ``count`` pairwise-distinct gate inputs."""
+        picks: List[str] = []
+        for _ in range(count):
+            picks.append(self.pick_signal(max_level, exclude=picks))
+        return picks
+
+    def depth_budget(self) -> int:
+        """Per-gate input depth budget, sampled around ``target_depth``."""
+        target = self.profile.target_depth
+        return self.rng.randint(max(2, target // 3), max(3, target - 1))
+
+    def emit(self, net: str, level: int = 0) -> str:
+        """Register a freshly driven net in the signal pool."""
+        self.signals.append(net)
+        self.level[net] = level
+        self.tags[net] = self.tag
+        if level == 0:
+            self.shallow.append(net)
+        return net
+
+    # -- gate creation -------------------------------------------------
+    def add_gate(self, cell: LibraryCell,
+                 inputs: Optional[Sequence[str]] = None,
+                 max_level: Optional[int] = None) -> str:
+        """Instantiate ``cell`` with the given (or random) inputs.
+
+        Returns the output net name.
+        """
+        in_pins = cell.input_pins
+        if inputs is None:
+            budget = max_level if max_level is not None else self.depth_budget()
+            inputs = self.pick_distinct(len(in_pins), budget)
+        if len(inputs) != len(in_pins):
+            raise ValueError(
+                f"{cell.name} needs {len(in_pins)} inputs, got {len(inputs)}"
+            )
+        out_pin = cell.output_pins[0]
+        net = self.circuit.new_net(prefix="w")
+        name = self.circuit.new_instance_name("g")
+        conns = dict(zip(in_pins, inputs))
+        conns[out_pin] = net.name
+        self.circuit.add_instance(name, cell, conns)
+        self.gate_count += 1
+        out_level = 1 + max(self.level[i] for i in inputs)
+        return self.emit(net.name, out_level)
+
+    def random_gate(self) -> str:
+        """One gate drawn from the control-logic cell mix."""
+        cell = self.rng.choices(self._mix_cells, self._mix_weights)[0]
+        return self.add_gate(cell)
+
+    # -- structured blocks ----------------------------------------------
+    def reduction_tree(self, leaves: Sequence[str], base: str) -> str:
+        """Balanced 2-input reduction of ``leaves`` with ``base`` gates.
+
+        ``base`` alternates NAND/NOR per level for AND-like reduction
+        semantics, or uses XOR2 for parity.
+        """
+        level = list(leaves)
+        use_nand = base == "AND"
+        while len(level) > 1:
+            nxt: List[str] = []
+            if base == "XOR":
+                cell = self.lib["XOR2_X1"]
+            else:
+                cell = self.lib["NAND2_X1" if use_nand else "NOR2_X1"]
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add_gate(cell, [level[i], level[i + 1]]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+            use_nand = not use_nand
+        return level[0]
+
+    def hard_block(self, width: int) -> str:
+        """A random-pattern-resistant cone: comparator into AND tree.
+
+        Half the leaves are XNOR equality bits (detection requires two
+        signals to match), reduced through a wide AND tree — the kind of
+        logic whose faults pseudo-random patterns essentially never
+        reach, and where a single observation/control point collapses
+        the required pattern count.
+
+        Leaves are anchored on shallow (register-output) signals and the
+        root is registered by a flip-flop (see :func:`generate`): the
+        cone is *random-resistant* (detection probability about
+        2^-width for its internal faults) yet deterministically
+        tractable — the textbook pseudo-random-persistent structure
+        that motivates TPI in the paper's LBIST references, where an
+        observation point halfway up the tree collapses 2^-width into
+        two easily detected halves.
+        """
+        xnor = self.lib["XNOR2_X1"]
+        leaves = []
+        for _ in range(width):
+            if self.rng.random() < 0.5:
+                leaves.append(self.add_gate(xnor, self.pick_distinct(2, 1)))
+            else:
+                leaves.append(self.pick_signal(1, exclude=leaves))
+        root = self.reduction_tree(leaves, "AND")
+        self.hard_roots.append(root)
+        return root
+
+    def shadow_region(self, n_gates: int, gate_width: int) -> List[str]:
+        """A poorly observable logic region behind a comparator gate.
+
+        Builds a self-contained random sub-network whose every exit is
+        ANDed with a wide-comparator "region enable" before rejoining
+        the circuit.  With the enable true only ~2^-gate_width of the
+        time under random patterns, the whole region is essentially
+        invisible to pseudo-random testing — the structural signature
+        of the random-pattern-resistant industrial logic (bus-compare
+        shadows, address-decoded blocks) that makes TPI pay off.  One
+        *control* point on the enable restores full observability of
+        the region, which is how a single TSFF rescues dozens of
+        patterns.
+
+        Returns the gated exit nets (already in the global pool).
+        """
+        # Seed the region with a spread of shallow global signals; a
+        # wide seed set keeps the local logic justifiable (less
+        # pathological reconvergence onto two or three signals).
+        seeds = self.pick_distinct(min(24, max(8, n_gates // 6)), 1)
+        local: List[str] = list(seeds)
+        used: set = set()
+        start_gates = self.gate_count
+        global_signals = self.signals  # stash: region nets stay local
+        rng = self.rng
+        mix_cells, mix_weights = self._mix_cells, self._mix_weights
+
+        self.signals = local
+        try:
+            while self.gate_count < start_gates + n_gates:
+                if rng.random() < 0.30 and len(local) >= 8:
+                    # Mini comparator: a narrow AND reduction over
+                    # local signals.  Even with the region enable open,
+                    # each mini-cone's faults need a specific local
+                    # justification (~2^-width serendipity), so the
+                    # region costs real *patterns* instead of being
+                    # swept up by the first open-gate fill — yet the
+                    # constraints stay shallow enough for PODEM.
+                    width = rng.randint(5, 7)
+                    leaves: List[str] = []
+                    for _ in range(width):
+                        pick = rng.choice(
+                            [s for s in local if s not in leaves] or local
+                        )
+                        leaves.append(pick)
+                        used.add(pick)
+                    self.reduction_tree(leaves, "AND")
+                    continue
+                cell = rng.choices(mix_cells, mix_weights)[0]
+                inputs = []
+                for _ in cell.input_pins:
+                    # Uniform draws over the local pool: the comparator
+                    # gate alone provides random-pattern resistance,
+                    # while shallow well-seeded internals keep every
+                    # region fault within deterministic ATPG's reach —
+                    # so the region's cost shows up as *patterns*, not
+                    # as aborted faults.
+                    candidates = [s for s in local if s not in inputs]
+                    pick = rng.choice(candidates or local)
+                    inputs.append(pick)
+                    used.add(pick)
+                self.add_gate(cell, inputs)
+        finally:
+            self.signals = global_signals
+
+        # The comparator enable, built from globally shallow signals.
+        enable = self.hard_block(gate_width)
+
+        # Compress the locally unobserved nets through a few parity
+        # trees, gate the tree roots with the enable, and hand the
+        # gated exits straight to capture registers (via
+        # ``capture_nets``).  Keeping region outputs out of the global
+        # signal pool matters: gated signals are near-constant under
+        # random patterns, and letting them feed general logic would
+        # poison the testability of everything downstream — region
+        # hardness must stay *inside* the region.
+        unobserved = [
+            net for net in local if net not in used and net not in seeds
+        ]
+        and2 = self.lib["AND2_X1"]
+        exits: List[str] = []
+        n_trees = max(2, min(4, len(unobserved) // 8)) or 1
+        chunk = max(1, (len(unobserved) + n_trees - 1) // n_trees)
+        self.signals = local  # parity trees stay region-local
+        try:
+            for i in range(0, len(unobserved), chunk):
+                group = unobserved[i:i + chunk]
+                root = (
+                    group[0] if len(group) == 1
+                    else self.reduction_tree(group, "XOR")
+                )
+                exits.append(self.add_gate(and2, [root, enable]))
+        finally:
+            self.signals = global_signals
+        self.capture_nets.extend(exits)
+        return exits
+
+    def parity_chain(self, length: int) -> str:
+        """A serial XOR chain (deep, poorly observable mid-points)."""
+        xor = self.lib["XOR2_X1"]
+        length = min(length, max(3, self.profile.target_depth - 4))
+        out = self.pick_signal(3)
+        for _ in range(length):
+            out = self.add_gate(
+                xor, [out, self.pick_signal(3, exclude=(out,))]
+            )
+        return out
+
+    def adder_slice(self, width: int) -> List[str]:
+        """A ``width``-bit ripple-carry adder over random operands."""
+        xor, and2, or2 = (
+            self.lib["XOR2_X1"], self.lib["AND2_X1"], self.lib["OR2_X1"]
+        )
+        operand_budget = max(2, self.profile.target_depth // 6)
+        carry = self.pick_signal(operand_budget)
+        sums: List[str] = []
+        for _ in range(width):
+            a, b = self.pick_distinct(2, operand_budget)
+            p = self.add_gate(xor, [a, b])
+            g = self.add_gate(and2, [a, b])
+            sums.append(self.add_gate(xor, [p, carry]))
+            t = self.add_gate(and2, [p, carry])
+            carry = self.add_gate(or2, [g, t])
+        sums.append(carry)
+        return sums
+
+    def mux_tree(self, depth: int) -> str:
+        """A ``depth``-level mux selection tree (datapath steering)."""
+        mux = self.lib["MUX2_X1"]
+        budget = self.depth_budget()
+        level = self.pick_distinct(1 << depth, budget)
+        sel = self.pick_distinct(depth, budget)
+        for d in range(depth):
+            level = [
+                self.add_gate(mux, [sel[d], level[i], level[i + 1]])
+                for i in range(0, len(level), 2)
+            ]
+        return level[0]
+
+
+def generate(profile: CircuitProfile, library: Library,
+             seed: int = 2004) -> Circuit:
+    """Generate a circuit matching ``profile``.
+
+    Args:
+        profile: Structural recipe.
+        library: Cell library (needs the standard gate/DFF names of
+            :func:`repro.library.cmos130`).
+        seed: RNG seed; identical seeds yield identical netlists.
+
+    Returns:
+        A validated, flat, acyclic-combinational sequential circuit with
+        all flip-flops as plain (non-scan) DFFs.
+    """
+    rng = random.Random(seed)
+    b = _Builder(profile, library, rng)
+    c = b.circuit
+
+    fractions = sum(spec.ff_fraction for spec in profile.clocks)
+    if abs(fractions - 1.0) > 1e-6:
+        raise ValueError("clock ff_fractions must sum to 1")
+    for spec in profile.clocks:
+        c.add_clock(spec.name, spec.period_ps)
+    for i in range(profile.n_inputs):
+        b.emit(c.add_input(f"pi{i}").name)
+
+    # Flip-flops first: their outputs seed the signal pool so that the
+    # combinational logic spans register-to-register paths.
+    dff = library["DFF_X1"]
+    ff_names: List[str] = []
+    domain_of: Dict[str, str] = {}
+    remaining = profile.n_flip_flops
+    for idx, spec in enumerate(profile.clocks):
+        count = (
+            remaining
+            if idx == len(profile.clocks) - 1
+            else round(profile.n_flip_flops * spec.ff_fraction)
+        )
+        remaining -= count
+        for _ in range(count):
+            q = c.new_net(prefix="q")
+            name = c.new_instance_name("ff")
+            c.add_instance(name, dff, {"CLK": spec.name, "Q": q.name})
+            ff_names.append(name)
+            domain_of[name] = spec.name
+            b.emit(q.name)
+
+    # Grow combinational logic to the gate budget.  The hard budget is
+    # split between classic comparator/parity blocks and larger
+    # comparator-shadowed regions (the structures that dominate the
+    # pattern-count payoff of TPI).
+    n_hard = int(profile.n_gates * profile.hard_fraction)
+    n_datapath = int(profile.n_gates * profile.datapath_fraction)
+    classic_budget = int(n_hard * 0.3)
+    b.tag = "hard_block"
+    while b.gate_count < classic_budget:
+        if rng.random() < 0.7:
+            b.hard_block(profile.hard_block_width)
+        else:
+            b.parity_chain(max(4, profile.hard_block_width // 2))
+    b.tag = "shadow"
+    while b.gate_count < n_hard:
+        remaining = n_hard - b.gate_count
+        region_gates = min(rng.randint(80, 150), max(30, remaining))
+        b.shadow_region(region_gates, profile.hard_block_width)
+    b.tag = "datapath"
+    while b.gate_count < n_hard + n_datapath:
+        if rng.random() < 0.6:
+            b.adder_slice(8)
+        else:
+            b.mux_tree(3)
+    b.tag = "control"
+    while b.gate_count < profile.n_gates:
+        b.random_gate()
+
+    # Close the sequential loop: every FF D input reads a late signal.
+    # Hard-block roots and shadow-region exits are registered first —
+    # comparator outputs are state in real designs, and a directly
+    # captured root keeps the cone deterministically testable while
+    # random-resistant inside.
+    recent = b.signals[-max(64, len(b.signals) // 4):]
+    must_capture = b.hard_roots + b.capture_nets
+    for i, name in enumerate(ff_names):
+        if i < len(must_capture):
+            c.connect(name, "D", must_capture[i])
+        else:
+            c.connect(name, "D", rng.choice(recent))
+    # Any capture nets beyond the FF budget get their own outputs.
+    for j, net in enumerate(must_capture[len(ff_names):]):
+        c.add_output(f"po_cap{j}", net)
+
+    # Primary outputs observe late signals too.
+    po_nets = rng.sample(recent, min(profile.n_outputs, len(recent)))
+    while len(po_nets) < profile.n_outputs:
+        po_nets.append(rng.choice(recent))
+    for i, net in enumerate(po_nets):
+        c.add_output(f"po{i}", net)
+
+    b.tag = "absorb"
+    _absorb_dangling(b)
+    c.net_tags = dict(b.tags)
+    return c
+
+
+def _absorb_dangling(b: _Builder, tree_width: int = 8) -> None:
+    """Fold sink-less nets into small parity trees on extra outputs.
+
+    Without this pass, randomly generated logic can leave cones that no
+    output or flip-flop observes; their faults would be structurally
+    undetectable and would depress fault coverage for reasons unrelated
+    to testability.
+
+    The dangling nets are shuffled and split across many *small* XOR
+    trees (one observation output each).  One big tree would let a
+    fault cone reach several leaves of the same tree and cancel itself
+    (D xor D = 0), manufacturing pathologically masked faults that real
+    netlists do not exhibit; scattering correlated nets across separate
+    trees keeps every cone observable along an odd number of paths.
+    """
+    c = b.circuit
+    dangling = [
+        net.name
+        for net in c.nets.values()
+        if not net.sinks and net.driver is not None
+    ]
+    if not dangling:
+        return
+    b.rng.shuffle(dangling)
+    for i in range(0, len(dangling), tree_width):
+        chunk = dangling[i:i + tree_width]
+        root = chunk[0] if len(chunk) == 1 else b.reduction_tree(chunk, "XOR")
+        c.add_output(f"po_sink{i // tree_width}", root)

@@ -1,0 +1,49 @@
+"""ISCAS'89 s38417 structural equivalent.
+
+The paper maps s38417 onto the Philips 130 nm library by replacing each
+primitive gate with the minimum-drive standard cell.  The original
+benchmark netlist is distributed separately from this repository, so we
+generate a structural clone to the published profile instead: 28 data
+inputs, 106 outputs, 1 636 flip-flops and ~21 900 combinational gates
+in a single clock domain — the numbers the paper's experiments actually
+depend on (test-point percentages are defined against the FF count, and
+the test/area/timing trends follow from the aggregate structure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuits.generators import CircuitProfile, ClockSpec, generate
+from repro.library.cell import Library
+from repro.library.cmos130 import cmos130
+
+#: Published interface/size profile of s38417 (Brglez et al., ISCAS'89).
+S38417_PROFILE = CircuitProfile(
+    name="s38417",
+    n_inputs=28,
+    n_outputs=106,
+    n_flip_flops=1636,
+    n_gates=21900,
+    clocks=(ClockSpec("clk", 10000.0, 1.0),),
+    datapath_fraction=0.05,
+    hard_fraction=0.18,
+    locality=0.58,
+    locality_window=128,
+    hard_block_width=16,
+)
+
+
+def s38417_like(scale: float = 1.0, seed: int = 38417,
+                library: Optional[Library] = None):
+    """Generate the s38417 structural clone.
+
+    Args:
+        scale: Linear size factor; 1.0 reproduces the published profile
+            (1 636 FFs), smaller values give proportionally smaller
+            circuits for fast experiments.
+        seed: Generation seed.
+        library: Cell library; defaults to the shared 130 nm library.
+    """
+    return generate(S38417_PROFILE.scaled(scale), library or cmos130(),
+                    seed=seed)

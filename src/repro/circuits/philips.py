@@ -1,0 +1,85 @@
+"""Synthetic equivalents of the two Philips SoC cores of the paper.
+
+The paper's industrial circuits are proprietary; their netlists were
+never released.  The experiments, however, only exploit their aggregate
+structure, which the paper states explicitly:
+
+* **circuit 1** — "a digital control core in a wireless communication
+  IC", two clock domains with application requirements of 8 MHz and
+  64 MHz (both met with large margin), laid out at 97% row utilisation.
+* **p26909** — "a 24-bit DSP core", 32 scan chains, 50% row utilisation
+  (routing-congestion limited), 140 MHz target frequency that TPI puts
+  at risk.
+
+The profiles below encode exactly those facts: the control core is
+random-logic heavy with a small datapath share and two clock domains;
+the DSP core is datapath-dominated (adder slices and mux trees around a
+24-bit word) with a single fast clock and a larger flip-flop population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuits.generators import CircuitProfile, ClockSpec, generate
+from repro.library.cell import Library
+from repro.library.cmos130 import cmos130
+
+#: Profile of the wireless digital-control core ("circuit 1").
+CONTROL_CORE_PROFILE = CircuitProfile(
+    name="control_core",
+    n_inputs=96,
+    n_outputs=80,
+    n_flip_flops=2912,
+    n_gates=29000,
+    clocks=(
+        ClockSpec("clk8", 125000.0, 0.4),   # 8 MHz requirement
+        ClockSpec("clk64", 15625.0, 0.6),   # 64 MHz requirement
+    ),
+    datapath_fraction=0.10,
+    hard_fraction=0.12,
+    locality=0.58,
+    locality_window=128,
+    hard_block_width=14,
+)
+
+#: Profile of the 24-bit DSP core p26909.
+P26909_PROFILE = CircuitProfile(
+    name="p26909",
+    n_inputs=64,
+    n_outputs=48,
+    n_flip_flops=11168,
+    n_gates=47000,
+    clocks=(ClockSpec("clk", 7143.0, 1.0),),  # 140 MHz target
+    datapath_fraction=0.45,
+    hard_fraction=0.28,
+    locality=0.55,
+    locality_window=160,
+    hard_block_width=16,
+)
+
+
+def control_core(scale: float = 1.0, seed: int = 2210,
+                 library: Optional[Library] = None):
+    """Generate the wireless digital-control core equivalent.
+
+    Args:
+        scale: Linear size factor (1.0 = full profile, 2 912 FFs).
+        seed: Generation seed.
+        library: Cell library; defaults to the shared 130 nm library.
+    """
+    return generate(CONTROL_CORE_PROFILE.scaled(scale), library or cmos130(),
+                    seed=seed)
+
+
+def dsp_core_p26909(scale: float = 1.0, seed: int = 26909,
+                    library: Optional[Library] = None):
+    """Generate the 24-bit DSP core (p26909) equivalent.
+
+    Args:
+        scale: Linear size factor (1.0 = full profile, 11 168 FFs).
+        seed: Generation seed.
+        library: Cell library; defaults to the shared 130 nm library.
+    """
+    return generate(P26909_PROFILE.scaled(scale), library or cmos130(),
+                    seed=seed)

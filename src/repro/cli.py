@@ -1,0 +1,189 @@
+"""Command-line interface: run flows, sweeps and reports from a shell.
+
+Subcommands::
+
+    python -m repro flow  --circuit s38417 --scale 0.06 --tp 2
+    python -m repro sweep --circuit p26909 --scale 0.05
+    python -m repro lbist --circuit s38417 --scale 0.05 --patterns 4096
+    python -m repro render --circuit s38417 --scale 0.05 --out gallery/
+
+Every subcommand prints the corresponding paper quantities (Table 1/2/3
+rows, coverage curves, or Figure 3 files).  Scales are fractions of the
+published circuit sizes; 1.0 reproduces the paper's dimensions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from repro.circuits import control_core, dsp_core_p26909, s38417_like
+from repro.core import (
+    ExperimentConfig,
+    FlowConfig,
+    format_table1,
+    format_table2,
+    format_table3,
+    render_svg,
+    run_experiment,
+    run_flow,
+)
+from repro.lbist import LbistConfig, coverage_at, run_lbist
+from repro.library import cmos130
+from repro.scan import insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+#: Circuit factories plus their paper-accurate flow settings.
+CIRCUITS: Dict[str, tuple] = {
+    "s38417": (s38417_like,
+               dict(target_utilization=0.97, max_chain_length=100)),
+    "control_core": (control_core,
+                     dict(target_utilization=0.97, max_chain_length=100)),
+    "p26909": (dsp_core_p26909,
+               dict(target_utilization=0.50, max_chain_length=None,
+                    n_chains=32)),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--circuit", choices=sorted(CIRCUITS),
+                        default="s38417")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the published circuit size")
+
+
+def _factory(args) -> Callable:
+    factory, _ = CIRCUITS[args.circuit]
+    return lambda: factory(scale=args.scale)
+
+
+def _flow_config(args, **overrides) -> FlowConfig:
+    _, kwargs = CIRCUITS[args.circuit]
+    merged = dict(kwargs)
+    merged.update(overrides)
+    return FlowConfig(**merged)
+
+
+def cmd_flow(args) -> int:
+    """One full Figure 2 flow at a single TP percentage."""
+    circuit = _factory(args)()
+    config = _flow_config(args, tp_percent=args.tp)
+    result = run_flow(circuit, cmos130(), config)
+    m = result.test_metrics()
+    print(f"circuit {args.circuit} scale {args.scale} "
+          f"TP {args.tp}% ({m.n_test_points} TSFFs)")
+    print(f"  patterns {m.n_patterns}, FC {100 * m.fault_coverage:.2f}%, "
+          f"FE {100 * m.fault_efficiency:.2f}%, TDV {m.tdv_bits} bits, "
+          f"TAT {m.tat_cycles} cycles")
+    a = result.area_metrics()
+    print(f"  core {a['core_area_um2']:.0f} um2, "
+          f"chip {a['chip_area_um2']:.0f} um2, "
+          f"wires {a['wirelength_um']:.0f} um, "
+          f"filler {100 * a['filler_fraction']:.1f}%")
+    for domain in sorted(result.sta.paths):
+        p = result.sta.critical(domain)
+        if p:
+            print(f"  {domain}: T_cp {p.total_ps:.0f} ps "
+                  f"(F_max {p.fmax_mhz:.1f} MHz), TPs on path "
+                  f"{p.n_test_points}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """The paper's six-layout sweep; prints Tables 1-3."""
+    config = ExperimentConfig(
+        name=args.circuit,
+        circuit_factory=_factory(args),
+        flow=_flow_config(args),
+    )
+    result = run_experiment(config)
+    print("Table 1: Impact of TPI on test data")
+    print(format_table1(result.table1_rows()))
+    print("\nTable 2: Impact of TPI on silicon area")
+    print(format_table2(result.table2_rows()))
+    print("\nTable 3: Impact of TPI on timing")
+    print(format_table3(result.table3_rows()))
+    return 0
+
+
+def cmd_lbist(args) -> int:
+    """Pseudo-random LBIST coverage with/without test points."""
+    results = {}
+    for tp in (0.0, args.tp):
+        circuit = _factory(args)()
+        if tp:
+            insert_test_points(circuit, cmos130(), TpiConfig(
+                n_test_points=round(tp / 100 * circuit.num_flip_flops)
+            ))
+        insert_scan(circuit, cmos130(), max_chain_length=100)
+        results[tp] = run_lbist(circuit, LbistConfig(
+            n_patterns=args.patterns,
+        ))
+    base, boosted = results[0.0], results[args.tp]
+    print(f"{'patterns':>9}  {'FC no TPs':>10}  {'FC with TPs':>12}")
+    n = 64
+    while n <= args.patterns:
+        print(f"{n:>9}  {100 * coverage_at(base, n):>9.2f}%"
+              f"  {100 * coverage_at(boosted, n):>11.2f}%")
+        n *= 4
+    return 0
+
+
+def cmd_render(args) -> int:
+    """Write the Figure 3 SVG views of one layout."""
+    circuit = _factory(args)()
+    result = run_flow(circuit, cmos130(), _flow_config(
+        args, tp_percent=args.tp, run_atpg_phase=False,
+    ))
+    os.makedirs(args.out, exist_ok=True)
+    views = {
+        "floorplan": (None, None),
+        "placement": (result.placement, None),
+        "routed": (result.placement, result.routed),
+    }
+    for stage, (placement, routed) in views.items():
+        svg = render_svg(circuit, result.plan, placement, routed, stage)
+        path = os.path.join(args.out, f"{args.circuit}_{stage}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2004 TPI-impact reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_flow = sub.add_parser("flow", help="run one full flow")
+    _add_common(p_flow)
+    p_flow.add_argument("--tp", type=float, default=1.0)
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_sweep = sub.add_parser("sweep", help="run the 0-5%% sweep")
+    _add_common(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lbist = sub.add_parser("lbist", help="LBIST coverage curves")
+    _add_common(p_lbist)
+    p_lbist.add_argument("--patterns", type=int, default=4096)
+    p_lbist.add_argument("--tp", type=float, default=2.0)
+    p_lbist.set_defaults(func=cmd_lbist)
+
+    p_render = sub.add_parser("render", help="Figure 3 SVG views")
+    _add_common(p_render)
+    p_render.add_argument("--tp", type=float, default=2.0)
+    p_render.add_argument("--out", default="layout_views")
+    p_render.set_defaults(func=cmd_render)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's experiment layer: the Figure 2 flow, the 0-5% sweep,
+Table 1-3 assembly, and Figure 3 rendering."""
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    PAPER_TP_PERCENTS,
+    run_experiment,
+)
+from repro.core.flow import FlowConfig, FlowResult, run_flow
+from repro.core.metrics import (
+    TestDataMetrics,
+    percent_change,
+    test_application_time_cycles,
+    test_data_volume_bits,
+)
+from repro.core.render import ascii_density, render_svg
+from repro.core.reporting import format_table1, format_table2, format_table3
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FlowConfig",
+    "FlowResult",
+    "PAPER_TP_PERCENTS",
+    "TestDataMetrics",
+    "ascii_density",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "percent_change",
+    "render_svg",
+    "run_experiment",
+    "run_flow",
+    "test_application_time_cycles",
+    "test_data_volume_bits",
+]

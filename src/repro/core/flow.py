@@ -1,0 +1,354 @@
+"""The complete tool flow of the paper's Figure 2.
+
+Steps, in order:
+
+1. **TPI & scan insertion** — TSFFs inserted by testability analysis,
+   then full-scan substitution and balanced chain stitching.
+2. **Floorplanning & placement** — square core at the target row
+   utilisation, analytic global placement, row legalisation.
+3. **Layout-driven scan-chain reordering** — chains restitched to the
+   placement (with scan-enable buffering); ATPG runs on this updated
+   netlist.
+4. **ECO** — reorder/CTS buffers placed into the existing layout,
+   clock trees synthesised, filler cells inserted, routing.
+5. **Layout extraction** — RC per net.
+6. **Static timing analysis** — worst-case PVT, test-mode false paths
+   blocked.
+
+Area-only optimisation throughout: no timing-driven placement, sizing
+or buffering of data paths (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.atpg.engine import AtpgConfig, AtpgResult, run_atpg
+from repro.core.metrics import TestDataMetrics
+from repro.extraction.rc import NetParasitics, extract_all
+from repro.layout.cts import ClockTree, synthesize_all_clock_trees
+from repro.layout.detailed import refine_placement
+from repro.layout.eco import eco_place
+from repro.layout.filler import FillerReport, insert_fillers
+from repro.layout.floorplan import Floorplan, build_floorplan
+from repro.layout.placement import Placement, global_place
+from repro.layout.routing import CongestionReport, GlobalRouter, RoutedNet
+from repro.library.cell import Library
+from repro.netlist.circuit import Circuit
+from repro.netlist.fanout import DrcReport, fix_electrical
+from repro.netlist.validate import validate
+from repro.scan.insertion import ScanChains, insert_scan
+from repro.scan.reorder import ReorderReport, reorder_chains
+from repro.sta.analysis import StaConfig, StaResult, run_sta
+from repro.tpi.insertion import TpiConfig, TpiReport, insert_test_points
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of one flow run.
+
+    Attributes:
+        tp_percent: Test points as a percentage of the (pre-TPI)
+            flip-flop count — the paper's sweep variable.
+        target_utilization: Row utilisation (0.97 or 0.50 in the paper).
+        max_chain_length: Balanced chain cap (s38417/circuit 1: 100).
+        n_chains: Fixed chain count (p26909: 32); exclusive with
+            ``max_chain_length``.
+        atpg: ATPG configuration.
+        sta: STA configuration.
+        pd_threshold: TPI hard-fault threshold.
+        exclude_nets: Timing-aware TPI exclusion set (Section 5).
+        run_atpg_phase: Generate patterns (Table 1 needs it; Tables 2-3
+            do not).
+        run_layout_phase: Run placement/route/extraction/STA.
+        validate_netlist: Audit the netlist between steps.
+        fix_holds: Repair hold violations with delay-buffer ECOs and
+            re-analyse (the paper "verified that no hold ... violations
+            occur"); up to ``hold_fix_iterations`` rounds.
+        hold_fix_iterations: Maximum hold-fix ECO rounds.
+        detailed_passes: Detailed-placement refinement sweeps run after
+            legalisation (adjacent-swap wirelength cleanup).
+    """
+
+    tp_percent: float = 0.0
+    target_utilization: float = 0.97
+    max_chain_length: Optional[int] = 100
+    n_chains: Optional[int] = None
+    atpg: AtpgConfig = field(default_factory=AtpgConfig)
+    sta: StaConfig = field(default_factory=StaConfig)
+    pd_threshold: float = 1.0 / 4096.0
+    exclude_nets: frozenset = frozenset()
+    run_atpg_phase: bool = True
+    run_layout_phase: bool = True
+    validate_netlist: bool = True
+    fix_holds: bool = True
+    hold_fix_iterations: int = 3
+    #: Detailed-placement refinement sweeps after legalisation.
+    detailed_passes: int = 2
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow run produces.
+
+    The Table 1/2/3 quantities are available through
+    :meth:`test_metrics`, :meth:`area_metrics` and the :attr:`sta`
+    result; benches diff them against the 0% run.
+    """
+
+    circuit: Circuit
+    config: FlowConfig
+    n_test_points: int = 0
+    tpi: Optional[TpiReport] = None
+    chains: Optional[ScanChains] = None
+    atpg: Optional[AtpgResult] = None
+    drc: Optional[DrcReport] = None
+    plan: Optional[Floorplan] = None
+    placement: Optional[Placement] = None
+    reorder: Optional[ReorderReport] = None
+    clock_trees: List[ClockTree] = field(default_factory=list)
+    filler: Optional[FillerReport] = None
+    congestion: Optional[CongestionReport] = None
+    routed: Dict[str, RoutedNet] = field(default_factory=dict)
+    parasitics: Dict[str, NetParasitics] = field(default_factory=dict)
+    sta: Optional[StaResult] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # -- Table 1 --------------------------------------------------------
+    def test_metrics(self) -> TestDataMetrics:
+        """The paper's Table 1 row for this run."""
+        if self.atpg is None or self.chains is None:
+            raise ValueError("flow ran without the ATPG phase")
+        return TestDataMetrics(
+            n_test_points=self.n_test_points,
+            n_flip_flops=self.circuit.num_flip_flops,
+            n_chains=self.chains.n_chains,
+            l_max=self.chains.max_length,
+            n_faults=self.atpg.fault_list.total,
+            fault_coverage=self.atpg.fault_coverage,
+            fault_efficiency=self.atpg.fault_efficiency,
+            n_patterns=self.atpg.n_patterns,
+        )
+
+    # -- Table 2 --------------------------------------------------------
+    def area_metrics(self) -> Dict[str, float]:
+        """The paper's Table 2 row for this run."""
+        if self.plan is None or self.congestion is None:
+            raise ValueError("flow ran without the layout phase")
+        logic_cells = sum(
+            1 for inst in self.circuit.instances.values()
+            if not inst.cell.is_filler
+        )
+        return {
+            "n_cells": self.circuit.num_cells,
+            "n_cells_logic": logic_cells,
+            "n_rows": self.plan.n_rows,
+            "row_length_um": self.plan.total_row_length_um,
+            "core_area_um2": self.plan.core_area_um2,
+            "filler_fraction": (
+                self.filler.filler_fraction if self.filler else 0.0
+            ),
+            "chip_area_um2": self.plan.chip_area_um2,
+            "wirelength_um": self.congestion.total_wirelength_um,
+        }
+
+
+def run_flow(circuit: Circuit, library: Library,
+             config: Optional[FlowConfig] = None) -> FlowResult:
+    """Run the Figure 2 flow on ``circuit`` (modified in place).
+
+    Args:
+        circuit: Pre-DFT netlist (plain DFFs).  Pass a clone when the
+            original must survive.
+        library: Standard-cell library.
+        config: Flow configuration.
+
+    Returns:
+        The populated :class:`FlowResult`.
+    """
+    config = config or FlowConfig()
+    result = FlowResult(circuit=circuit, config=config)
+    clock = time.perf_counter
+
+    # -- Step 1: TPI & scan insertion -----------------------------------
+    t0 = clock()
+    n_ff_before = circuit.num_flip_flops
+    n_tp = round(config.tp_percent / 100.0 * n_ff_before)
+    result.n_test_points = n_tp
+    if n_tp > 0:
+        result.tpi = insert_test_points(circuit, library, TpiConfig(
+            n_test_points=n_tp,
+            pd_threshold=config.pd_threshold,
+            exclude_nets=set(config.exclude_nets),
+        ))
+    result.chains = insert_scan(
+        circuit, library,
+        max_chain_length=config.max_chain_length,
+        n_chains=config.n_chains,
+    )
+    # Synthesis-style electrical DRC: bound fanout (TSFF outputs and
+    # the TE/TR control nets in particular), size overloaded drivers.
+    result.drc = fix_electrical(circuit, library)
+    result.stage_seconds["tpi_scan"] = clock() - t0
+    if config.validate_netlist:
+        validate(circuit).raise_on_error()
+
+    if config.run_layout_phase:
+        _layout_phase(circuit, library, config, result)
+
+    # -- ATPG (on the reordered netlist, as in the paper) ----------------
+    if config.run_atpg_phase:
+        t0 = clock()
+        result.atpg = run_atpg(circuit, config=config.atpg)
+        result.stage_seconds["atpg"] = clock() - t0
+    return result
+
+
+def _layout_phase(circuit: Circuit, library: Library,
+                  config: FlowConfig, result: FlowResult) -> None:
+    """Steps 2-6 of the flow."""
+    clock = time.perf_counter
+
+    # -- Step 2: floorplanning & placement -------------------------------
+    t0 = clock()
+    # Reserve whitespace for the cells later ECO steps insert: clock
+    # buffers (about 1.5x the leaf-cluster count) plus a hold/scan
+    # buffer allowance.  Without the reserve, a 97%-utilisation
+    # floorplan cannot absorb the clock tree.
+    clock_buffer = library.clock_buffers()[-1]
+    small_buffer = library.family("BUF")[0]
+    n_ff = circuit.num_flip_flops
+    est_clock_buffers = 4 + int(1.6 * (n_ff / 18 + 1))
+    reserve = (
+        est_clock_buffers * clock_buffer.area_um2
+        + 40 * small_buffer.area_um2
+    )
+    plan = build_floorplan(circuit, config.target_utilization,
+                           reserve_area_um2=reserve)
+    placement = global_place(circuit, plan)
+    refine_placement(circuit, placement, passes=config.detailed_passes)
+    result.plan = plan
+    result.placement = placement
+    result.stage_seconds["floorplan_place"] = clock() - t0
+
+    # -- Step 3: layout-driven scan-chain reordering ----------------------
+    t0 = clock()
+    chains = result.chains
+    assert chains is not None
+    ff_positions = {
+        name: placement.positions[name]
+        for chain in chains.chains
+        for name in chain
+    }
+    scan_in_positions = {
+        i: plan.pad_positions.get(port, plan.core.center)
+        for i, port in enumerate(chains.scan_in_ports)
+    }
+    before_buffers = set(circuit.instances)
+    result.reorder = reorder_chains(
+        circuit, chains, ff_positions, scan_in_positions, library
+    )
+    te_buffers = [n for n in circuit.instances if n not in before_buffers]
+    result.stage_seconds["scan_reorder"] = clock() - t0
+
+    # -- Step 4: ECO, clock trees, fillers, routing -----------------------
+    t0 = clock()
+    if te_buffers:
+        eco_place(circuit, placement, te_buffers)
+    trees = synthesize_all_clock_trees(
+        circuit, library, dict(placement.positions)
+    )
+    result.clock_trees = trees
+    hints = {}
+    new_buffers = []
+    for tree in trees:
+        hints.update(tree.buffer_positions)
+        new_buffers.extend(tree.buffers)
+    if new_buffers:
+        eco_place(circuit, placement, new_buffers, hints=hints)
+    if config.validate_netlist:
+        validate(circuit).raise_on_error()
+    router = GlobalRouter(circuit, placement)
+    result.congestion = router.route_all()
+    result.routed = router.routed
+    result.stage_seconds["eco_cts_route"] = clock() - t0
+
+    # -- Step 5: extraction ----------------------------------------------
+    t0 = clock()
+    result.parasitics = extract_all(circuit, placement, result.routed)
+    result.stage_seconds["extraction"] = clock() - t0
+
+    # -- Step 6: STA (with hold-fix ECO loop) ------------------------------
+    t0 = clock()
+    result.sta = run_sta(circuit, result.parasitics, config.sta)
+    rounds = config.hold_fix_iterations if config.fix_holds else 0
+    for _ in range(rounds):
+        if not result.sta.hold_slacks:
+            break
+        if _fix_hold_violations(circuit, library, placement,
+                                result.sta) == 0:
+            break  # out of whitespace: remaining violations reported
+        router = GlobalRouter(circuit, placement)
+        result.congestion = router.route_all()
+        result.routed = router.routed
+        result.parasitics = extract_all(circuit, placement, result.routed)
+        result.sta = run_sta(circuit, result.parasitics, config.sta)
+    result.stage_seconds["sta"] = clock() - t0
+
+    # Fillers last: the hold-fix ECO needs the row gaps the fillers
+    # would otherwise occupy.  Fillers have no pins, so routing and
+    # timing are unaffected; only the area census reads them.
+    result.filler = insert_fillers(circuit, placement, library)
+    if config.validate_netlist:
+        validate(circuit).raise_on_error()
+
+
+def _fix_hold_violations(circuit: Circuit, library: Library,
+                         placement, sta: StaResult) -> int:
+    """Insert delay buffers in front of hold-violating data pins.
+
+    The smallest buffer is chained on the endpoint's D net (moving only
+    that sink) until the measured negative slack is covered; the
+    inserted cells are ECO-placed near the endpoint.  Returns the
+    number of buffers inserted (0 when the whitespace budget is spent).
+    """
+    delay_buffer = library.family("BUF")[0]
+    min_delay_ps = delay_buffer.arcs[0].delay.lookup(20.0, 4.0).value
+    # Buffer budget: only as many as the remaining row whitespace can
+    # legally hold (at 97% utilisation there is little slack to spend).
+    occupancy = placement.row_occupancy_sites(circuit)
+    free_sites = sum(
+        row.n_sites - used
+        for row, used in zip(placement.plan.rows, occupancy)
+    )
+    budget = max(0, free_sites // delay_buffer.width_sites - 1)
+    new_cells = []
+    ordered = sorted(sta.hold_slacks.items(), key=lambda kv: kv[1])
+    for endpoint, slack in ordered:
+        inst = circuit.instances.get(endpoint)
+        if inst is None or inst.cell.sequential is None:
+            continue
+        seq = inst.cell.sequential
+        d_net = inst.conns.get(seq.data_pin)
+        if d_net is None:
+            continue
+        n_buffers = max(1, int(-slack / max(1.0, min_delay_ps)) + 1)
+        n_buffers = min(n_buffers, 6, budget - len(new_cells))
+        if n_buffers <= 0:
+            break  # out of whitespace; remaining violations stay
+        source = d_net
+        for _ in range(n_buffers):
+            new_net = circuit.split_net_before_sinks(
+                source, [(endpoint, seq.data_pin)], "hold"
+            )
+            name = circuit.new_instance_name("holdbuf")
+            circuit.add_instance(
+                name, delay_buffer, {"A": source, "Z": new_net.name}
+            )
+            new_cells.append(name)
+            source = new_net.name
+    if new_cells:
+        eco_place(circuit, placement, new_cells)
+    return len(new_cells)

@@ -1,0 +1,76 @@
+"""Test-data metrics: the paper's equations (1) and (2).
+
+Given the scan configuration (number of chains ``n``, maximum balanced
+chain length ``l_max``) and the pattern count ``p``::
+
+    TDV = 2 * n * ((l_max + 1) * p + l_max)          (1)
+    TAT = (l_max + 1) * p + 2 * l_max                (2)
+
+TDV counts scan stimuli and responses in bits; TAT counts scan clock
+cycles (shift-in overlapped with shift-out, plus the initial fill and
+final drain).  Both are exactly the formulas of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def test_data_volume_bits(n_chains: int, l_max: int, n_patterns: int) -> int:
+    """Equation (1): scan test-data volume in bits."""
+    return 2 * n_chains * ((l_max + 1) * n_patterns + l_max)
+
+
+def test_application_time_cycles(n_chains: int, l_max: int,
+                                 n_patterns: int) -> int:
+    """Equation (2): test application time in scan clock cycles."""
+    return (l_max + 1) * n_patterns + 2 * l_max
+
+
+@dataclass(frozen=True)
+class TestDataMetrics:
+    """The Table 1 data row for one layout.
+
+    (``__test__ = False`` below keeps pytest from collecting this
+    production class whose name merely starts with "Test".)
+
+    Attributes:
+        n_test_points: Inserted TSFFs (#TP).
+        n_flip_flops: Total scan flip-flops, TSFFs included (#FF).
+        n_chains: Scan chains.
+        l_max: Longest chain.
+        n_faults: Total stuck-at faults.
+        fault_coverage: FC, as a fraction.
+        fault_efficiency: FE, as a fraction.
+        n_patterns: Compacted stuck-at pattern count.
+    """
+
+    __test__ = False
+
+    n_test_points: int
+    n_flip_flops: int
+    n_chains: int
+    l_max: int
+    n_faults: int
+    fault_coverage: float
+    fault_efficiency: float
+    n_patterns: int
+
+    @property
+    def tdv_bits(self) -> int:
+        """Test-data volume (eq. 1)."""
+        return test_data_volume_bits(self.n_chains, self.l_max,
+                                     self.n_patterns)
+
+    @property
+    def tat_cycles(self) -> int:
+        """Test-application time (eq. 2)."""
+        return test_application_time_cycles(self.n_chains, self.l_max,
+                                            self.n_patterns)
+
+
+def percent_change(reference: float, value: float) -> float:
+    """Signed percentage change vs a reference (0 when undefined)."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * (value - reference) / reference

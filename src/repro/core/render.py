@@ -1,0 +1,159 @@
+"""Layout rendering: the paper's Figure 3 stages as SVG (and text).
+
+Figure 3 shows the layout after (a) floorplanning, (b) placement and
+(c) routing: the square chip with its IO/power/ground rings, the core
+rows, the placed cells and the routed wiring.  :func:`render_svg`
+reproduces those views from a flow result; :func:`ascii_density` gives
+a terminal-friendly occupancy map used by tests and quick inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.layout.floorplan import (
+    Floorplan,
+    GROUND_RING_UM,
+    IO_RING_UM,
+    POWER_RING_UM,
+)
+from repro.layout.placement import Placement
+from repro.layout.routing import RoutedNet
+from repro.library.cell import ROW_HEIGHT_UM
+from repro.netlist.circuit import Circuit
+
+#: Fill colours per cell class.
+_COLOURS = {
+    "tsff": "#d62728",
+    "ff": "#1f77b4",
+    "clkbuf": "#9467bd",
+    "filler": "#dddddd",
+    "comb": "#2ca02c",
+}
+
+
+def _cell_class(circuit: Circuit, name: str) -> str:
+    cell = circuit.instances[name].cell
+    if cell.is_tsff:
+        return "tsff"
+    if cell.is_sequential:
+        return "ff"
+    if cell.is_clock_buffer:
+        return "clkbuf"
+    if cell.is_filler:
+        return "filler"
+    return "comb"
+
+
+def render_svg(
+    circuit: Circuit,
+    plan: Floorplan,
+    placement: Optional[Placement] = None,
+    routed: Optional[Dict[str, RoutedNet]] = None,
+    stage: str = "routed",
+    scale: float = 2.0,
+) -> str:
+    """Render one Figure 3 stage as an SVG document string.
+
+    Args:
+        circuit: The laid-out netlist.
+        plan: Floorplan (rings and rows are always drawn).
+        placement: Cell positions; required for the placement and
+            routing stages.
+        routed: Routed nets; drawn in the routing stage.
+        stage: ``"floorplan"``, ``"placement"`` or ``"routed"``.
+        scale: SVG pixels per um.
+    """
+    if stage not in ("floorplan", "placement", "routed"):
+        raise ValueError(f"unknown stage {stage!r}")
+    w = plan.chip.width * scale
+    h = plan.chip.height * scale
+
+    def rect(x, y, rw, rh, fill, opacity=1.0, stroke="none"):
+        return (
+            f'<rect x="{x * scale:.1f}" y="{(plan.chip.height - y - rh) * scale:.1f}" '
+            f'width="{rw * scale:.1f}" height="{rh * scale:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}" stroke="{stroke}"/>'
+        )
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0f}" '
+        f'height="{h:.0f}" viewBox="0 0 {w:.0f} {h:.0f}">',
+        rect(0, 0, plan.chip.width, plan.chip.height, "#f5f0e6"),
+    ]
+    # Rings, outermost first: IO, power, ground.
+    side = plan.chip.width
+    offsets = (
+        (0.0, IO_RING_UM, "#c8a165"),
+        (IO_RING_UM, POWER_RING_UM, "#b03030"),
+        (IO_RING_UM + POWER_RING_UM, GROUND_RING_UM, "#3050b0"),
+    )
+    for offset, width_ring, colour in offsets:
+        inner = side - 2 * (offset + width_ring)
+        parts.append(rect(offset, offset, side - 2 * offset,
+                          side - 2 * offset, colour))
+        parts.append(rect(offset + width_ring, offset + width_ring,
+                          inner + 2 * 0, inner, "#f5f0e6"))
+    # Rows.
+    for row in plan.rows:
+        parts.append(rect(row.x0, row.y, row.length_um, ROW_HEIGHT_UM,
+                          "#ffffff", stroke="#cccccc"))
+    # Cells.
+    if stage in ("placement", "routed") and placement is not None:
+        for name, (x, y) in placement.positions.items():
+            inst = circuit.instances.get(name)
+            if inst is None:
+                continue
+            cw = inst.cell.width_um
+            parts.append(rect(
+                x - cw / 2, y - ROW_HEIGHT_UM / 2, cw, ROW_HEIGHT_UM,
+                _COLOURS[_cell_class(circuit, name)], opacity=0.9,
+            ))
+    # Wires.
+    if stage == "routed" and routed is not None:
+        for net in routed.values():
+            for seg in net.segments:
+                parts.append(
+                    f'<line x1="{seg.x0 * scale:.1f}" '
+                    f'y1="{(plan.chip.height - seg.y0) * scale:.1f}" '
+                    f'x2="{seg.x1 * scale:.1f}" '
+                    f'y2="{(plan.chip.height - seg.y1) * scale:.1f}" '
+                    f'stroke="#666666" stroke-opacity="0.25" '
+                    f'stroke-width="0.6"/>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def ascii_density(circuit: Circuit, placement: Placement,
+                  columns: int = 64) -> str:
+    """Terminal occupancy map of the core: one char per region.
+
+    ``.`` empty, digits 1-9 for rising occupancy, ``#`` for full.
+    """
+    plan = placement.plan
+    rows = max(1, plan.n_rows // 2)
+    grid = [[0.0] * columns for _ in range(rows)]
+    cell_w = plan.core.width / columns
+    for name, (x, y) in placement.positions.items():
+        inst = circuit.instances.get(name)
+        if inst is None or inst.cell.is_filler:
+            continue
+        col = int((x - plan.core.x0) / cell_w)
+        row = int((y - plan.core.y0) / (plan.core.height / rows))
+        if 0 <= row < rows and 0 <= col < columns:
+            grid[row][col] += inst.cell.width_um * ROW_HEIGHT_UM
+    region_area = cell_w * (plan.core.height / rows)
+    lines = []
+    for row in reversed(grid):
+        chars = []
+        for util in row:
+            f = util / region_area
+            if f <= 0.02:
+                chars.append(".")
+            elif f >= 0.95:
+                chars.append("#")
+            else:
+                chars.append(str(min(9, max(1, int(f * 10)))))
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Layout parasitic extraction (RC trees, Elmore delays)."""
+
+from repro.extraction.rc import (
+    LOCAL_WIRE_UM,
+    NetParasitics,
+    OHM_FF_TO_PS,
+    extract_all,
+    extract_net,
+)
+
+__all__ = [
+    "LOCAL_WIRE_UM",
+    "NetParasitics",
+    "OHM_FF_TO_PS",
+    "extract_all",
+    "extract_net",
+]

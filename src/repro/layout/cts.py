@@ -1,0 +1,167 @@
+"""Clock-tree synthesis (the flow's CT-GEN substitute).
+
+Builds one buffered clock tree per clock domain using recursive
+geometric clustering: sinks (flip-flop CLK pins) are clustered
+bottom-up into groups of bounded size and span, each cluster gets a
+clock buffer at its centroid, and the process repeats on the buffers
+until a single root remains, which is driven from the clock pad.
+
+The tree is real netlist: CLKBUF instances are inserted and every FF's
+CLK pin is rewired to its leaf buffer's net.  Per-sink insertion delays
+(and hence the skew term of the paper's eq. 3) fall out of ordinary RC
+extraction and STA over these nets — no idealised clock modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.library.cell import Library
+from repro.layout.geometry import Point
+from repro.netlist.circuit import Circuit
+
+#: Maximum sinks per clock buffer.
+MAX_CLUSTER_SINKS = 18
+
+
+@dataclass
+class ClockTree:
+    """One synthesised clock tree.
+
+    Attributes:
+        domain: Clock domain net (the tree's source).
+        buffers: Inserted buffer instance names, leaves first.
+        levels: Number of buffer levels.
+        buffer_positions: Desired position per inserted buffer (the ECO
+            placer legalises these).
+        sink_leaf: Leaf buffer net per sink instance.
+    """
+
+    domain: str
+    buffers: List[str] = field(default_factory=list)
+    levels: int = 0
+    buffer_positions: Dict[str, Point] = field(default_factory=dict)
+    sink_leaf: Dict[str, str] = field(default_factory=dict)
+
+
+def _cluster(points: List[Tuple[str, Point]],
+             max_size: int) -> List[List[Tuple[str, Point]]]:
+    """Recursively split sinks along the wider axis until small enough."""
+    if len(points) <= max_size:
+        return [points]
+    xs = [p[1][0] for p in points]
+    ys = [p[1][1] for p in points]
+    horizontal = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+    axis = 0 if horizontal else 1
+    ordered = sorted(points, key=lambda item: item[1][axis])
+    mid = len(ordered) // 2
+    return _cluster(ordered[:mid], max_size) + _cluster(ordered[mid:], max_size)
+
+
+def _centroid(points: Sequence[Point]) -> Point:
+    return (
+        sum(p[0] for p in points) / len(points),
+        sum(p[1] for p in points) / len(points),
+    )
+
+
+def synthesize_clock_tree(
+    circuit: Circuit,
+    library: Library,
+    domain: str,
+    sink_positions: Dict[str, Point],
+    max_cluster: int = MAX_CLUSTER_SINKS,
+) -> ClockTree:
+    """Build the buffered tree for one clock domain, in place.
+
+    Args:
+        circuit: Netlist (rewired in place).
+        library: Library providing clock buffers.
+        domain: Clock net name (must be a declared clock).
+        sink_positions: Placement location per sequential instance in
+            the domain.
+        max_cluster: Maximum sinks per leaf buffer.
+
+    Returns:
+        The tree description (buffers, levels, desired positions).
+    """
+    tree = ClockTree(domain=domain)
+    sinks = [
+        (inst.name, sink_positions[inst.name])
+        for inst in circuit.instances.values()
+        if inst.is_sequential
+        and circuit.clock_of(inst.name) == domain
+        and inst.name in sink_positions
+    ]
+    if not sinks:
+        return tree
+
+    buffers = library.clock_buffers()
+    if not buffers:
+        raise ValueError("library has no clock buffers")
+    leaf_cell = buffers[-1]
+
+    # Detach every sink from the domain net; they reattach to leaves.
+    detached: List[Tuple[str, str]] = []
+    for name, _ in sinks:
+        inst = circuit.instances[name]
+        clk_pin = inst.cell.clock_pin
+        circuit.disconnect(name, clk_pin)
+        detached.append((name, clk_pin))
+
+    # Level 0: cluster the sinks, one leaf buffer per cluster.
+    current: List[Tuple[str, Point]] = []  # (driving net, position)
+    for cluster in _cluster(sinks, max_cluster):
+        centre = _centroid([p for _, p in cluster])
+        net = circuit.new_net(prefix=f"ck_{domain}")
+        buf = circuit.new_instance_name(f"ckbuf_{domain}")
+        circuit.add_instance(buf, leaf_cell, {"Z": net.name})
+        tree.buffers.append(buf)
+        tree.buffer_positions[buf] = centre
+        for name, _ in cluster:
+            inst = circuit.instances[name]
+            clk_pin = inst.cell.clock_pin
+            circuit.connect(name, clk_pin, net.name)
+            tree.sink_leaf[name] = net.name
+        current.append((buf, centre))
+    tree.levels = 1
+
+    # Upper levels: cluster buffers until one remains.
+    while len(current) > 1:
+        nxt: List[Tuple[str, Point]] = []
+        clusters = _cluster(
+            [(name, pos) for name, pos in current], max_cluster
+        )
+        for cluster in clusters:
+            centre = _centroid([p for _, p in cluster])
+            net = circuit.new_net(prefix=f"ck_{domain}")
+            buf = circuit.new_instance_name(f"ckbuf_{domain}")
+            circuit.add_instance(buf, leaf_cell, {"Z": net.name})
+            tree.buffers.append(buf)
+            tree.buffer_positions[buf] = centre
+            for child, _ in cluster:
+                circuit.connect(child, "A", net.name)
+            nxt.append((buf, centre))
+        current = nxt
+        tree.levels += 1
+
+    # Root buffer's input comes from the clock pad net.
+    root = current[0][0]
+    circuit.connect(root, "A", domain)
+    return tree
+
+
+def synthesize_all_clock_trees(
+    circuit: Circuit,
+    library: Library,
+    sink_positions: Dict[str, Point],
+    max_cluster: int = MAX_CLUSTER_SINKS,
+) -> List[ClockTree]:
+    """Build trees for every declared clock domain."""
+    return [
+        synthesize_clock_tree(
+            circuit, library, dom.net, sink_positions, max_cluster
+        )
+        for dom in circuit.clocks
+    ]

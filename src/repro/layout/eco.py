@@ -1,0 +1,110 @@
+"""ECO (engineering change order) placement.
+
+Step 4 of the paper's flow applies the netlist changes made after
+initial placement — layout-driven scan reordering buffers, clock-tree
+buffers — to the existing layout without disturbing placed cells.  New
+cells are inserted into the rows nearest their desired locations,
+subject to free-site capacity, and the touched rows are re-packed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.layout.geometry import Point
+from repro.layout.placement import Placement, _pack_row
+from repro.netlist.circuit import Circuit
+from repro.netlist.net import PORT
+
+
+def desired_position(circuit: Circuit, placement: Placement,
+                     inst_name: str) -> Point:
+    """Centroid of the already-placed pins connected to ``inst_name``."""
+    inst = circuit.instances[inst_name]
+    points: List[Point] = []
+    for net_name in inst.conns.values():
+        net = circuit.nets[net_name]
+        refs = list(net.sinks)
+        if net.driver is not None:
+            refs.append(net.driver)
+        for other, pin in refs:
+            if other == inst_name:
+                continue
+            if other == PORT:
+                pos = placement.plan.pad_positions.get(pin)
+            else:
+                pos = placement.positions.get(other)
+            if pos is not None:
+                points.append(pos)
+    if not points:
+        return placement.plan.core.center
+    return (
+        sum(p[0] for p in points) / len(points),
+        sum(p[1] for p in points) / len(points),
+    )
+
+
+def eco_place(circuit: Circuit, placement: Placement,
+              new_cells: Iterable[str],
+              hints: Optional[Dict[str, Point]] = None) -> List[str]:
+    """Insert ``new_cells`` into the existing placement.
+
+    Args:
+        circuit: Netlist containing the new instances.
+        placement: Placement updated in place.
+        new_cells: Names of unplaced instances.
+        hints: Optional desired position per cell (e.g. CTS centroids);
+            connectivity centroids are used otherwise.
+
+    Returns:
+        The cells placed (same names, for chaining).
+
+    Raises:
+        ValueError: No row has room for some cell.
+    """
+    plan = placement.plan
+    occupancy = placement.row_occupancy_sites(circuit)
+    capacity = [row.n_sites for row in plan.rows]
+    placed: List[str] = []
+    touched = set()
+
+    for name in new_cells:
+        if name in placement.positions:
+            continue
+        cell = circuit.instances[name].cell
+        want = (hints or {}).get(name)
+        if want is None:
+            want = desired_position(circuit, placement, name)
+        # Rows ordered by distance from the desired y.
+        order = sorted(
+            range(plan.n_rows),
+            key=lambda r: abs(plan.rows[r].y - want[1]),
+        )
+        target_row = None
+        for row_index in order:
+            if occupancy[row_index] + cell.width_sites <= capacity[row_index]:
+                target_row = row_index
+                break
+        if target_row is None:
+            raise ValueError(
+                f"ECO overflow: no room for {name!r} "
+                f"({cell.width_sites} sites)"
+            )
+        cells = placement.rows_cells[target_row]
+        # Insert at the x-ordered position nearest the desired x.
+        insert_at = len(cells)
+        for i, existing in enumerate(cells):
+            if placement.positions[existing][0] >= want[0]:
+                insert_at = i
+                break
+        cells.insert(insert_at, name)
+        placement.row_of[name] = target_row
+        occupancy[target_row] += cell.width_sites
+        # Temporary position; the re-pack below finalises it.
+        placement.positions[name] = want
+        touched.add(target_row)
+        placed.append(name)
+
+    for row_index in touched:
+        _pack_row(circuit, plan, placement, row_index)
+    return placed

@@ -1,0 +1,104 @@
+"""Filler-cell insertion.
+
+After ECO and before routing, the flow fills every remaining gap in
+the rows with filler cells (paper Section 3.2: "filler cells prevent
+discontinuities in the power and ground strips at the top and bottom of
+the rows").  Fillers are real instances with area but no pins; their
+share of the core area is the "filler cells area" column of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.library.cell import Library, SITE_WIDTH_UM
+from repro.layout.placement import Placement
+from repro.netlist.circuit import Circuit
+
+
+@dataclass
+class FillerReport:
+    """Outcome of filler insertion.
+
+    Attributes:
+        n_fillers: Filler instances added.
+        filler_sites: Total sites covered by fillers.
+        filler_area_um2: Filler area.
+        filler_fraction: Filler area / core row area (Table 2 column).
+    """
+
+    n_fillers: int
+    filler_sites: int
+    filler_area_um2: float
+    filler_fraction: float
+
+
+def insert_fillers(circuit: Circuit, placement: Placement,
+                   library: Library) -> FillerReport:
+    """Fill every row gap with the widest fitting filler cells.
+
+    Filler instances are added to the netlist (pin-less) and placed;
+    they participate in area accounting but not in logic or timing.
+    """
+    fillers = library.fillers()
+    if not fillers:
+        raise ValueError("library has no filler cells")
+    widths = sorted((f.width_sites for f in fillers), reverse=True)
+    by_width = {f.width_sites: f for f in fillers}
+    smallest = min(widths)
+
+    plan = placement.plan
+    n_fillers = 0
+    filler_sites = 0
+    from repro.library.cell import ROW_HEIGHT_UM
+
+    for row_index, row in enumerate(plan.rows):
+        cells = placement.rows_cells[row_index]
+        # Gaps between placed cells (and the row ends).
+        occupied: List[tuple] = []
+        for name in cells:
+            x_center, _ = placement.positions[name]
+            w = circuit.instances[name].cell.width_sites
+            start = int(round((x_center - w * SITE_WIDTH_UM / 2 - row.x0)
+                              / SITE_WIDTH_UM))
+            occupied.append((start, start + w, name))
+        occupied.sort()
+        cursor = 0
+        gaps: List[tuple] = []
+        for start, end, _ in occupied:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < row.n_sites:
+            gaps.append((cursor, row.n_sites))
+
+        for gap_start, gap_end in gaps:
+            pos = gap_start
+            remaining = gap_end - gap_start
+            while remaining >= smallest:
+                for w in widths:
+                    if w <= remaining:
+                        cell = by_width[w]
+                        name = circuit.new_instance_name("fill")
+                        circuit.add_instance(name, cell, {})
+                        x_center = row.site_x(pos) + w * SITE_WIDTH_UM / 2
+                        placement.positions[name] = (
+                            x_center, row.y + ROW_HEIGHT_UM / 2
+                        )
+                        placement.row_of[name] = row_index
+                        placement.rows_cells[row_index].append(name)
+                        n_fillers += 1
+                        filler_sites += w
+                        pos += w
+                        remaining -= w
+                        break
+
+    core_area = plan.core_area_um2
+    filler_area = filler_sites * SITE_WIDTH_UM * ROW_HEIGHT_UM
+    return FillerReport(
+        n_fillers=n_fillers,
+        filler_sites=filler_sites,
+        filler_area_um2=filler_area,
+        filler_fraction=filler_area / core_area if core_area else 0.0,
+    )

@@ -1,0 +1,203 @@
+"""Floorplanning: square core, cell rows, power/ground/IO rings.
+
+Reproduces the floorplan style of the paper (Section 3.2 and Fig. 3):
+
+* a square core area sized from total cell area and a target row
+  utilisation;
+* standard cells placed on horizontal rows, each cell carrying a power
+  strip at its top and a ground strip at its bottom; rows are *abutted*
+  so that the power/ground strips of consecutive rows are adjacent
+  (rows alternate orientation);
+* an IO ring, a power ring and a ground ring around the core;
+* the chip outline forced square even when the core drifts slightly
+  rectangular (paper Section 4.3 exploits exactly this: the leftover
+  space is unusable for placement but helps routing).
+
+Port (pad) locations are assigned evenly around the IO ring so that
+placement and routing see realistic boundary anchors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.library.cell import ROW_HEIGHT_UM, SITE_WIDTH_UM
+from repro.layout.geometry import Point, Rect
+from repro.netlist.circuit import Circuit
+
+#: Width of the power ring, in um.
+POWER_RING_UM = 12.0
+
+#: Width of the ground ring, in um.
+GROUND_RING_UM = 12.0
+
+#: Width of the IO ring (pad frame), in um.
+IO_RING_UM = 55.0
+
+#: Spacing between core and the innermost ring, in um.
+CORE_MARGIN_UM = 8.0
+
+
+@dataclass
+class Row:
+    """One placement row.
+
+    Attributes:
+        index: Row number, bottom row is 0.
+        y: Bottom edge of the row (um).
+        x0: Left edge (um).
+        n_sites: Number of placement sites.
+        flipped: Alternating row orientation (power strip down) so that
+            abutted rows share power/ground strips.
+    """
+
+    index: int
+    y: float
+    x0: float
+    n_sites: int
+    flipped: bool
+
+    @property
+    def length_um(self) -> float:
+        """Row length in um."""
+        return self.n_sites * SITE_WIDTH_UM
+
+    @property
+    def x1(self) -> float:
+        """Right edge (um)."""
+        return self.x0 + self.length_um
+
+    def site_x(self, site: int) -> float:
+        """X coordinate of a site's left edge."""
+        return self.x0 + site * SITE_WIDTH_UM
+
+
+@dataclass
+class Floorplan:
+    """The physical frame of one layout.
+
+    Attributes:
+        core: Core placement area.
+        chip: Full die outline (always square).
+        rows: Placement rows, bottom-up.
+        target_utilization: Requested row utilisation.
+        pad_positions: Port name -> pad location on the IO ring.
+    """
+
+    core: Rect
+    chip: Rect
+    rows: List[Row]
+    target_utilization: float
+    pad_positions: Dict[str, Point] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of placement rows."""
+        return len(self.rows)
+
+    @property
+    def total_row_length_um(self) -> float:
+        """Summed row length (paper Table 2, column L_rows)."""
+        return sum(row.length_um for row in self.rows)
+
+    @property
+    def core_area_um2(self) -> float:
+        """Area of the rows (paper's core area)."""
+        return self.total_row_length_um * ROW_HEIGHT_UM
+
+    @property
+    def chip_area_um2(self) -> float:
+        """Chip area including rings (paper Table 2)."""
+        return self.chip.area
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Core height / width (paper keeps it within 0.9 .. 1.1)."""
+        return self.core.height / self.core.width
+
+
+def build_floorplan(circuit: Circuit, target_utilization: float,
+                    aspect_ratio: float = 1.0,
+                    reserve_area_um2: float = 0.0) -> Floorplan:
+    """Create the floorplan for ``circuit``.
+
+    Args:
+        circuit: Netlist to floorplan (cell areas are read from it).
+        target_utilization: Fraction of row area to fill with cells
+            (0.97 for the paper's s38417/circuit 1; 0.50 for p26909).
+        aspect_ratio: Requested core height/width.
+        reserve_area_um2: Extra cell area budgeted for later ECO
+            insertions (clock-tree buffers, scan-enable buffers, hold
+            fixes) so high-utilisation floorplans keep room for them.
+
+    Returns:
+        A floorplan with rows sized for the requested utilisation and a
+        square chip outline.
+    """
+    if not 0.05 <= target_utilization <= 1.0:
+        raise ValueError("target utilisation out of range")
+    cell_area = sum(
+        inst.cell.area_um2
+        for inst in circuit.instances.values()
+        if not inst.cell.is_filler
+    ) + max(0.0, reserve_area_um2)
+    core_area = cell_area / target_utilization
+    width = math.sqrt(core_area / aspect_ratio)
+    n_rows = max(1, math.ceil(width * aspect_ratio / ROW_HEIGHT_UM))
+    # Row length chosen so n_rows * length ~= required core area; this
+    # is where the core drifts slightly rectangular (paper 4.3).
+    row_sites = max(1, math.ceil(core_area / n_rows / ROW_HEIGHT_UM
+                                 / SITE_WIDTH_UM))
+    row_length = row_sites * SITE_WIDTH_UM
+
+    ring = CORE_MARGIN_UM + GROUND_RING_UM + POWER_RING_UM + IO_RING_UM
+    core_x0 = ring
+    core_y0 = ring
+    core = Rect(core_x0, core_y0,
+                core_x0 + row_length,
+                core_y0 + n_rows * ROW_HEIGHT_UM)
+    # The chip is forced square around the larger core dimension.
+    side = max(core.width, core.height) + 2 * ring
+    chip = Rect(0.0, 0.0, side, side)
+
+    rows = [
+        Row(index=i,
+            y=core_y0 + i * ROW_HEIGHT_UM,
+            x0=core_x0,
+            n_sites=row_sites,
+            flipped=bool(i % 2))
+        for i in range(n_rows)
+    ]
+    plan = Floorplan(
+        core=core,
+        chip=chip,
+        rows=rows,
+        target_utilization=target_utilization,
+    )
+    _assign_pads(plan, circuit)
+    return plan
+
+
+def _assign_pads(plan: Floorplan, circuit: Circuit) -> None:
+    """Distribute port pads evenly around the IO ring."""
+    ports = list(circuit.inputs) + list(circuit.outputs)
+    if not ports:
+        return
+    side = plan.chip.width
+    inner = IO_RING_UM / 2.0  # pads sit mid IO ring
+    perimeter = 4 * (side - 2 * inner)
+    step = perimeter / len(ports)
+    for i, port in enumerate(ports):
+        d = i * step
+        edge_len = side - 2 * inner
+        if d < edge_len:                      # bottom, left to right
+            pos = (inner + d, inner)
+        elif d < 2 * edge_len:                # right, bottom to top
+            pos = (side - inner, inner + (d - edge_len))
+        elif d < 3 * edge_len:                # top, right to left
+            pos = (side - inner - (d - 2 * edge_len), side - inner)
+        else:                                 # left, top to bottom
+            pos = (inner, side - inner - (d - 3 * edge_len))
+        plan.pad_positions[port] = pos

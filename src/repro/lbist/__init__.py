@@ -1,0 +1,25 @@
+"""Logic BIST: LFSR pattern generation, MISR compaction, the engine."""
+
+from repro.lbist.engine import (
+    LbistConfig,
+    LbistResult,
+    coverage_at,
+    run_lbist,
+)
+from repro.lbist.dlbist import DlbistConfig, DlbistResult, run_dlbist
+from repro.lbist.lfsr import LFSR, PRIMITIVE_TAPS
+from repro.lbist.misr import MISR, signature_of
+
+__all__ = [
+    "DlbistConfig",
+    "DlbistResult",
+    "LFSR",
+    "run_dlbist",
+    "LbistConfig",
+    "LbistResult",
+    "MISR",
+    "PRIMITIVE_TAPS",
+    "coverage_at",
+    "run_lbist",
+    "signature_of",
+]

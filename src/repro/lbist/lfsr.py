@@ -1,0 +1,82 @@
+"""Linear-feedback shift registers for pseudo-random pattern generation.
+
+Most TPI literature (paper Section 2) targets logic BIST: an on-chip
+LFSR feeds pseudo-random patterns into the scan chains, and test points
+exist precisely because pure pseudo-random patterns leave the
+random-pattern-resistant faults undetected.  This module provides the
+pattern-generation half of that scheme: maximal-length Fibonacci LFSRs
+over standard primitive polynomials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+#: Primitive polynomial taps (exponents) per register width; each gives
+#: a maximal-length sequence of 2^n - 1 states.
+PRIMITIVE_TAPS: Dict[int, Sequence[int]] = {
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+class LFSR:
+    """A Fibonacci LFSR.
+
+    Args:
+        width: Register width in bits (must be a key of
+            :data:`PRIMITIVE_TAPS`).
+        seed: Nonzero initial state (defaults to all-ones).
+    """
+
+    def __init__(self, width: int = 32, seed: int = 0):
+        if width not in PRIMITIVE_TAPS:
+            raise ValueError(
+                f"no primitive polynomial for width {width}; "
+                f"choose one of {sorted(PRIMITIVE_TAPS)}"
+            )
+        self.width = width
+        self.taps = PRIMITIVE_TAPS[width]
+        mask = (1 << width) - 1
+        self.state = (seed & mask) or mask
+        self._mask = mask
+
+    def step(self) -> int:
+        """Advance one cycle; returns the shifted-out bit.
+
+        Right-shift Fibonacci form: a tap at exponent *t* reads state
+        bit ``width - t`` (the classic ``lfsr >> (n - t)`` convention),
+        and the XOR of the taps re-enters at the MSB.
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        out = self.state & 1
+        self.state = ((self.state >> 1)
+                      | (feedback << (self.width - 1))) & self._mask
+        return out
+
+    def bits(self, count: int) -> Iterator[int]:
+        """Yield ``count`` output bits."""
+        for _ in range(count):
+            yield self.step()
+
+    def pattern(self, n_bits: int) -> int:
+        """Pack the next ``n_bits`` output bits into an integer.
+
+        Bit *j* of the result is the *j*-th shifted-out bit — exactly
+        the values a scan chain of length ``n_bits`` would hold after
+        being filled from this LFSR.
+        """
+        value = 0
+        for j in range(n_bits):
+            value |= self.step() << j
+        return value
+
+    def patterns(self, n_bits: int, count: int) -> List[int]:
+        """Generate ``count`` packed scan-load patterns."""
+        return [self.pattern(n_bits) for _ in range(count)]

@@ -1,0 +1,69 @@
+"""Multiple-input signature register (MISR) response compaction.
+
+LBIST does not ship responses off-chip: scan-out streams are folded
+into a MISR whose final state (the *signature*) is compared against the
+fault-free value.  This model implements the standard Galois-style MISR
+over the same primitive polynomials as the LFSR, plus the textbook
+aliasing-probability estimate ``2^-width``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lbist.lfsr import PRIMITIVE_TAPS
+
+
+class MISR:
+    """A Galois MISR.
+
+    Args:
+        width: Register width in bits.
+        seed: Initial state.
+    """
+
+    def __init__(self, width: int = 32, seed: int = 0):
+        if width not in PRIMITIVE_TAPS:
+            raise ValueError(
+                f"no primitive polynomial for width {width}; "
+                f"choose one of {sorted(PRIMITIVE_TAPS)}"
+            )
+        self.width = width
+        self._mask = (1 << width) - 1
+        # Tap mask for the Galois feedback (exclude the x^width term).
+        self._poly = 0
+        for tap in PRIMITIVE_TAPS[width]:
+            if tap != width:
+                self._poly |= 1 << (tap - 1)
+        self.state = seed & self._mask
+
+    def absorb(self, word: int) -> None:
+        """Clock one parallel input word into the register."""
+        carry = (self.state >> (self.width - 1)) & 1
+        self.state = ((self.state << 1) & self._mask) ^ (word & self._mask)
+        if carry:
+            self.state ^= self._poly
+
+    def absorb_stream(self, words: Iterable[int]) -> None:
+        """Clock a sequence of words."""
+        for word in words:
+            self.absorb(word)
+
+    @property
+    def signature(self) -> int:
+        """Current compressed signature."""
+        return self.state
+
+    @property
+    def aliasing_probability(self) -> float:
+        """Textbook estimate: a faulty stream maps to the fault-free
+        signature with probability about ``2^-width``."""
+        return 2.0 ** -self.width
+
+
+def signature_of(words: Sequence[int], width: int = 32,
+                 seed: int = 0) -> int:
+    """Convenience: the signature of a complete response stream."""
+    misr = MISR(width=width, seed=seed)
+    misr.absorb_stream(words)
+    return misr.signature

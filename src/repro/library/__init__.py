@@ -1,0 +1,61 @@
+"""Standard-cell library model and the concrete 130 nm-class library."""
+
+from repro.library.cell import (
+    Library,
+    LibraryCell,
+    PinDef,
+    ROW_HEIGHT_UM,
+    SITE_WIDTH_UM,
+    SequentialSpec,
+    TimingArc,
+)
+from repro.library.cmos130 import STATE_PIN, build_cmos130_library, cmos130
+from repro.library.layers import (
+    MetalLayer,
+    average_signal_rc,
+    metal_stack_130nm,
+    signal_layers,
+)
+from repro.library.liberty import parse_liberty_cells, to_liberty
+from repro.library.logic import (
+    And,
+    Const,
+    LogicExpr,
+    Mux,
+    Not,
+    Or,
+    Var,
+    Xor,
+    exhaustive_truth_table,
+)
+from repro.library.nldm import LookupResult, NLDMTable
+
+__all__ = [
+    "And",
+    "parse_liberty_cells",
+    "to_liberty",
+    "Const",
+    "Library",
+    "LibraryCell",
+    "LogicExpr",
+    "LookupResult",
+    "MetalLayer",
+    "Mux",
+    "NLDMTable",
+    "Not",
+    "Or",
+    "PinDef",
+    "ROW_HEIGHT_UM",
+    "SITE_WIDTH_UM",
+    "STATE_PIN",
+    "SequentialSpec",
+    "TimingArc",
+    "Var",
+    "Xor",
+    "average_signal_rc",
+    "build_cmos130_library",
+    "cmos130",
+    "exhaustive_truth_table",
+    "metal_stack_130nm",
+    "signal_layers",
+]

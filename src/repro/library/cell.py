@@ -1,0 +1,242 @@
+"""Library cell model: pins, logic function, area and timing arcs.
+
+This is a deliberately Liberty-shaped model: enough structure that the
+rest of the flow (simulation, ATPG, placement, STA) reads cells exactly
+the way commercial tools read ``.lib``/``.lef`` data, without the parser
+baggage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.library.logic import LogicExpr
+from repro.library.nldm import NLDMTable
+
+#: Standard-cell row height of the 130 nm-class library, in um.
+ROW_HEIGHT_UM = 3.69
+
+#: Placement site width of the 130 nm-class library, in um.
+SITE_WIDTH_UM = 0.41
+
+
+@dataclass(frozen=True)
+class PinDef:
+    """One library pin.
+
+    Attributes:
+        name: Pin name (``"A"``, ``"D"``, ``"CLK"`` ...).
+        direction: ``"input"`` or ``"output"``.
+        cap_ff: Input pin capacitance in fF (0 for outputs).
+        is_clock: True for clock input pins of sequential cells.
+    """
+
+    name: str
+    direction: str
+    cap_ff: float = 0.0
+    is_clock: bool = False
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A combinational or clock-to-output delay arc.
+
+    Attributes:
+        from_pin: Launching input pin.
+        to_pin: Output pin.
+        delay: NLDM delay table (ps vs input slew, output load).
+        slew: NLDM output-slew table (ps).
+    """
+
+    from_pin: str
+    to_pin: str
+    delay: NLDMTable
+    slew: NLDMTable
+
+
+@dataclass(frozen=True)
+class SequentialSpec:
+    """Description of a flip-flop-like cell's sequential behaviour.
+
+    Attributes:
+        data_pin: Functional data input (``D``).
+        clock_pin: Clock input.
+        output_pin: State/bypass output (``Q``).
+        scan_in: Scan data input (``TI``) or None for plain DFFs.
+        scan_enable: Scan-enable input (``TE``) or None.
+        test_point_enable: TSFF output-select input (``TR``) or None.
+        setup_ps: Setup time at the data/scan pins, in ps.
+        hold_ps: Hold time at the data/scan pins, in ps.
+        next_state: Expression for the value captured at a clock edge.
+        bypass: For TSFFs, the combinational output function in terms of
+            the input pins and the pseudo-pin ``"@state"`` (the stored
+            value); None for ordinary FFs whose output is purely state.
+    """
+
+    data_pin: str
+    clock_pin: str
+    output_pin: str
+    scan_in: Optional[str] = None
+    scan_enable: Optional[str] = None
+    test_point_enable: Optional[str] = None
+    setup_ps: float = 120.0
+    hold_ps: float = 30.0
+    next_state: Optional[LogicExpr] = None
+    bypass: Optional[LogicExpr] = None
+
+
+@dataclass
+class LibraryCell:
+    """One standard cell.
+
+    Attributes:
+        name: Cell name, e.g. ``"NAND2_X1"``.
+        pins: Pin definitions, keyed by pin name.
+        width_sites: Cell width in placement sites.
+        drive: Relative drive strength (1, 2, 4 ...).
+        functions: Combinational output functions, keyed by output pin.
+            Sequential cells describe behaviour in :attr:`sequential`.
+        sequential: Sequential behaviour, or None for combinational cells.
+        arcs: Timing arcs (input -> output and clock -> output).
+        is_filler: True for filler cells (no pins, area only).
+        is_clock_buffer: True for cells reserved for clock trees.
+        is_tsff: True for the transparent scan flip-flop (Fig. 1).
+        is_scan: True for scan-capable flip-flops (SDFF and TSFF).
+        max_cap_ff: Maximum output load the cell may legally drive.
+    """
+
+    name: str
+    pins: Dict[str, PinDef]
+    width_sites: int
+    drive: int = 1
+    functions: Dict[str, LogicExpr] = field(default_factory=dict)
+    sequential: Optional[SequentialSpec] = None
+    arcs: List[TimingArc] = field(default_factory=list)
+    is_filler: bool = False
+    is_clock_buffer: bool = False
+    is_tsff: bool = False
+    is_scan: bool = False
+    max_cap_ff: float = 120.0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def width_um(self) -> float:
+        """Physical cell width in um."""
+        return self.width_sites * SITE_WIDTH_UM
+
+    @property
+    def height_um(self) -> float:
+        """Physical cell height (one row) in um."""
+        return ROW_HEIGHT_UM
+
+    @property
+    def area_um2(self) -> float:
+        """Cell area in um^2."""
+        return self.width_um * self.height_um
+
+    # ------------------------------------------------------------------
+    # Pins
+    # ------------------------------------------------------------------
+    @property
+    def input_pins(self) -> List[str]:
+        """Names of input pins, in declaration order."""
+        return [p.name for p in self.pins.values() if p.direction == "input"]
+
+    @property
+    def output_pins(self) -> List[str]:
+        """Names of output pins, in declaration order."""
+        return [p.name for p in self.pins.values() if p.direction == "output"]
+
+    def pin_is_output(self, pin: str) -> bool:
+        """True when ``pin`` is an output of this cell."""
+        return self.pins[pin].direction == "output"
+
+    def pin_cap_ff(self, pin: str) -> float:
+        """Input capacitance of ``pin`` in fF."""
+        return self.pins[pin].cap_ff
+
+    @property
+    def clock_pin(self) -> Optional[str]:
+        """Clock pin name for sequential cells, else None."""
+        return self.sequential.clock_pin if self.sequential else None
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for flip-flop-like cells."""
+        return self.sequential is not None
+
+    @property
+    def is_buffer_like(self) -> bool:
+        """True for single-input single-output non-inverting cells."""
+        return (
+            not self.is_sequential
+            and len(self.input_pins) == 1
+            and len(self.output_pins) == 1
+        )
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def arcs_to(self, out_pin: str) -> List[TimingArc]:
+        """All arcs ending at ``out_pin``."""
+        return [a for a in self.arcs if a.to_pin == out_pin]
+
+    def arc(self, from_pin: str, to_pin: str) -> TimingArc:
+        """The unique arc ``from_pin -> to_pin`` (KeyError if absent)."""
+        for a in self.arcs:
+            if a.from_pin == from_pin and a.to_pin == to_pin:
+                return a
+        raise KeyError(f"{self.name}: no arc {from_pin} -> {to_pin}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LibraryCell {self.name}>"
+
+
+class Library:
+    """A named collection of :class:`LibraryCell` objects.
+
+    Provides drive-strength families (``NAND2_X1`` / ``NAND2_X2`` ...)
+    and lookup helpers used by synthesis-like steps (TPI, CTS, scan).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.cells: Dict[str, LibraryCell] = {}
+
+    def add(self, cell: LibraryCell) -> LibraryCell:
+        """Register a cell; names must be unique."""
+        if cell.name in self.cells:
+            raise ValueError(f"cell {cell.name!r} already in library")
+        self.cells[cell.name] = cell
+        return cell
+
+    def __getitem__(self, name: str) -> LibraryCell:
+        return self.cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def family(self, base: str) -> List[LibraryCell]:
+        """Drive-strength family of ``base``, weakest first.
+
+        ``family("NAND2")`` returns ``[NAND2_X1, NAND2_X2, ...]``.
+        """
+        members = [
+            c
+            for n, c in self.cells.items()
+            if n == base or n.startswith(base + "_X")
+        ]
+        return sorted(members, key=lambda c: c.drive)
+
+    def fillers(self) -> List[LibraryCell]:
+        """Filler cells, narrowest first."""
+        cells = [c for c in self.cells.values() if c.is_filler]
+        return sorted(cells, key=lambda c: c.width_sites)
+
+    def clock_buffers(self) -> List[LibraryCell]:
+        """Clock buffer cells, weakest first."""
+        cells = [c for c in self.cells.values() if c.is_clock_buffer]
+        return sorted(cells, key=lambda c: c.drive)

@@ -1,0 +1,213 @@
+"""The synthetic 130 nm-class standard-cell library.
+
+Stands in for the Philips 130 nm CMOS library of the paper: the same
+cell classes (simple gates at several drive strengths, muxes, plain and
+scan flip-flops, the TSFF test-point cell of Fig. 1, clock buffers and
+fillers), with areas on the real 0.41 um site grid and NLDM timing
+tables of 130 nm-plausible magnitudes.
+
+Absolute delays and areas need not match the unpublished Philips data;
+what matters for the reproduction is that the *ratios* are right:
+a TSFF is a scan FF plus one mux (area), the application-mode penalty of
+a test point is two mux hops (timing), and delay grows with load and
+input slew the way NLDM cells do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.library.cell import Library, LibraryCell, PinDef, SequentialSpec, TimingArc
+from repro.library.logic import And, LogicExpr, Mux, Not, Or, Var, Xor
+from repro.library.nldm import NLDMTable
+
+#: Pseudo-pin naming the stored FF value inside bypass expressions.
+STATE_PIN = "@state"
+
+
+def _arc(from_pin: str, to_pin: str, intrinsic: float, drive: int,
+         base_ps_per_ff: float, slew_sens: float = 0.15) -> TimingArc:
+    """Build one timing arc from first-order parameters.
+
+    Output slew is modelled as roughly twice the load-dependent delay
+    plus a floor, which keeps slews growing down long unbuffered nets —
+    the mechanism behind the paper's "slow nodes".
+    """
+    ps_per_ff = base_ps_per_ff / drive
+    delay = NLDMTable.linear(intrinsic, ps_per_ff, slew_sens)
+    slew = NLDMTable.linear(0.6 * intrinsic + 10.0, 1.5 * ps_per_ff, 0.10)
+    return TimingArc(from_pin, to_pin, delay, slew)
+
+
+def _comb_cell(
+    lib: Library,
+    name: str,
+    inputs: Sequence[str],
+    function: LogicExpr,
+    width_sites: int,
+    intrinsic: float,
+    drive: int,
+    base_ps_per_ff: float,
+    in_cap: float,
+    out_pin: str = "Z",
+) -> LibraryCell:
+    """Register a combinational cell with uniform per-input arcs."""
+    pins: Dict[str, PinDef] = {
+        p: PinDef(p, "input", cap_ff=in_cap * (0.5 + 0.5 * drive))
+        for p in inputs
+    }
+    pins[out_pin] = PinDef(out_pin, "output")
+    cell = LibraryCell(
+        name=name,
+        pins=pins,
+        width_sites=width_sites,
+        drive=drive,
+        functions={out_pin: function},
+        arcs=[
+            _arc(p, out_pin, intrinsic, drive, base_ps_per_ff) for p in inputs
+        ],
+        max_cap_ff=8.0 + 14.0 * drive,
+    )
+    return lib.add(cell)
+
+
+def _flip_flop(
+    lib: Library,
+    name: str,
+    *,
+    scan: bool,
+    tsff: bool,
+    width_sites: int,
+    drive: int = 1,
+) -> LibraryCell:
+    """Register a DFF / SDFF / TSFF cell.
+
+    The TSFF (paper Fig. 1) is a scan flip-flop with an extra output
+    multiplexer: ``Q = TR ? state : (TE ? TI : D)``.  Its functional
+    (application-mode, TE=TR=0) path is D -> Q through both muxes.
+    """
+    pins: Dict[str, PinDef] = {
+        "D": PinDef("D", "input", cap_ff=2.0),
+        "CLK": PinDef("CLK", "input", cap_ff=1.6, is_clock=True),
+    }
+    next_state: LogicExpr = Var("D")
+    bypass: Optional[LogicExpr] = None
+    if scan:
+        pins["TI"] = PinDef("TI", "input", cap_ff=2.0)
+        pins["TE"] = PinDef("TE", "input", cap_ff=1.8)
+        next_state = Mux("TE", Var("D"), Var("TI"))
+    if tsff:
+        pins["TR"] = PinDef("TR", "input", cap_ff=1.8)
+        bypass = Mux("TR", Mux("TE", Var("D"), Var("TI")), Var(STATE_PIN))
+    pins["Q"] = PinDef("Q", "output")
+
+    arcs = [_arc("CLK", "Q", 190.0, drive, 24.0)]
+    if tsff:
+        # Application-mode pass-through: two mux hops from D to Q.
+        arcs.append(_arc("D", "Q", 165.0, drive, 26.0))
+        arcs.append(_arc("TI", "Q", 165.0, drive, 26.0))
+
+    cell = LibraryCell(
+        name=name,
+        pins=pins,
+        width_sites=width_sites,
+        drive=drive,
+        sequential=SequentialSpec(
+            data_pin="D",
+            clock_pin="CLK",
+            output_pin="Q",
+            scan_in="TI" if scan else None,
+            scan_enable="TE" if scan else None,
+            test_point_enable="TR" if tsff else None,
+            setup_ps=130.0 if scan else 120.0,
+            hold_ps=30.0,
+            next_state=next_state,
+            bypass=bypass,
+        ),
+        arcs=arcs,
+        is_tsff=tsff,
+        is_scan=scan,
+        max_cap_ff=8.0 + 14.0 * drive,
+    )
+    return lib.add(cell)
+
+
+def build_cmos130_library() -> Library:
+    """Construct the full 130 nm-class library.
+
+    Returns a fresh :class:`Library`; callers typically hold one shared
+    instance per process (see :func:`cmos130`).
+    """
+    lib = Library("cmos130")
+
+    # Inverters and buffers, three drive strengths each.
+    for drive, width in ((1, 3), (2, 4), (4, 6)):
+        _comb_cell(lib, f"INV_X{drive}", ["A"], Not("A"),
+                   width, 28.0, drive, 14.0, 1.8)
+        _comb_cell(lib, f"BUF_X{drive}", ["A"], Var("A"),
+                   width + 1, 55.0, drive, 14.0, 1.8)
+
+    # NAND / NOR at two strengths; 2..4 inputs for NAND, 2..3 for NOR.
+    for n in (2, 3, 4):
+        ins = ["A", "B", "C", "D"][:n]
+        for drive, extra in ((1, 0), (2, 2)):
+            _comb_cell(lib, f"NAND{n}_X{drive}", ins, Not(And(*ins)),
+                       3 + n + extra, 32.0 + 6.0 * n, drive, 16.0, 2.1)
+    for n in (2, 3):
+        ins = ["A", "B", "C"][:n]
+        for drive, extra in ((1, 0), (2, 2)):
+            _comb_cell(lib, f"NOR{n}_X{drive}", ins, Not(Or(*ins)),
+                       3 + n + extra, 36.0 + 7.0 * n, drive, 18.0, 2.1)
+
+    # AND/OR (buffered), complex gates, XOR family, mux.
+    for drive, extra in ((1, 0), (2, 2)):
+        _comb_cell(lib, f"AND2_X{drive}", ["A", "B"], And("A", "B"),
+                   5 + extra, 62.0, drive, 15.0, 2.0)
+        _comb_cell(lib, f"OR2_X{drive}", ["A", "B"], Or("A", "B"),
+                   5 + extra, 64.0, drive, 15.0, 2.0)
+        _comb_cell(lib, f"AOI21_X{drive}", ["A", "B", "C"],
+                   Not(Or(And("A", "B"), Var("C"))),
+                   6 + extra, 48.0, drive, 18.0, 2.2)
+        _comb_cell(lib, f"OAI21_X{drive}", ["A", "B", "C"],
+                   Not(And(Or("A", "B"), Var("C"))),
+                   6 + extra, 48.0, drive, 18.0, 2.2)
+        _comb_cell(lib, f"XOR2_X{drive}", ["A", "B"], Xor("A", "B"),
+                   8 + extra, 78.0, drive, 19.0, 2.6)
+        _comb_cell(lib, f"XNOR2_X{drive}", ["A", "B"], Not(Xor("A", "B")),
+                   8 + extra, 80.0, drive, 19.0, 2.6)
+        _comb_cell(lib, f"MUX2_X{drive}", ["S", "A", "B"],
+                   Mux("S", Var("A"), Var("B")),
+                   7 + extra, 74.0, drive, 17.0, 2.3)
+
+    # Flip-flops: plain, scan, and the TSFF test point of Fig. 1.
+    _flip_flop(lib, "DFF_X1", scan=False, tsff=False, width_sites=18)
+    _flip_flop(lib, "SDFF_X1", scan=True, tsff=False, width_sites=23)
+    _flip_flop(lib, "TSFF_X1", scan=True, tsff=True, width_sites=30)
+
+    # Clock buffers: balanced rise/fall, stronger drives.
+    for drive, width in ((2, 5), (4, 7), (8, 11)):
+        cell = _comb_cell(lib, f"CLKBUF_X{drive}", ["A"], Var("A"),
+                          width, 48.0, drive, 12.0, 2.4)
+        # Reconstruct as clock buffer (dataclass field flip).
+        cell.is_clock_buffer = True
+
+    # Fillers: pure area, no pins.
+    for width in (1, 2, 4, 8):
+        lib.add(LibraryCell(
+            name=f"FILL{width}",
+            pins={},
+            width_sites=width,
+            is_filler=True,
+        ))
+    return lib
+
+
+_SHARED: Optional[Library] = None
+
+
+def cmos130() -> Library:
+    """Shared read-only instance of the 130 nm-class library."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = build_cmos130_library()
+    return _SHARED

@@ -1,0 +1,80 @@
+"""Metal layer stack of the 130 nm-class process.
+
+Six metal layers, matching the paper's Philips 130 nm CMOS library.
+Odd layers route horizontally, even layers vertically (HVH scheme with
+M1 mostly reserved for intra-cell wiring).  Per-layer unit resistance
+and capacitance feed the RC extractor; available routing tracks per
+layer feed the global router's congestion model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One metal layer.
+
+    Attributes:
+        name: Layer name (``"M1"`` ... ``"M6"``).
+        index: 1-based layer number.
+        direction: Preferred routing direction: ``"H"`` or ``"V"``.
+        r_ohm_per_um: Wire resistance per um of length.
+        c_ff_per_um: Wire capacitance per um of length.
+        pitch_um: Track pitch, in um.
+        signal_fraction: Fraction of tracks available to signal routing
+            (the rest carry power/clock straps).
+    """
+
+    name: str
+    index: int
+    direction: str
+    r_ohm_per_um: float
+    c_ff_per_um: float
+    pitch_um: float
+    signal_fraction: float
+
+
+#: Via resistance between adjacent layers, in ohm.
+VIA_RESISTANCE_OHM = 4.0
+
+#: Via capacitance, in fF (small, lumped at the via location).
+VIA_CAPACITANCE_FF = 0.05
+
+
+def metal_stack_130nm() -> List[MetalLayer]:
+    """The six-layer stack used throughout this reproduction.
+
+    Lower layers are thin (resistive, dense); upper layers are thick
+    (fast, sparse).  M1 is intra-cell only; M6 carries power and the
+    clock-tree trunks, so its signal fraction is low.
+    """
+    return [
+        MetalLayer("M1", 1, "H", 0.40, 0.20, 0.41, 0.10),
+        MetalLayer("M2", 2, "V", 0.85, 0.21, 0.41, 0.80),
+        MetalLayer("M3", 3, "H", 0.85, 0.21, 0.41, 0.80),
+        MetalLayer("M4", 4, "V", 0.35, 0.22, 0.55, 0.75),
+        MetalLayer("M5", 5, "H", 0.35, 0.22, 0.55, 0.75),
+        MetalLayer("M6", 6, "V", 0.05, 0.25, 0.82, 0.30),
+    ]
+
+
+def signal_layers(stack: List[MetalLayer]) -> List[MetalLayer]:
+    """Layers available for signal routing (M2..M5 in this stack)."""
+    return [layer for layer in stack if 2 <= layer.index <= 5]
+
+
+def average_signal_rc(stack: List[MetalLayer]) -> Tuple[float, float]:
+    """Track-weighted average (r_ohm_per_um, c_ff_per_um) of signal layers.
+
+    Used for quick pre-route wire estimates; the extractor uses the real
+    per-layer values of the routed segments.
+    """
+    layers = signal_layers(stack)
+    weights = [layer.signal_fraction / layer.pitch_um for layer in layers]
+    total = sum(weights)
+    r = sum(l.r_ohm_per_um * w for l, w in zip(layers, weights)) / total
+    c = sum(l.c_ff_per_um * w for l, w in zip(layers, weights)) / total
+    return r, c

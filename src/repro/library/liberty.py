@@ -1,0 +1,132 @@
+"""Liberty (.lib) export of the cell library.
+
+Writes the timing subset of the Liberty format — cells, pins with
+directions and capacitances, NLDM ``cell_rise``/``rise_transition``
+lookup groups per timing arc, sequential ``ff`` groups with setup/hold
+constraints — so the synthetic 130 nm-class library can be inspected
+with standard tooling and diffed like a real vendor deck.
+
+A small reader (:func:`parse_liberty_cells`) recovers the structural
+inventory from the text; it exists for round-trip tests, not as a full
+Liberty parser.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.library.cell import Library, LibraryCell
+from repro.library.nldm import NLDMTable
+
+
+def _format_table(name: str, table: NLDMTable, indent: str) -> List[str]:
+    slews = ", ".join(f"{v:.3f}" for v in table.slews)
+    loads = ", ".join(f"{v:.4f}" for v in table.loads)
+    rows = [
+        '\\\n' + indent + '    "'
+        + ", ".join(f"{v:.4f}" for v in row) + '"'
+        for row in table.values
+    ]
+    return [
+        f"{indent}{name} (delay_template) {{",
+        f'{indent}  index_1 ("{slews}");',
+        f'{indent}  index_2 ("{loads}");',
+        f"{indent}  values ({', '.join(r.strip() for r in rows)});",
+        f"{indent}}}",
+    ]
+
+
+def _cell_block(cell: LibraryCell) -> List[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+    lines.append(f"    area : {cell.area_um2:.4f};")
+    if cell.is_filler:
+        lines.append("    cell_leakage_power : 0.0;")
+        lines.append("  }")
+        return lines
+    seq = cell.sequential
+    if seq is not None:
+        lines.append(f'    ff ("IQ", "IQN") {{')
+        lines.append(f'      clocked_on : "{seq.clock_pin}";')
+        lines.append(f'      next_state : "{seq.data_pin}";')
+        lines.append("    }")
+    for pin in cell.pins.values():
+        lines.append(f"    pin ({pin.name}) {{")
+        lines.append(f"      direction : {pin.direction};")
+        if pin.direction == "input":
+            lines.append(f"      capacitance : {pin.cap_ff:.4f};")
+            if pin.is_clock:
+                lines.append("      clock : true;")
+            if seq is not None and pin.name == seq.data_pin:
+                lines.append("      timing () {")
+                lines.append("        timing_type : setup_rising;")
+                lines.append(
+                    f"        related_pin : \"{seq.clock_pin}\";"
+                )
+                lines.append(
+                    f"        /* setup {seq.setup_ps:.1f} ps,"
+                    f" hold {seq.hold_ps:.1f} ps */"
+                )
+                lines.append("      }")
+        else:
+            lines.append(f"      max_capacitance : {cell.max_cap_ff:.2f};")
+            for arc in cell.arcs_to(pin.name):
+                lines.append("      timing () {")
+                lines.append(f'        related_pin : "{arc.from_pin}";')
+                lines.extend(_format_table(
+                    "cell_rise", arc.delay, "        "
+                ))
+                lines.extend(_format_table(
+                    "rise_transition", arc.slew, "        "
+                ))
+                lines.append("      }")
+        lines.append("    }")
+    lines.append("  }")
+    return lines
+
+
+def to_liberty(library: Library) -> str:
+    """Render the library as Liberty text."""
+    lines = [
+        f"library ({library.name}) {{",
+        "  delay_model : table_lookup;",
+        "  time_unit : \"1ps\";",
+        "  capacitive_load_unit (1, ff);",
+        "  lu_table_template (delay_template) {",
+        "    variable_1 : input_net_transition;",
+        "    variable_2 : total_output_net_capacitance;",
+        "  }",
+    ]
+    for name in sorted(library.cells):
+        lines.extend(_cell_block(library.cells[name]))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_CELL_RE = re.compile(r"^\s*cell \((\w+)\) \{")
+_PIN_RE = re.compile(r"^\s*pin \((\w+)\) \{")
+_AREA_RE = re.compile(r"^\s*area : ([0-9.]+);")
+
+
+def parse_liberty_cells(text: str) -> Dict[str, Dict]:
+    """Recover the cell inventory from Liberty text (round-trip aid).
+
+    Returns, per cell: its area and pin-name list.
+    """
+    cells: Dict[str, Dict] = {}
+    current = None
+    for line in text.splitlines():
+        cell_match = _CELL_RE.match(line)
+        if cell_match:
+            current = cell_match.group(1)
+            cells[current] = {"area": None, "pins": []}
+            continue
+        if current is None:
+            continue
+        area_match = _AREA_RE.match(line)
+        if area_match and cells[current]["area"] is None:
+            cells[current]["area"] = float(area_match.group(1))
+        pin_match = _PIN_RE.match(line)
+        if pin_match:
+            cells[current]["pins"].append(pin_match.group(1))
+    return cells

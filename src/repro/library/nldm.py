@@ -1,0 +1,139 @@
+"""Non-linear delay model (NLDM) lookup tables.
+
+Cell delay and output slew are functions of input slew and output load,
+stored as 2-D tables exactly as in Liberty files.  Values inside the
+table range are bilinearly interpolated; values outside are linearly
+extrapolated from the nearest table edge — and flagged, because the
+paper (Section 4.4) calls cells evaluated by extrapolation *slow nodes*
+and warns their numbers are less accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Result of one NLDM table lookup.
+
+    Attributes:
+        value: Interpolated (or extrapolated) table value, in ps.
+        extrapolated: True when (slew, load) fell outside the table
+            range, i.e. the evaluated cell is a *slow node*.
+    """
+
+    value: float
+    extrapolated: bool
+
+
+class NLDMTable:
+    """A 2-D lookup table indexed by input slew (ps) and load (fF).
+
+    Args:
+        slews: Strictly increasing input-slew index, in ps.
+        loads: Strictly increasing output-load index, in fF.
+        values: Table values in ps, shape ``(len(slews), len(loads))``.
+    """
+
+    def __init__(
+        self,
+        slews: Sequence[float],
+        loads: Sequence[float],
+        values: Sequence[Sequence[float]],
+    ):
+        self.slews = np.asarray(slews, dtype=float)
+        self.loads = np.asarray(loads, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.slews.ndim != 1 or self.loads.ndim != 1:
+            raise ValueError("table indices must be one-dimensional")
+        if np.any(np.diff(self.slews) <= 0) or np.any(np.diff(self.loads) <= 0):
+            raise ValueError("table indices must be strictly increasing")
+        if self.values.shape != (len(self.slews), len(self.loads)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match indices "
+                f"({len(self.slews)}, {len(self.loads)})"
+            )
+
+    @classmethod
+    def linear(
+        cls,
+        intrinsic_ps: float,
+        ps_per_ff: float,
+        ps_per_ps_slew: float,
+        slews: Sequence[float] = (5.0, 50.0, 250.0, 1100.0),
+        loads: Sequence[float] = (1.0, 10.0, 40.0, 170.0),
+    ) -> "NLDMTable":
+        """Build a table from a first-order delay model.
+
+        ``delay = intrinsic + ps_per_ff * load + ps_per_ps_slew * slew``
+        sampled on the given index grid, with a mild quadratic bend on
+        the largest loads so interpolation is exercised realistically.
+        """
+        s = np.asarray(slews, dtype=float)
+        c = np.asarray(loads, dtype=float)
+        grid = (
+            intrinsic_ps
+            + ps_per_ff * c[None, :]
+            + ps_per_ps_slew * s[:, None]
+            + 0.002 * ps_per_ff * c[None, :] ** 1.5
+        )
+        return cls(s, c, grid)
+
+    @property
+    def max_slew(self) -> float:
+        """Largest input slew covered by the table, in ps."""
+        return float(self.slews[-1])
+
+    @property
+    def max_load(self) -> float:
+        """Largest output load covered by the table, in fF."""
+        return float(self.loads[-1])
+
+    def lookup(self, slew_ps: float, load_ff: float) -> LookupResult:
+        """Interpolate the table at ``(slew_ps, load_ff)``.
+
+        Bilinear interpolation inside the grid; linear extrapolation
+        (slope of the outermost segment) outside, with the result
+        flagged as extrapolated.
+        """
+        extrapolated = (
+            slew_ps < self.slews[0]
+            or slew_ps > self.slews[-1]
+            or load_ff < self.loads[0]
+            or load_ff > self.loads[-1]
+        )
+        i, ws = self._bracket(self.slews, slew_ps)
+        j, wl = self._bracket(self.loads, load_ff)
+        v = self.values
+        value = (
+            v[i, j] * (1 - ws) * (1 - wl)
+            + v[i + 1, j] * ws * (1 - wl)
+            + v[i, j + 1] * (1 - ws) * wl
+            + v[i + 1, j + 1] * ws * wl
+        )
+        return LookupResult(value=float(value), extrapolated=bool(extrapolated))
+
+    @staticmethod
+    def _bracket(index: np.ndarray, x: float) -> Tuple[int, float]:
+        """Segment number and fractional position of ``x`` in ``index``.
+
+        The fraction is not clamped, which makes the bilinear formula
+        extrapolate linearly outside the grid.
+        """
+        i = int(np.searchsorted(index, x) - 1)
+        i = max(0, min(i, len(index) - 2))
+        frac = (x - index[i]) / (index[i + 1] - index[i])
+        return i, float(frac)
+
+    def intrinsic_ps(self) -> float:
+        """Delay at near-zero slew and no load (paper's T_intrinsic).
+
+        Extrapolates the table to ``slew = 0, load = 0``, matching the
+        paper's definition of intrinsic delay ("input signal with
+        near-zero slew ... without load on the cell output").
+        """
+        return self.lookup(0.0, 0.0).value

@@ -1,0 +1,163 @@
+"""Synthesis-style electrical DRC fixes: fanout buffering, driver sizing.
+
+The paper's netlists come out of logic synthesis, which bounds net
+fanout and sizes drivers to their loads before layout ever starts.  The
+profile-generated netlists (and the nets TPI/scan insertion create —
+a TSFF output inherits its net's whole fanout, and the TR/TE control
+nets fan out to every test cell) need the same treatment, otherwise
+slews snowball and the timing results mean nothing.
+
+Two passes, both run before floorplanning:
+
+* :func:`fix_fanout` — nets driving more than ``max_fanout`` sinks get
+  a balanced buffer tree (applied recursively, so very large nets get
+  multiple levels);
+* :func:`upsize_drivers` — cells whose estimated output load exceeds
+  their legal maximum are swapped to a stronger drive of the same
+  family.
+
+Clock nets are skipped: clock-tree synthesis owns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.library.cell import Library, LibraryCell
+from repro.netlist.circuit import Circuit
+from repro.netlist.net import PORT
+
+
+@dataclass
+class DrcReport:
+    """Outcome of the electrical fix passes.
+
+    Attributes:
+        buffers_added: Buffer instances inserted by fanout fixing.
+        drivers_upsized: Cells swapped to a stronger drive.
+    """
+
+    buffers_added: int = 0
+    drivers_upsized: int = 0
+
+
+def _clock_nets(circuit: Circuit) -> Set[str]:
+    return {dom.net for dom in circuit.clocks}
+
+
+def estimated_load_ff(circuit: Circuit, net_name: str,
+                      wire_ff_per_sink: float = 4.0) -> float:
+    """Pre-route load estimate: pin caps plus a wireload allowance.
+
+    The wireload term mirrors synthesis wireload models: each sink adds
+    a per-connection wiring allowance (4 fF ~ a few tens of um of
+    mid-stack metal), which is what drives pre-layout sizing.
+    """
+    net = circuit.nets[net_name]
+    load = 0.0
+    for inst, pin in net.sinks:
+        if inst == PORT:
+            load += 2.0
+        else:
+            load += circuit.instances[inst].cell.pin_cap_ff(pin)
+    return load + wire_ff_per_sink * len(net.sinks)
+
+
+def fix_fanout(circuit: Circuit, library: Library,
+               max_fanout: int = 8) -> DrcReport:
+    """Bound every data net's fanout with buffer trees, in place.
+
+    Args:
+        circuit: Netlist to fix.
+        library: Library providing buffers (the strongest ``BUF``
+            drive is used).
+        max_fanout: Maximum sinks per net after the pass.
+
+    Returns:
+        Insertion counts.
+    """
+    report = DrcReport()
+    buffer_cell = library.family("BUF")[-1]
+    clock_nets = _clock_nets(circuit)
+    worklist = [
+        name for name, net in circuit.nets.items()
+        if len(net.sinks) > max_fanout and name not in clock_nets
+    ]
+    while worklist:
+        net_name = worklist.pop()
+        net = circuit.nets.get(net_name)
+        if net is None or len(net.sinks) <= max_fanout:
+            continue
+        sinks = list(net.sinks)
+        groups = [
+            sinks[i:i + max_fanout]
+            for i in range(0, len(sinks), max_fanout)
+        ]
+        for group in groups:
+            new_net = circuit.split_net_before_sinks(net_name, group, "fo")
+            buf = circuit.new_instance_name("fobuf")
+            circuit.add_instance(
+                buf, buffer_cell, {"A": net_name, "Z": new_net.name}
+            )
+            report.buffers_added += 1
+        # The original net now drives only the buffers; if there are
+        # more than max_fanout buffer groups, recurse on it.
+        if len(circuit.nets[net_name].sinks) > max_fanout:
+            worklist.append(net_name)
+    return report
+
+
+def _family_base(cell: LibraryCell) -> str:
+    name = cell.name
+    if "_X" in name:
+        return name.rsplit("_X", 1)[0]
+    return name
+
+
+def upsize_drivers(circuit: Circuit, library: Library) -> DrcReport:
+    """Swap overloaded drivers to stronger drives, in place.
+
+    A cell is upsized when the estimated load on its output exceeds the
+    cell's ``max_cap_ff``; the weakest family member that can legally
+    drive the load is chosen.  Cells without stronger variants (e.g.
+    flip-flops in this library) are left alone — they become the slow
+    nodes the paper reports rather than fixes.
+    """
+    report = DrcReport()
+    for inst in list(circuit.instances.values()):
+        cell = inst.cell
+        if cell.is_sequential or cell.is_filler:
+            continue
+        over = False
+        worst_load = 0.0
+        # Upsize at 60% of the legal maximum: synthesis margins both
+        # the max-cap and max-transition rules, and the unknown routed
+        # wire cap lands on top of this estimate.
+        threshold = 0.6 * cell.max_cap_ff
+        for _, net in inst.output_conns():
+            load = estimated_load_ff(circuit, net)
+            worst_load = max(worst_load, load)
+            if load > threshold:
+                over = True
+        if not over:
+            continue
+        family = library.family(_family_base(cell))
+        for candidate in family:
+            if candidate.drive > cell.drive and (
+                0.6 * candidate.max_cap_ff >= worst_load
+                or candidate is family[-1]
+            ):
+                circuit.swap_cell(inst.name, candidate)
+                report.drivers_upsized += 1
+                break
+    return report
+
+
+def fix_electrical(circuit: Circuit, library: Library,
+                   max_fanout: int = 8) -> DrcReport:
+    """Run both passes; returns the combined report."""
+    report = fix_fanout(circuit, library, max_fanout=max_fanout)
+    sized = upsize_drivers(circuit, library)
+    report.drivers_upsized = sized.drivers_upsized
+    return report

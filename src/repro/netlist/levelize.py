@@ -1,0 +1,239 @@
+"""Levelisation and combinational views of a sequential netlist.
+
+Full-scan DFT reasons about the *combinational core*: every flip-flop
+output is a pseudo primary input (controllable through the scan chain)
+and every flip-flop data input is a pseudo primary output (observable
+through scan capture).  This module extracts that view, in two flavours:
+
+* ``mode="test"`` — scan-capture mode (TE=0, TR=1).  All sequential
+  cells, including TSFFs, are cut: their Q nets become pseudo inputs,
+  their D pins pseudo outputs.  This is the view ATPG and testability
+  analysis use, and it is exactly why a TSFF is simultaneously a control
+  point and an observation point (paper Section 3.1).
+* ``mode="functional"`` — application mode (TE=0, TR=0).  Plain and
+  scan flip-flops are cut as before, but TSFFs are *transparent*: their
+  Q combinationally equals their D.  This view is used to check that
+  test-point insertion does not alter circuit function.
+
+The view also records which nets are held constant (clocks, global
+scan-enable / TR nets) so simulators never treat them as free inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.library.logic import LogicExpr, Var
+from repro.netlist.circuit import Circuit
+from repro.netlist.instance import Instance
+from repro.netlist.net import PORT, PinRef
+
+
+@dataclass(eq=False)
+class CombNode:
+    """One evaluable node of a combinational view.
+
+    Attributes:
+        inst: The underlying instance.
+        out_net: Net driven by the node.
+        expr: Logic function producing the output from input *pins*.
+        pin_nets: Mapping pin -> net for the expression's support.
+        level: Topological level (inputs are level 0).
+    """
+
+    inst: Instance
+    out_net: str
+    expr: LogicExpr
+    pin_nets: Dict[str, str]
+    level: int = 0
+
+
+@dataclass
+class CombView:
+    """A levelised combinational view of a circuit.
+
+    Attributes:
+        circuit: The underlying netlist.
+        mode: ``"test"`` or ``"functional"``.
+        input_nets: Controllable nets (PIs and pseudo-PIs), in order.
+        output_refs: Observable points as ``(net, (inst, pin))`` pairs:
+            primary outputs use the ``(PORT, name)`` pin reference,
+            pseudo outputs reference the capturing flip-flop data pin.
+        nodes: Evaluable nodes in topological order.
+        constants: Nets held at fixed values in this mode.
+    """
+
+    circuit: Circuit
+    mode: str
+    input_nets: List[str] = field(default_factory=list)
+    output_refs: List[Tuple[str, PinRef]] = field(default_factory=list)
+    nodes: List[CombNode] = field(default_factory=list)
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def output_nets(self) -> List[str]:
+        """Observable net names (one per output reference)."""
+        return [net for net, _ in self.output_refs]
+
+    def node_by_output(self) -> Dict[str, CombNode]:
+        """Index nodes by their driven net."""
+        return {node.out_net: node for node in self.nodes}
+
+    def fanout_index(self) -> Dict[str, List[CombNode]]:
+        """Map each net to the view nodes reading it."""
+        index: Dict[str, List[CombNode]] = {}
+        for node in self.nodes:
+            for net in node.pin_nets.values():
+                index.setdefault(net, []).append(node)
+        return index
+
+    def max_level(self) -> int:
+        """Deepest node level (0 when the view has no nodes)."""
+        return max((node.level for node in self.nodes), default=0)
+
+
+class CombinationalLoopError(ValueError):
+    """Raised when the extracted view contains a combinational cycle."""
+
+
+def _control_nets(circuit: Circuit) -> Set[str]:
+    """Nets that carry clocks or global test-control signals."""
+    controls: Set[str] = {dom.net for dom in circuit.clocks}
+    for inst in circuit.instances.values():
+        seq = inst.cell.sequential
+        if seq is None:
+            continue
+        for pin in (seq.clock_pin, seq.scan_enable, seq.test_point_enable):
+            if pin is not None and pin in inst.conns:
+                controls.add(inst.conns[pin])
+    return controls
+
+
+def extract_comb_view(circuit: Circuit, mode: str = "test") -> CombView:
+    """Build the levelised combinational view of ``circuit``.
+
+    Args:
+        circuit: Netlist to analyse.
+        mode: ``"test"`` for the scan-capture view, ``"functional"``
+            for the application-mode view with transparent TSFFs.
+
+    Raises:
+        CombinationalLoopError: The view contains a combinational cycle
+            (possible in functional mode if TSFF transparency closes a
+            loop through sequential bypasses).
+    """
+    if mode not in ("test", "functional"):
+        raise ValueError(f"unknown mode {mode!r}")
+    view = CombView(circuit=circuit, mode=mode)
+    controls = _control_nets(circuit)
+
+    # Mode constants: clocks idle low, TE=0 always; TR=1 in capture so
+    # TSFF outputs come from the flop, TR=0 in application mode.
+    tr_value = 1 if mode == "test" else 0
+    for net in controls:
+        view.constants[net] = 0
+    for inst in circuit.instances.values():
+        seq = inst.cell.sequential
+        if seq is None or seq.test_point_enable is None:
+            continue
+        tr_net = inst.conns.get(seq.test_point_enable)
+        if tr_net is not None:
+            view.constants[tr_net] = tr_value
+
+    # Controllable nets: non-control primary inputs, plus FF outputs
+    # (except transparent TSFFs in functional mode).
+    for name in circuit.inputs:
+        if name not in controls:
+            view.input_nets.append(name)
+
+    pending: List[CombNode] = []
+    for inst in circuit.instances.values():
+        cell = inst.cell
+        if cell.is_filler:
+            continue
+        seq = cell.sequential
+        if seq is not None:
+            transparent = mode == "functional" and cell.is_tsff
+            q_net = inst.conns.get(seq.output_pin)
+            if transparent:
+                d_net = inst.conns.get(seq.data_pin)
+                if q_net is not None and d_net is not None:
+                    pending.append(CombNode(
+                        inst=inst,
+                        out_net=q_net,
+                        expr=Var(seq.data_pin),
+                        pin_nets={seq.data_pin: d_net},
+                    ))
+            else:
+                if q_net is not None:
+                    view.input_nets.append(q_net)
+                d_net = inst.conns.get(seq.data_pin)
+                if d_net is not None:
+                    view.output_refs.append(
+                        (d_net, (inst.name, seq.data_pin))
+                    )
+            continue
+        # Combinational cell: one node per connected output pin.
+        for out_pin, net in inst.output_conns():
+            expr = cell.functions[out_pin]
+            pin_nets = {}
+            for pin in expr.support():
+                pin_net = inst.conns.get(pin)
+                if pin_net is None:
+                    raise ValueError(
+                        f"{inst.name}.{pin} is unconnected but used by "
+                        f"the function of {cell.name}"
+                    )
+                pin_nets[pin] = pin_net
+            pending.append(CombNode(
+                inst=inst, out_net=net, expr=expr, pin_nets=pin_nets
+            ))
+
+    # Primary outputs are observable.
+    for port in circuit.outputs:
+        view.output_refs.append((circuit.output_net(port), (PORT, port)))
+
+    view.nodes = _topo_sort(pending, view)
+    return view
+
+
+def _topo_sort(pending: List[CombNode], view: CombView) -> List[CombNode]:
+    """Kahn topological sort of view nodes; assigns levels."""
+    known: Dict[str, int] = {net: 0 for net in view.input_nets}
+    for net in view.constants:
+        known.setdefault(net, 0)
+
+    by_input: Dict[str, List[CombNode]] = {}
+    missing: Dict[int, int] = {}
+    for idx, node in enumerate(pending):
+        needed = [n for n in set(node.pin_nets.values()) if n not in known]
+        missing[idx] = len(needed)
+        for net in needed:
+            by_input.setdefault(net, []).append(node)
+
+    index_of = {id(node): idx for idx, node in enumerate(pending)}
+    ready = [node for node in pending if missing[index_of[id(node)]] == 0]
+    ordered: List[CombNode] = []
+    while ready:
+        node = ready.pop()
+        node.level = 1 + max(
+            (known[n] for n in node.pin_nets.values()), default=0
+        )
+        known[node.out_net] = node.level
+        ordered.append(node)
+        for waiter in by_input.get(node.out_net, []):
+            widx = index_of[id(waiter)]
+            missing[widx] -= 1
+            if missing[widx] == 0:
+                ready.append(waiter)
+
+    if len(ordered) != len(pending):
+        done = {id(n) for n in ordered}
+        stuck = [n.inst.name for n in pending if id(n) not in done][:10]
+        raise CombinationalLoopError(
+            f"combinational cycle or undriven net; unresolved nodes "
+            f"include {stuck}"
+        )
+    ordered.sort(key=lambda n: n.level)
+    return ordered

@@ -1,0 +1,113 @@
+"""Netlist sanity checks run between flow steps.
+
+Rewriting passes (TPI, scan stitching, ECO) edit the netlist in place;
+:func:`validate` is the cheap structural audit that catches a bad edit
+before it turns into a mysterious downstream failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.net import PORT
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a netlist validation pass.
+
+    Attributes:
+        errors: Structural violations that make the netlist unusable.
+        warnings: Suspicious but legal constructs (dangling outputs...).
+    """
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        """Raise ``ValueError`` listing the first few errors, if any."""
+        if self.errors:
+            shown = "; ".join(self.errors[:5])
+            more = f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
+            raise ValueError(f"netlist validation failed: {shown}{more}")
+
+
+def validate(circuit: Circuit) -> ValidationReport:
+    """Run all structural checks on ``circuit``.
+
+    Checks: every net driven, every non-filler instance pin connected,
+    sink/driver back-references consistent, clock pins tied to declared
+    clock domains, ports consistent.
+    """
+    report = ValidationReport()
+    clock_nets = {dom.net for dom in circuit.clocks}
+
+    for name, net in circuit.nets.items():
+        if net.driver is None:
+            report.errors.append(f"net {name!r} has no driver")
+        elif net.driver[0] != PORT:
+            inst_name, pin = net.driver
+            inst = circuit.instances.get(inst_name)
+            if inst is None:
+                report.errors.append(
+                    f"net {name!r} driven by missing instance {inst_name!r}"
+                )
+            elif inst.conns.get(pin) != name:
+                report.errors.append(
+                    f"driver back-reference of net {name!r} is stale"
+                )
+        if not net.sinks:
+            report.warnings.append(f"net {name!r} has no sinks (dangling)")
+        for inst_name, pin in net.sinks:
+            if inst_name == PORT:
+                continue
+            inst = circuit.instances.get(inst_name)
+            if inst is None:
+                report.errors.append(
+                    f"net {name!r} read by missing instance {inst_name!r}"
+                )
+            elif inst.conns.get(pin) != name:
+                report.errors.append(
+                    f"sink back-reference ({inst_name}.{pin}) of net "
+                    f"{name!r} is stale"
+                )
+
+    for name, inst in circuit.instances.items():
+        if inst.cell.is_filler:
+            continue
+        for pin_name, pin in inst.cell.pins.items():
+            if pin_name not in inst.conns:
+                report.errors.append(
+                    f"pin {name}.{pin_name} ({inst.cell.name}) unconnected"
+                )
+            elif pin.is_clock and inst.conns[pin_name] not in clock_nets:
+                # Clock pins may legally hang off clock-tree buffers, so
+                # accept nets driven by clock buffers too.
+                driver = circuit.driver_instance(inst.conns[pin_name])
+                if driver is None or not driver.cell.is_clock_buffer:
+                    report.errors.append(
+                        f"clock pin {name}.{pin_name} tied to "
+                        f"{inst.conns[pin_name]!r}, not a clock domain "
+                        f"or clock-tree net"
+                    )
+
+    for port in circuit.outputs:
+        net = circuit.output_net(port)
+        if net not in circuit.nets:
+            report.errors.append(f"output port {port!r} reads missing net")
+        elif (PORT, port) not in circuit.nets[net].sinks:
+            report.errors.append(f"output port {port!r} not a sink of {net!r}")
+    for port in circuit.inputs:
+        if port not in circuit.nets:
+            report.errors.append(f"input port {port!r} has no net")
+        elif circuit.nets[port].driver != (PORT, port):
+            report.errors.append(f"input net {port!r} not driven by its port")
+
+    return report

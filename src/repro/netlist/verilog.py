@@ -1,0 +1,126 @@
+"""Structural Verilog export / import of flat gate-level netlists.
+
+The dialect is the strict subset every physical-design tool exchanges:
+one flat module, ``input``/``output``/``wire`` declarations, and named
+port instantiations of library cells::
+
+    module top (clk, a, b, y);
+      input clk;
+      input a, b;
+      output y;
+      wire n1;
+      NAND2_X1 u1 (.A(a), .B(b), .Z(n1));
+      DFF_X1 r1 (.D(n1), .CLK(clk), .Q(y));
+    endmodule
+
+Clock-domain periods are carried in a ``// repro:clock`` comment so a
+write/read round trip is lossless.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.library.cell import Library
+from repro.netlist.circuit import Circuit
+from repro.netlist.net import PORT
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$\[\]\.]*"
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(rf"(input|output|wire)\s+(.*?);", re.S)
+_INST_RE = re.compile(rf"({_IDENT})\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_CONN_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+_CLOCK_RE = re.compile(rf"//\s*repro:clock\s+({_IDENT})\s+([0-9.]+)")
+
+
+def to_verilog(circuit: Circuit) -> str:
+    """Render ``circuit`` as structural Verilog text."""
+    ports = circuit.inputs + circuit.outputs
+    lines: List[str] = []
+    for dom in circuit.clocks:
+        lines.append(f"// repro:clock {dom.net} {dom.period_ps}")
+    lines.append(f"module {circuit.name} ({', '.join(ports)});")
+    for name in circuit.inputs:
+        lines.append(f"  input {name};")
+    for name in circuit.outputs:
+        lines.append(f"  output {name};")
+    port_nets = set(circuit.inputs) | {
+        p for p in circuit.outputs if circuit.output_net(p) == p
+    }
+    for name in circuit.nets:
+        if name not in port_nets:
+            lines.append(f"  wire {name};")
+    # Output ports that alias an internal net need an assign.
+    for port in circuit.outputs:
+        net = circuit.output_net(port)
+        if net != port:
+            lines.append(f"  assign {port} = {net};")
+    for inst in circuit.instances.values():
+        conns = ", ".join(
+            f".{pin}({net})" for pin, net in sorted(inst.conns.items())
+        )
+        lines.append(f"  {inst.cell.name} {inst.name} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def from_verilog(text: str, library: Library) -> Circuit:
+    """Parse structural Verilog back into a :class:`Circuit`.
+
+    Args:
+        text: Verilog source in the subset produced by :func:`to_verilog`,
+            including ``assign port = net;`` aliases of output ports.
+        library: Library resolving cell names.
+    """
+    text = re.sub(r"//(?!\s*repro:clock).*", "", text)
+    clocks: Dict[str, float] = {
+        m.group(1): float(m.group(2)) for m in _CLOCK_RE.finditer(text)
+    }
+    text = re.sub(r"//.*", "", text)
+
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise ValueError("no module declaration found")
+    circuit = Circuit(module.group(1))
+    body = text[module.end():]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    wires: List[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        split = [n.strip() for n in names.split(",") if n.strip()]
+        {"input": inputs, "output": outputs, "wire": wires}[kind].extend(split)
+
+    for name in inputs:
+        if name in clocks:
+            circuit.add_clock(name, clocks[name])
+        else:
+            circuit.add_input(name)
+    for name in wires:
+        circuit.add_net(name)
+
+    assign_re = re.compile(rf"assign\s+({_IDENT})\s*=\s*({_IDENT})\s*;")
+    aliases = {lhs: rhs for lhs, rhs in assign_re.findall(body)}
+    for name in outputs:
+        if name not in aliases and name not in circuit.nets:
+            circuit.add_net(name)
+
+    decl_or_module = re.compile(
+        r"^\s*(module|input|output|wire|endmodule|assign)\b"
+    )
+    for match in _INST_RE.finditer(body):
+        cell_name, inst_name, conn_text = match.groups()
+        if decl_or_module.match(match.group(0)):
+            continue
+        if cell_name not in library:
+            raise KeyError(f"unknown library cell {cell_name!r}")
+        conns = {pin: net for pin, net in _CONN_RE.findall(conn_text)}
+        circuit.add_instance(inst_name, library[cell_name], conns)
+
+    for name in outputs:
+        net = aliases.get(name, name)
+        circuit.nets[net].add_sink(PORT, name)
+        circuit.outputs.append(name)
+        circuit._output_net[name] = net
+    return circuit

@@ -1,0 +1,33 @@
+"""Scan insertion, layout-driven chain reordering and flush tests."""
+
+from repro.scan.flush import flush_delay_ok, simulate_shift, tsff_flush_paths
+from repro.scan.insertion import (
+    SCAN_ENABLE,
+    TP_ENABLE,
+    ScanChains,
+    insert_scan,
+    restitch_chains,
+)
+from repro.scan.reorder import (
+    ReorderReport,
+    chain_wirelength,
+    nearest_neighbour_order,
+    reorder_chains,
+    two_opt,
+)
+
+__all__ = [
+    "ReorderReport",
+    "SCAN_ENABLE",
+    "ScanChains",
+    "TP_ENABLE",
+    "chain_wirelength",
+    "flush_delay_ok",
+    "insert_scan",
+    "nearest_neighbour_order",
+    "reorder_chains",
+    "restitch_chains",
+    "simulate_shift",
+    "tsff_flush_paths",
+    "two_opt",
+]

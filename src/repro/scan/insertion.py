@@ -1,0 +1,208 @@
+"""Scan insertion: scan-cell substitution and chain stitching.
+
+Implements step 1 of the paper's tool flow (Fig. 2): every plain DFF is
+replaced by its scan-equivalent cell, all flip-flops (TSFFs included)
+are partitioned into balanced scan chains, and the global test signals
+(scan-enable TE, test-point-enable TR, scan-in/scan-out ports) are
+created and connected.
+
+Chains never mix clock domains: shifting through a domain crossing
+would need lock-up latches the paper's flow does not use.  Within each
+domain, chains are balanced to the requested maximum length or chain
+count (paper Section 4.1: "multiple, balanced scan chains"; s38417 and
+circuit 1 use a maximum balanced length of 100, p26909 uses 32 chains).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.library.cell import Library
+from repro.netlist.circuit import Circuit
+
+#: Name of the global scan-enable (TE) input.
+SCAN_ENABLE = "scan_enable"
+
+#: Name of the global test-point-enable (TR) input.
+TP_ENABLE = "tp_enable"
+
+
+@dataclass
+class ScanChains:
+    """Scan-chain configuration of a circuit.
+
+    Attributes:
+        chains: Flip-flop instance names per chain, scan-in first.
+        scan_in_ports: Scan-in port per chain.
+        scan_out_ports: Scan-out port per chain.
+        clock_of_chain: Clock domain net per chain.
+    """
+
+    chains: List[List[str]] = field(default_factory=list)
+    scan_in_ports: List[str] = field(default_factory=list)
+    scan_out_ports: List[str] = field(default_factory=list)
+    clock_of_chain: List[str] = field(default_factory=list)
+
+    @property
+    def n_chains(self) -> int:
+        """Number of scan chains."""
+        return len(self.chains)
+
+    @property
+    def max_length(self) -> int:
+        """Length of the longest chain (paper's l_max)."""
+        return max((len(c) for c in self.chains), default=0)
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Total flip-flops across all chains."""
+        return sum(len(c) for c in self.chains)
+
+
+def insert_scan(
+    circuit: Circuit,
+    library: Library,
+    max_chain_length: Optional[int] = None,
+    n_chains: Optional[int] = None,
+) -> ScanChains:
+    """Convert ``circuit`` to full scan, in place.
+
+    Args:
+        circuit: Netlist to convert; plain DFFs become scan DFFs, all
+            sequential cells are stitched into chains.
+        library: Library providing the scan cells (``SDFF_X1``).
+        max_chain_length: Balance chains to at most this many FFs.
+        n_chains: Alternatively, use exactly this many chains (split
+            proportionally across clock domains).
+
+    Returns:
+        The resulting chain configuration.
+
+    Raises:
+        ValueError: Neither or both sizing arguments given.
+    """
+    if (max_chain_length is None) == (n_chains is None):
+        raise ValueError("give exactly one of max_chain_length / n_chains")
+
+    # 1. Substitute scan cells and collect FFs per clock domain.
+    sdff = library["SDFF_X1"]
+    by_domain: Dict[str, List[str]] = {}
+    for inst in list(circuit.instances.values()):
+        if not inst.is_sequential:
+            continue
+        if not inst.cell.is_scan:
+            circuit.swap_cell(inst.name, sdff)
+        clock = circuit.clock_of(inst.name)
+        if clock is None:
+            raise ValueError(f"flip-flop {inst.name!r} has no clock")
+        by_domain.setdefault(clock, []).append(inst.name)
+
+    total_ffs = sum(len(v) for v in by_domain.values())
+    if total_ffs == 0:
+        return ScanChains()
+
+    # 2. Global test-control nets.
+    if SCAN_ENABLE not in circuit.nets:
+        circuit.add_input(SCAN_ENABLE)
+    has_tsff = any(
+        inst.cell.is_tsff for inst in circuit.instances.values()
+    )
+    if has_tsff and TP_ENABLE not in circuit.nets:
+        circuit.add_input(TP_ENABLE)
+
+    # 3. Chain counts per domain.
+    config = ScanChains()
+    if n_chains is not None:
+        remaining = n_chains
+        domains = sorted(by_domain, key=lambda d: -len(by_domain[d]))
+        share: Dict[str, int] = {}
+        for i, domain in enumerate(domains):
+            if i == len(domains) - 1:
+                share[domain] = max(1, remaining)
+            else:
+                portion = max(
+                    1, round(n_chains * len(by_domain[domain]) / total_ffs)
+                )
+                portion = min(portion, remaining - (len(domains) - 1 - i))
+                share[domain] = portion
+                remaining -= portion
+    else:
+        share = {
+            domain: max(1, math.ceil(len(ffs) / max_chain_length))
+            for domain, ffs in by_domain.items()
+        }
+
+    # 4. Stitch balanced chains within each domain.
+    for domain in sorted(by_domain):
+        ffs = by_domain[domain]
+        k = share[domain]
+        length = math.ceil(len(ffs) / k)
+        for c in range(k):
+            members = ffs[c * length:(c + 1) * length]
+            if not members:
+                continue
+            chain_id = config.n_chains
+            si = f"si{chain_id}"
+            so = f"so{chain_id}"
+            circuit.add_input(si)
+            _stitch(circuit, members, si)
+            last_q = circuit.instances[members[-1]].conns["Q"]
+            circuit.add_output(so, last_q)
+            config.chains.append(members)
+            config.scan_in_ports.append(si)
+            config.scan_out_ports.append(so)
+            config.clock_of_chain.append(domain)
+
+    # 5. Hook up TE / TR.
+    for inst in circuit.instances.values():
+        seq = inst.cell.sequential
+        if seq is None:
+            continue
+        if seq.scan_enable and seq.scan_enable not in inst.conns:
+            circuit.connect(inst.name, seq.scan_enable, SCAN_ENABLE)
+        if seq.test_point_enable and seq.test_point_enable not in inst.conns:
+            circuit.connect(inst.name, seq.test_point_enable, TP_ENABLE)
+    return config
+
+
+def _stitch(circuit: Circuit, members: List[str], scan_in_net: str) -> None:
+    """Wire TI pins along one chain: scan-in, then Q-to-TI hops."""
+    previous_q = scan_in_net
+    for name in members:
+        inst = circuit.instances[name]
+        seq = inst.cell.sequential
+        if seq is None or seq.scan_in is None:
+            raise ValueError(f"{name!r} is not a scan cell")
+        if seq.scan_in in inst.conns:
+            circuit.disconnect(name, seq.scan_in)
+        circuit.connect(name, seq.scan_in, previous_q)
+        previous_q = inst.conns[seq.output_pin]
+
+
+def restitch_chains(circuit: Circuit, config: ScanChains,
+                    new_orders: List[List[str]]) -> None:
+    """Rewire existing chains to new member orders (same membership).
+
+    Used by layout-driven reordering: chain membership and ports stay,
+    only the shift order changes.
+    """
+    if len(new_orders) != config.n_chains:
+        raise ValueError("chain count mismatch")
+    for chain_id, members in enumerate(new_orders):
+        if sorted(members) != sorted(config.chains[chain_id]):
+            raise ValueError(
+                f"chain {chain_id} membership changed during reorder"
+            )
+        si = config.scan_in_ports[chain_id]
+        so = config.scan_out_ports[chain_id]
+        _stitch(circuit, members, si)
+        # Move the scan-out port to the new last FF.
+        last_q = circuit.instances[members[-1]].conns["Q"]
+        old_net = circuit.output_net(so)
+        if old_net != last_q:
+            circuit.nets[old_net].remove_sink("@port", so)
+            circuit.nets[last_q].add_sink("@port", so)
+            circuit._output_net[so] = last_q
+        config.chains[chain_id] = list(members)

@@ -1,0 +1,314 @@
+"""Static timing analysis (the flow's Pearl substitute).
+
+Propagates arrivals and slews through the application-mode timing graph
+using NLDM cell delays and Elmore wire delays from extraction, then
+checks setup at every flip-flop data pin against its domain's clock
+period.  Clock insertion delays are measured through the real routed
+clock tree, so the skew term is physical, not assumed.
+
+Every reported path carries the paper's eq. (3) decomposition::
+
+    T_cp = T_wires + T_intrinsic + T_load-dep + T_setup + T_skew
+
+with T_skew = (launch clock arrival) - (capture clock arrival).  Cells
+evaluated outside their NLDM table range are collected as *slow nodes*
+(paper Section 4.4) and left unfixed, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.extraction.rc import NetParasitics
+from repro.netlist.circuit import Circuit
+from repro.sta.delay import evaluate_arc, wire_degraded_slew
+from repro.sta.graph import TimingNode, build_timing_nodes
+
+
+@dataclass
+class StaConfig:
+    """Analysis knobs.
+
+    Attributes:
+        input_slew_ps: Transition time assumed at primary inputs.
+        derate: Worst-case PVT multiplier on cell delays (the paper
+            analyses worst-case process/temperature/voltage).
+        paths_per_domain: Worst paths retained per clock domain.
+    """
+
+    input_slew_ps: float = 60.0
+    derate: float = 1.25
+    paths_per_domain: int = 8
+
+
+@dataclass
+class _Arrival:
+    """Worst (or best) arrival state at a net."""
+
+    time_ps: float
+    slew_ps: float
+    wires_ps: float = 0.0
+    intrinsic_ps: float = 0.0
+    load_dep_ps: float = 0.0
+    launch_ps: float = 0.0
+    domain: Optional[str] = None
+    pred: Optional[Tuple[str, TimingNode]] = None
+    n_tsff: int = 0
+
+
+@dataclass
+class TimingPath:
+    """One register-to-register (or input-to-register) path.
+
+    Attributes:
+        domain: Capturing clock domain.
+        endpoint: Capturing flip-flop instance.
+        startpoint: Launching FF instance or primary input net.
+        t_wires_ps: Interconnect delay along the path.
+        t_intrinsic_ps: Sum of cell intrinsic delays.
+        t_load_dep_ps: Sum of load-dependent cell delays.
+        t_setup_ps: Capturing flip-flop setup time.
+        t_skew_ps: Launch minus capture clock arrival.
+        total_ps: The paper's T_cp (eq. 3 sum).
+        slack_ps: Domain period minus total.
+        nets: Nets traversed (used by timing-aware TPI exclusion).
+        n_test_points: TSFFs traversed (paper Table 3, #TP_cp).
+    """
+
+    domain: str
+    endpoint: str
+    startpoint: str
+    t_wires_ps: float
+    t_intrinsic_ps: float
+    t_load_dep_ps: float
+    t_setup_ps: float
+    t_skew_ps: float
+    total_ps: float
+    slack_ps: float
+    nets: List[str] = field(default_factory=list)
+    n_test_points: int = 0
+
+    @property
+    def fmax_mhz(self) -> float:
+        """Highest frequency this path permits."""
+        return 1e6 / self.total_ps if self.total_ps > 0 else float("inf")
+
+
+@dataclass
+class StaResult:
+    """Outcome of one STA run.
+
+    Attributes:
+        paths: Worst paths per clock domain (worst first).
+        slow_nodes: Instances evaluated by table extrapolation.
+        hold_violations: Endpoints failing the hold check.
+    """
+
+    paths: Dict[str, List[TimingPath]] = field(default_factory=dict)
+    slow_nodes: Set[str] = field(default_factory=set)
+    hold_violations: int = 0
+    #: Per-violating-endpoint hold slack in ps (negative = violating).
+    hold_slacks: Dict[str, float] = field(default_factory=dict)
+
+    def critical(self, domain: str) -> Optional[TimingPath]:
+        """Worst path of one domain."""
+        paths = self.paths.get(domain)
+        return paths[0] if paths else None
+
+    def worst_path(self) -> Optional[TimingPath]:
+        """Most negative-slack path across all domains."""
+        best: Optional[TimingPath] = None
+        for paths in self.paths.values():
+            for path in paths:
+                if best is None or path.slack_ps < best.slack_ps:
+                    best = path
+        return best
+
+    def all_paths(self) -> List[TimingPath]:
+        """All retained paths, flattened."""
+        return [p for paths in self.paths.values() for p in paths]
+
+
+def _propagate(
+    circuit: Circuit,
+    nodes: List[TimingNode],
+    parasitics: Dict[str, NetParasitics],
+    config: StaConfig,
+    worst: bool,
+    slow_nodes: Optional[Set[str]] = None,
+) -> Dict[str, _Arrival]:
+    """Arrival propagation; ``worst`` picks max (setup) vs min (hold)."""
+    arrivals: Dict[str, _Arrival] = {}
+    clock_nets = {dom.net for dom in circuit.clocks}
+    for name in circuit.inputs:
+        arrivals[name] = _Arrival(
+            time_ps=0.0,
+            slew_ps=config.input_slew_ps,
+            domain=name if name in clock_nets else None,
+        )
+
+    better = (lambda a, b: a > b) if worst else (lambda a, b: a < b)
+    for node in nodes:
+        inst = node.inst
+        out_net = node.out_net
+        load = parasitics[out_net].total_cap_ff
+        best: Optional[_Arrival] = None
+        for arc in node.arcs:
+            from_net = inst.conns[arc.from_pin]
+            arr = arrivals.get(from_net)
+            if arr is None:
+                continue
+            elmore = parasitics[from_net].delay_to((inst.name, arc.from_pin))
+            pin_slew = wire_degraded_slew(arr.slew_ps, elmore)
+            ad = evaluate_arc(arc, pin_slew, load, config.derate)
+            if slow_nodes is not None and ad.extrapolated:
+                slow_nodes.add(inst.name)
+            time = arr.time_ps + elmore + ad.delay_ps
+            if node.is_launch:
+                candidate = _Arrival(
+                    time_ps=time,
+                    slew_ps=ad.out_slew_ps,
+                    wires_ps=0.0,
+                    intrinsic_ps=ad.intrinsic_ps,
+                    load_dep_ps=ad.load_dependent_ps,
+                    launch_ps=arr.time_ps + elmore,
+                    domain=arr.domain,
+                    pred=None,
+                    n_tsff=0,
+                )
+            else:
+                candidate = _Arrival(
+                    time_ps=time,
+                    slew_ps=ad.out_slew_ps,
+                    wires_ps=arr.wires_ps + elmore,
+                    intrinsic_ps=arr.intrinsic_ps + ad.intrinsic_ps,
+                    load_dep_ps=arr.load_dep_ps + ad.load_dependent_ps,
+                    launch_ps=arr.launch_ps,
+                    domain=arr.domain,
+                    pred=(from_net, node),
+                    n_tsff=arr.n_tsff + (1 if inst.cell.is_tsff else 0),
+                )
+            if best is None or better(candidate.time_ps, best.time_ps):
+                best = candidate
+        if best is not None:
+            arrivals[out_net] = best
+    return arrivals
+
+
+def _path_nets(arrivals: Dict[str, _Arrival], end_net: str) -> List[str]:
+    """Nets along the worst path into ``end_net``, endpoint first."""
+    nets = [end_net]
+    seen = {end_net}
+    current = arrivals.get(end_net)
+    while current is not None and current.pred is not None:
+        from_net, _ = current.pred
+        if from_net in seen:
+            break  # defensive: malformed pred chain
+        nets.append(from_net)
+        seen.add(from_net)
+        current = arrivals.get(from_net)
+    return nets
+
+
+def _startpoint(circuit: Circuit, arrivals: Dict[str, _Arrival],
+                end_net: str) -> str:
+    """Launching FF instance (or input net) of the worst path."""
+    nets = _path_nets(arrivals, end_net)
+    first = nets[-1]
+    driver = circuit.nets[first].driver
+    if driver is None or driver[0] == "@port":
+        return first
+    return driver[0]
+
+
+def run_sta(
+    circuit: Circuit,
+    parasitics: Dict[str, NetParasitics],
+    config: Optional[StaConfig] = None,
+) -> StaResult:
+    """Run setup and hold analysis on a laid-out netlist.
+
+    Args:
+        circuit: Netlist including clock trees and scan logic.
+        parasitics: Extracted RC per net.
+        config: Analysis configuration.
+
+    Returns:
+        Per-domain worst paths with eq. (3) decompositions, slow nodes
+        and the hold-violation count.
+    """
+    config = config or StaConfig()
+    result = StaResult()
+    nodes = build_timing_nodes(circuit)
+    arrivals = _propagate(
+        circuit, nodes, parasitics, config, worst=True,
+        slow_nodes=result.slow_nodes,
+    )
+    min_arrivals = _propagate(
+        circuit, nodes, parasitics, config, worst=False
+    )
+    periods = {dom.net: dom.period_ps for dom in circuit.clocks}
+
+    candidates: Dict[str, List[TimingPath]] = {d: [] for d in periods}
+    for inst in circuit.instances.values():
+        seq = inst.cell.sequential
+        if seq is None or inst.cell.is_tsff:
+            # TSFF capture paths exist only in test mode: blocked.
+            continue
+        d_net = inst.conns.get(seq.data_pin)
+        clk_net = inst.conns.get(seq.clock_pin)
+        if d_net is None or clk_net is None:
+            continue
+        arr = arrivals.get(d_net)
+        clk_arr = arrivals.get(clk_net)
+        if arr is None or clk_arr is None or clk_arr.domain is None:
+            continue
+        domain = clk_arr.domain
+        if arr.domain is not None and arr.domain != domain:
+            continue  # cross-domain: treated as false path
+        elmore_d = parasitics[d_net].delay_to((inst.name, seq.data_pin))
+        elmore_c = parasitics[clk_net].delay_to((inst.name, seq.clock_pin))
+        capture_clk = clk_arr.time_ps + elmore_c
+        setup = seq.setup_ps * config.derate
+        t_skew = arr.launch_ps - capture_clk
+        total = (
+            arr.wires_ps + elmore_d
+            + arr.intrinsic_ps + arr.load_dep_ps
+            + setup + t_skew
+        )
+        path = TimingPath(
+            domain=domain,
+            endpoint=inst.name,
+            startpoint=_startpoint(circuit, arrivals, d_net),
+            t_wires_ps=arr.wires_ps + elmore_d,
+            t_intrinsic_ps=arr.intrinsic_ps,
+            t_load_dep_ps=arr.load_dep_ps,
+            t_setup_ps=setup,
+            t_skew_ps=t_skew,
+            total_ps=total,
+            slack_ps=periods.get(domain, 0.0) - total,
+            nets=_path_nets(arrivals, d_net),
+            n_test_points=arr.n_tsff,
+        )
+        candidates.setdefault(domain, []).append(path)
+
+        # Hold: earliest data edge must not beat the capture edge.
+        min_arr = min_arrivals.get(d_net)
+        if min_arr is not None and (
+            min_arr.domain is None or min_arr.domain == domain
+        ):
+            hold = seq.hold_ps
+            early = (
+                min_arr.time_ps
+                + parasitics[d_net].delay_to((inst.name, seq.data_pin))
+            )
+            slack = (early - capture_clk) - hold
+            if slack < 0:
+                result.hold_violations += 1
+                result.hold_slacks[inst.name] = slack
+
+    for domain, paths in candidates.items():
+        paths.sort(key=lambda p: p.slack_ps)
+        result.paths[domain] = paths[:config.paths_per_domain]
+    return result

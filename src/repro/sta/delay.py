@@ -1,0 +1,68 @@
+"""Cell-arc delay evaluation on NLDM tables.
+
+Splits every evaluated arc into the paper's decomposition terms:
+*intrinsic* delay (table extrapolated to zero slew, zero load — exactly
+the paper's "input signal with near-zero slew ... without load") and
+*load-dependent* delay (everything above intrinsic, i.e. the slew- and
+load-driven part).  Lookups outside the table range are flagged — those
+cells are the paper's "slow nodes" (Section 4.4), evaluated by less
+accurate extrapolation and reported, not fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.cell import TimingArc
+
+
+@dataclass(frozen=True)
+class ArcDelay:
+    """One evaluated timing arc.
+
+    Attributes:
+        delay_ps: Total arc delay.
+        out_slew_ps: Output transition time.
+        intrinsic_ps: Zero-slew zero-load component.
+        load_dependent_ps: delay - intrinsic.
+        extrapolated: True when the lookup left the table range
+            (a "slow node" evaluation).
+    """
+
+    delay_ps: float
+    out_slew_ps: float
+    intrinsic_ps: float
+    load_dependent_ps: float
+    extrapolated: bool
+
+
+def evaluate_arc(arc: TimingArc, input_slew_ps: float, load_ff: float,
+                 derate: float = 1.0) -> ArcDelay:
+    """Evaluate one arc at the given slew and load.
+
+    Args:
+        arc: Library timing arc.
+        input_slew_ps: Transition time at the arc's input pin.
+        load_ff: Effective capacitive load on the output.
+        derate: Multiplicative worst-case PVT derating.
+
+    Returns:
+        The evaluated delay with the paper's intrinsic / load-dependent
+        split and the slow-node flag.
+    """
+    delay = arc.delay.lookup(input_slew_ps, load_ff)
+    slew = arc.slew.lookup(input_slew_ps, load_ff)
+    intrinsic = arc.delay.intrinsic_ps() * derate
+    total = max(0.0, delay.value) * derate
+    return ArcDelay(
+        delay_ps=total,
+        out_slew_ps=max(1.0, slew.value),
+        intrinsic_ps=min(intrinsic, total),
+        load_dependent_ps=max(0.0, total - intrinsic),
+        extrapolated=delay.extrapolated or slew.extrapolated,
+    )
+
+
+def wire_degraded_slew(slew_ps: float, elmore_ps: float) -> float:
+    """Slew at a sink after an RC wire (PERI-style degradation)."""
+    return (slew_ps ** 2 + (2.2 * elmore_ps) ** 2) ** 0.5

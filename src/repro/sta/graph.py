@@ -1,0 +1,123 @@
+"""Application-mode timing graph construction.
+
+The timing view of a netlist in application mode (TE = TR = 0):
+
+* combinational cells contribute all their input->output arcs;
+* plain and scan flip-flops contribute only the CLK->Q launch arc —
+  their D/TI pins are path endpoints, not through-pins;
+* TSFFs are *transparent*: they contribute only the D->Q pass-through
+  arc (two mux hops).  Their TI->Q flush arc and the capture of D into
+  the internal flop exist only in test modes, so they are exactly the
+  false paths the paper blocks before analysis (Section 4.4: "we
+  blocked all false paths that are only active in test mode").
+
+Clock-tree buffers are ordinary combinational cells here, so clock
+insertion delays and skew come out of the same propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.library.cell import LibraryCell, TimingArc
+from repro.netlist.circuit import Circuit
+from repro.netlist.instance import Instance
+
+
+@dataclass(eq=False)
+class TimingNode:
+    """One evaluable element of the timing graph.
+
+    Attributes:
+        inst: The underlying instance.
+        out_pin: Output pin of the node.
+        out_net: Net driven by the node.
+        arcs: Application-mode arcs ending at ``out_pin``.
+        is_launch: True for sequential CLK->Q launch nodes (path
+            accumulators restart here).
+    """
+
+    inst: Instance
+    out_pin: str
+    out_net: str
+    arcs: List[TimingArc] = field(default_factory=list)
+    is_launch: bool = False
+
+
+def app_mode_arcs(cell: LibraryCell) -> List[TimingArc]:
+    """Arcs active in application mode for one cell."""
+    seq = cell.sequential
+    if seq is None:
+        return list(cell.arcs)
+    if cell.is_tsff:
+        # Transparent pass-through only; flush (TI->Q) and launch
+        # (CLK->Q) are test-mode paths.
+        return [a for a in cell.arcs if a.from_pin == seq.data_pin]
+    return [a for a in cell.arcs if a.from_pin == seq.clock_pin]
+
+
+def build_timing_nodes(circuit: Circuit) -> List[TimingNode]:
+    """Topologically ordered timing nodes of the application view.
+
+    Raises:
+        ValueError: The application-mode view has a combinational cycle
+            (possible only through malformed TSFF insertion).
+    """
+    pending: List[TimingNode] = []
+    for inst in circuit.instances.values():
+        cell = inst.cell
+        if cell.is_filler:
+            continue
+        arcs = app_mode_arcs(cell)
+        if not arcs:
+            continue
+        by_out: Dict[str, List[TimingArc]] = {}
+        for arc in arcs:
+            if arc.from_pin in inst.conns and arc.to_pin in inst.conns:
+                by_out.setdefault(arc.to_pin, []).append(arc)
+        for out_pin, out_arcs in by_out.items():
+            pending.append(TimingNode(
+                inst=inst,
+                out_pin=out_pin,
+                out_net=inst.conns[out_pin],
+                arcs=out_arcs,
+                is_launch=(
+                    cell.is_sequential and not cell.is_tsff
+                ),
+            ))
+
+    # Kahn sort on net dependencies.
+    known = set(circuit.inputs)
+    waiting: Dict[str, List[TimingNode]] = {}
+    missing: Dict[int, int] = {}
+    for i, node in enumerate(pending):
+        needs = {
+            node.inst.conns[a.from_pin]
+            for a in node.arcs
+        } - known
+        missing[i] = len(needs)
+        for net in needs:
+            waiting.setdefault(net, []).append(node)
+    index_of = {id(n): i for i, n in enumerate(pending)}
+    ready = [n for n in pending if missing[index_of[id(n)]] == 0]
+    ordered: List[TimingNode] = []
+    while ready:
+        node = ready.pop()
+        ordered.append(node)
+        out = node.out_net
+        if out in known:
+            continue
+        known.add(out)
+        for waiter in waiting.get(out, ()):
+            i = index_of[id(waiter)]
+            missing[i] -= 1
+            if missing[i] == 0:
+                ready.append(waiter)
+    if len(ordered) != len(pending):
+        done = {id(n) for n in ordered}
+        stuck = [n.inst.name for n in pending if id(n) not in done][:8]
+        raise ValueError(
+            f"timing graph has a cycle or undriven input; stuck at {stuck}"
+        )
+    return ordered

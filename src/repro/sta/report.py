@@ -1,0 +1,74 @@
+"""Human-readable timing reports (the ``report_timing`` equivalent).
+
+Formats :class:`repro.sta.analysis.TimingPath` objects the way timing
+engineers read them: startpoint/endpoint header, the eq. (3) term
+breakdown, and a per-domain summary table with F_max — the exact
+quantities of the paper's Table 3, one path at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sta.analysis import StaResult, TimingPath
+
+
+def format_path(path: TimingPath, period_ps: Optional[float] = None) -> str:
+    """Render one path as a report block."""
+    lines = [
+        f"Startpoint: {path.startpoint}",
+        f"Endpoint:   {path.endpoint} (domain {path.domain})",
+        "",
+        f"  {'T_wires':<14}{path.t_wires_ps:>10.1f} ps",
+        f"  {'T_intrinsic':<14}{path.t_intrinsic_ps:>10.1f} ps",
+        f"  {'T_load-dep':<14}{path.t_load_dep_ps:>10.1f} ps",
+        f"  {'T_setup':<14}{path.t_setup_ps:>10.1f} ps",
+        f"  {'T_skew':<14}{path.t_skew_ps:>10.1f} ps",
+        f"  {'-' * 26}",
+        f"  {'T_cp (eq. 3)':<14}{path.total_ps:>10.1f} ps"
+        f"   (F_max {path.fmax_mhz:.1f} MHz)",
+    ]
+    if period_ps is not None:
+        lines.append(
+            f"  {'slack':<14}{path.slack_ps:>10.1f} ps"
+            f"   (period {period_ps:.0f} ps)"
+        )
+    if path.n_test_points:
+        lines.append(
+            f"  test points on this path: {path.n_test_points}"
+        )
+    return "\n".join(lines)
+
+
+def format_summary(result: StaResult,
+                   periods: Optional[dict] = None) -> str:
+    """Per-domain one-line summary of an STA run."""
+    lines = [
+        f"{'domain':<10}{'T_cp(ps)':>10}{'F_max(MHz)':>12}"
+        f"{'slack(ps)':>11}{'#TP_cp':>7}{'paths':>7}",
+    ]
+    for domain in sorted(result.paths):
+        critical = result.critical(domain)
+        if critical is None:
+            continue
+        lines.append(
+            f"{domain:<10}{critical.total_ps:>10.0f}"
+            f"{critical.fmax_mhz:>12.1f}"
+            f"{critical.slack_ps:>11.0f}"
+            f"{critical.n_test_points:>7}"
+            f"{len(result.paths[domain]):>7}"
+        )
+    lines.append(
+        f"slow nodes: {len(result.slow_nodes)}, "
+        f"hold violations: {result.hold_violations}"
+    )
+    return "\n".join(lines)
+
+
+def worst_paths_report(result: StaResult, count: int = 3) -> str:
+    """The ``count`` most critical paths across all domains."""
+    ranked: List[TimingPath] = sorted(
+        result.all_paths(), key=lambda p: p.slack_ps
+    )[:count]
+    blocks = [format_path(p) for p in ranked]
+    return ("\n" + "=" * 40 + "\n").join(blocks)

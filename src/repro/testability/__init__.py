@@ -1,0 +1,20 @@
+"""Testability analysis: SCOAP, COP and fanout-free regions."""
+
+from repro.testability.cop import CopResult, compute_cop
+from repro.testability.regions import (
+    FanoutFreeRegion,
+    find_regions,
+    region_of_net,
+)
+from repro.testability.scoap import INFINITE, ScoapResult, compute_scoap
+
+__all__ = [
+    "CopResult",
+    "FanoutFreeRegion",
+    "INFINITE",
+    "ScoapResult",
+    "compute_cop",
+    "compute_scoap",
+    "find_regions",
+    "region_of_net",
+]

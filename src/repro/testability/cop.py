@@ -1,0 +1,140 @@
+"""COP: probabilistic controllability/observability analysis.
+
+COP (Brglez) estimates, under an input-independence assumption, the
+probability that a random pattern sets a net to 1 (``p1``) and the
+probability that a value change on the net propagates to an observable
+point (``obs``).  Their product gives per-fault *detection
+probabilities* — the quantity the paper's TPI method uses to find
+pseudo-random-resistant logic and to rank test-point candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.library.logic import And, Const, LogicExpr, Mux, Not, Or, Var, Xor
+from repro.netlist.levelize import CombView
+
+
+@dataclass
+class CopResult:
+    """COP measures for one combinational view.
+
+    Attributes:
+        p1: Probability that a uniform random input pattern sets the
+            net to 1.
+        obs: Probability that the net's value is observed at some
+            observable point (union bound over fanout branches).
+        branch_obs: Observability per fanout branch, keyed by
+            ``(net, instance, pin)``.
+    """
+
+    p1: Dict[str, float] = field(default_factory=dict)
+    obs: Dict[str, float] = field(default_factory=dict)
+    branch_obs: Dict[Tuple[str, str, str], float] = field(default_factory=dict)
+
+    def detection_probability(self, net: str, stuck_value: int) -> float:
+        """P(a random pattern detects net stuck-at ``stuck_value``).
+
+        Detection needs the fault site driven to the opposite value and
+        the site observable: ``pd = p(opposite) * obs``.
+        """
+        drive = self.p1[net] if stuck_value == 0 else 1.0 - self.p1[net]
+        return drive * self.obs[net]
+
+    def hardest_faults(self, threshold: float):
+        """Yield ``(net, stuck_value, pd)`` for faults with pd < threshold."""
+        for net in self.p1:
+            for sv in (0, 1):
+                pd = self.detection_probability(net, sv)
+                if pd < threshold:
+                    yield net, sv, pd
+
+
+def _sens_prob(expr: LogicExpr, pin_p: Dict[str, float],
+               obs_out: float, acc: Dict[str, float]) -> None:
+    """Distribute output observability ``obs_out`` to the input pins.
+
+    At each operator the probability that the operator is *sensitized*
+    to one operand multiplies the observability passed to that operand.
+    """
+    if isinstance(expr, Var):
+        prev = acc.get(expr.pin, 0.0)
+        # Union bound when a pin reaches the output along several paths.
+        acc[expr.pin] = 1.0 - (1.0 - prev) * (1.0 - obs_out)
+        return
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, Not):
+        _sens_prob(expr.arg, pin_p, obs_out, acc)
+        return
+    if isinstance(expr, And):
+        probs = [a.eval_prob(pin_p) for a in expr.args]
+        for i, arg in enumerate(expr.args):
+            others = 1.0
+            for j, p in enumerate(probs):
+                if j != i:
+                    others *= p
+            _sens_prob(arg, pin_p, obs_out * others, acc)
+        return
+    if isinstance(expr, Or):
+        probs = [a.eval_prob(pin_p) for a in expr.args]
+        for i, arg in enumerate(expr.args):
+            others = 1.0
+            for j, p in enumerate(probs):
+                if j != i:
+                    others *= 1.0 - p
+            _sens_prob(arg, pin_p, obs_out * others, acc)
+        return
+    if isinstance(expr, Xor):
+        _sens_prob(expr.a, pin_p, obs_out, acc)
+        _sens_prob(expr.b, pin_p, obs_out, acc)
+        return
+    if isinstance(expr, Mux):
+        ps = expr.sel.eval_prob(pin_p)
+        pa = expr.a.eval_prob(pin_p)
+        pb = expr.b.eval_prob(pin_p)
+        _sens_prob(expr.a, pin_p, obs_out * (1.0 - ps), acc)
+        _sens_prob(expr.b, pin_p, obs_out * ps, acc)
+        differ = pa * (1.0 - pb) + pb * (1.0 - pa)
+        _sens_prob(expr.sel, pin_p, obs_out * differ, acc)
+        return
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def compute_cop(view: CombView) -> CopResult:
+    """Compute COP p1/obs for every net of ``view``.
+
+    Controllable inputs get ``p1 = 0.5``; constant nets get their pinned
+    probability; observable points get ``obs = 1``.
+    """
+    result = CopResult()
+    p1 = result.p1
+
+    for net in view.input_nets:
+        p1[net] = 0.5
+    for net, value in view.constants.items():
+        p1[net] = float(value)
+    for node in view.nodes:
+        pin_p = {pin: p1[n] for pin, n in node.pin_nets.items()}
+        p1[node.out_net] = node.expr.eval_prob(pin_p)
+
+    obs = result.obs
+    for net in p1:
+        obs[net] = 0.0
+    for net, _ in view.output_refs:
+        obs[net] = 1.0
+    for node in reversed(view.nodes):
+        obs_out = obs[node.out_net]
+        if obs_out == 0.0:
+            continue
+        pin_p = {pin: p1[n] for pin, n in node.pin_nets.items()}
+        acc: Dict[str, float] = {}
+        _sens_prob(node.expr, pin_p, obs_out, acc)
+        for pin, value in acc.items():
+            net = node.pin_nets[pin]
+            result.branch_obs[(net, node.inst.name, pin)] = value
+            # Stem observability: union bound over branches.
+            obs[net] = 1.0 - (1.0 - obs[net]) * (1.0 - value)
+    return result

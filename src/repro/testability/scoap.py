@@ -1,0 +1,172 @@
+"""SCOAP testability measures (Goldstein's combinational measures).
+
+Computes 0/1-controllability (CC0/CC1) and observability (CO) for every
+net of a combinational view.  These are among the testability analysis
+measures the paper's TPI engine computes at the start of each iteration
+(Section 3.1: "including SCOAP, COP, and TC values").
+
+Complex cells are described by logic-expression trees; every operator
+node contributes one level (+1) to the measures, so an AOI21 counts as
+two levels — a documented, slightly conservative interpretation of the
+classic gate-level rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.library.logic import And, Const, LogicExpr, Mux, Not, Or, Var, Xor
+from repro.netlist.levelize import CombView
+
+#: Controllability assigned to unreachable states (e.g. CC1 of a tied-0 net).
+INFINITE = math.inf
+
+
+@dataclass
+class ScoapResult:
+    """SCOAP measures for one combinational view.
+
+    Attributes:
+        cc0: 0-controllability per net (1 at inputs).
+        cc1: 1-controllability per net.
+        co: Observability per net (0 at observable points); nets from
+            which no observable point is reachable get ``INFINITE``.
+    """
+
+    cc0: Dict[str, float] = field(default_factory=dict)
+    cc1: Dict[str, float] = field(default_factory=dict)
+    co: Dict[str, float] = field(default_factory=dict)
+
+    def testability(self, net: str) -> float:
+        """Combined hardness of a net: ``min(cc0, cc1) + co``.
+
+        Large values indicate hard-to-test lines; used as one of the
+        TPI candidate-ranking signals.
+        """
+        return min(self.cc0[net], self.cc1[net]) + self.co[net]
+
+
+def _expr_cc(expr: LogicExpr, pin_cc: Dict[str, Tuple[float, float]]
+             ) -> Tuple[float, float]:
+    """(cc0, cc1) of an expression tree; each operator adds one level."""
+    if isinstance(expr, Var):
+        return pin_cc[expr.pin]
+    if isinstance(expr, Const):
+        return (0.0, INFINITE) if expr.value == 0 else (INFINITE, 0.0)
+    if isinstance(expr, Not):
+        cc0, cc1 = _expr_cc(expr.arg, pin_cc)
+        return cc1 + 1, cc0 + 1
+    if isinstance(expr, And):
+        children = [_expr_cc(a, pin_cc) for a in expr.args]
+        return (
+            min(c0 for c0, _ in children) + 1,
+            sum(c1 for _, c1 in children) + 1,
+        )
+    if isinstance(expr, Or):
+        children = [_expr_cc(a, pin_cc) for a in expr.args]
+        return (
+            sum(c0 for c0, _ in children) + 1,
+            min(c1 for _, c1 in children) + 1,
+        )
+    if isinstance(expr, Xor):
+        a0, a1 = _expr_cc(expr.a, pin_cc)
+        b0, b1 = _expr_cc(expr.b, pin_cc)
+        return min(a0 + b0, a1 + b1) + 1, min(a0 + b1, a1 + b0) + 1
+    if isinstance(expr, Mux):
+        s0, s1 = _expr_cc(expr.sel, pin_cc)
+        a0, a1 = _expr_cc(expr.a, pin_cc)
+        b0, b1 = _expr_cc(expr.b, pin_cc)
+        return (
+            min(s0 + a0, s1 + b0, a0 + b0) + 1,
+            min(s0 + a1, s1 + b1, a1 + b1) + 1,
+        )
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _expr_obs(
+    expr: LogicExpr,
+    obs_out: float,
+    pin_cc: Dict[str, Tuple[float, float]],
+    acc: Dict[str, float],
+) -> None:
+    """Propagate observability ``obs_out`` down to the expression's pins.
+
+    ``acc`` collects the best (minimum) observability per pin.
+    """
+    if isinstance(expr, Var):
+        acc[expr.pin] = min(acc.get(expr.pin, INFINITE), obs_out)
+        return
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, Not):
+        _expr_obs(expr.arg, obs_out + 1, pin_cc, acc)
+        return
+    if isinstance(expr, (And, Or)):
+        one_controlled = isinstance(expr, And)
+        ccs = [_expr_cc(a, pin_cc) for a in expr.args]
+        side = [cc[1] if one_controlled else cc[0] for cc in ccs]
+        total = sum(side)
+        for arg, own in zip(expr.args, side):
+            _expr_obs(arg, obs_out + (total - own) + 1, pin_cc, acc)
+        return
+    if isinstance(expr, Xor):
+        a0, a1 = _expr_cc(expr.a, pin_cc)
+        b0, b1 = _expr_cc(expr.b, pin_cc)
+        _expr_obs(expr.a, obs_out + min(b0, b1) + 1, pin_cc, acc)
+        _expr_obs(expr.b, obs_out + min(a0, a1) + 1, pin_cc, acc)
+        return
+    if isinstance(expr, Mux):
+        s0, s1 = _expr_cc(expr.sel, pin_cc)
+        a0, a1 = _expr_cc(expr.a, pin_cc)
+        b0, b1 = _expr_cc(expr.b, pin_cc)
+        _expr_obs(expr.a, obs_out + s0 + 1, pin_cc, acc)
+        _expr_obs(expr.b, obs_out + s1 + 1, pin_cc, acc)
+        # Select is observable when the two data inputs differ.
+        differ = min(a0 + b1, a1 + b0)
+        _expr_obs(expr.sel, obs_out + differ + 1, pin_cc, acc)
+        return
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def compute_scoap(view: CombView) -> ScoapResult:
+    """Compute SCOAP CC0/CC1/CO for every net of ``view``.
+
+    Controllable inputs get CC = 1; constant-held nets get the exact
+    controllability of their pinned value; observable points get CO = 0.
+    """
+    result = ScoapResult()
+    cc0, cc1 = result.cc0, result.cc1
+
+    for net in view.input_nets:
+        cc0[net], cc1[net] = 1.0, 1.0
+    for net, value in view.constants.items():
+        cc0[net], cc1[net] = (
+            (0.0, INFINITE) if value == 0 else (INFINITE, 0.0)
+        )
+    for node in view.nodes:
+        pin_cc = {
+            pin: (cc0[n], cc1[n]) for pin, n in node.pin_nets.items()
+        }
+        cc0[node.out_net], cc1[node.out_net] = _expr_cc(node.expr, pin_cc)
+
+    co = result.co
+    for net in cc0:
+        co[net] = INFINITE
+    for net, _ in view.output_refs:
+        co[net] = 0.0
+    for node in reversed(view.nodes):
+        obs_out = co[node.out_net]
+        if obs_out == INFINITE:
+            continue
+        pin_cc = {
+            pin: (cc0[n], cc1[n]) for pin, n in node.pin_nets.items()
+        }
+        acc: Dict[str, float] = {}
+        _expr_obs(node.expr, obs_out, pin_cc, acc)
+        for pin, value in acc.items():
+            net = node.pin_nets[pin]
+            if value < co[net]:
+                co[net] = value
+    return result

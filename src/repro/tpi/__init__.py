@@ -1,0 +1,45 @@
+"""Test-point insertion: the TSFF cell model and the iterative engine."""
+
+from repro.tpi.clockdomain import assign_clock, nearest_domains
+from repro.tpi.cost import CandidateScorer, HardFault, collect_hard_faults
+from repro.tpi.insertion import (
+    InsertedTestPoint,
+    TpiConfig,
+    TpiReport,
+    insert_test_points,
+)
+from repro.tpi.timing_aware import critical_nets, exclusion_report
+from repro.tpi.tsff import (
+    ALL_MODES,
+    APPLICATION,
+    SCAN_CAPTURE,
+    SCAN_FLUSH,
+    SCAN_SHIFT,
+    TsffMode,
+    mode_table,
+    tsff_next_state,
+    tsff_output,
+)
+
+__all__ = [
+    "ALL_MODES",
+    "APPLICATION",
+    "CandidateScorer",
+    "HardFault",
+    "InsertedTestPoint",
+    "SCAN_CAPTURE",
+    "SCAN_FLUSH",
+    "SCAN_SHIFT",
+    "TpiConfig",
+    "TpiReport",
+    "TsffMode",
+    "assign_clock",
+    "collect_hard_faults",
+    "critical_nets",
+    "exclusion_report",
+    "insert_test_points",
+    "mode_table",
+    "nearest_domains",
+    "tsff_next_state",
+    "tsff_output",
+]

@@ -1,0 +1,230 @@
+"""Test-point candidate scoring.
+
+The TPI method of the paper (Geuzebroek et al., ITC'00/'02) recomputes
+testability measures at the start of every iteration and ranks insertion
+candidates with a cost function over the measures.  This module is that
+cost function: a TSFF at net *n* simultaneously
+
+* makes *n* perfectly observable (``obs(n) = 1``) — every hard fault in
+  the fan-in cone of *n* whose detection was limited by propagation
+  beyond *n* is upgraded to ``pd' = drive * obs_to_n``;
+* makes *n* a pseudo-random source (``p1(n) = 0.5``) for its fanout —
+  hard faults downstream whose activation was starved by a skewed
+  signal probability regain drive.
+
+Scores are expected *log-gain* in detection probability summed over the
+hard faults each candidate rescues; both effects are computed with
+cone-local COP passes, so one iteration costs O(candidates x cone).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.netlist.levelize import CombView
+from repro.testability.cop import CopResult, _sens_prob
+
+
+@dataclass(frozen=True)
+class HardFault:
+    """A random-pattern-resistant fault site.
+
+    Attributes:
+        net: Faulted net.
+        stuck: Stuck value.
+        pd: Current COP detection probability.
+    """
+
+    net: str
+    stuck: int
+    pd: float
+
+
+def collect_hard_faults(cop: CopResult, threshold: float) -> List[HardFault]:
+    """All stem faults with detection probability below ``threshold``."""
+    hard = []
+    for net in cop.p1:
+        for stuck in (0, 1):
+            pd = cop.detection_probability(net, stuck)
+            if pd < threshold:
+                hard.append(HardFault(net=net, stuck=stuck, pd=pd))
+    return hard
+
+
+def _log_gain(old_pd: float, new_pd: float, floor: float = 1e-12) -> float:
+    """log10 improvement of detection probability, clipped at zero."""
+    if new_pd <= old_pd:
+        return 0.0
+    return math.log10(max(new_pd, floor) / max(old_pd, floor))
+
+
+class CandidateScorer:
+    """Scores test-point candidates against the current COP state.
+
+    Args:
+        view: Test-mode combinational view.
+        cop: COP measures of the current netlist.
+        hard: Hard-fault population to rescue.
+        cone_depth: Bound (in logic levels) for the control-side
+            forward pass; the observation-side pass walks the full
+            fan-in cone, which is cheap because it stops at inputs.
+    """
+
+    def __init__(self, view: CombView, cop: CopResult,
+                 hard: List[HardFault], cone_depth: int = 8,
+                 max_cone: int = 1500):
+        self.view = view
+        self.cop = cop
+        self.cone_depth = cone_depth
+        self.max_cone = max_cone
+        self.node_of = view.node_by_output()
+        self.readers = view.fanout_index()
+        self.hard_by_net: Dict[str, List[HardFault]] = {}
+        for fault in hard:
+            self.hard_by_net.setdefault(fault.net, []).append(fault)
+
+    # ------------------------------------------------------------------
+    def observation_gain(self, candidate: str) -> float:
+        """Gain from making ``candidate`` perfectly observable.
+
+        Runs a backward sensitisation pass rooted at the candidate
+        (observability 1) over its fan-in cone and sums the log-gain of
+        every hard fault found inside.
+        """
+        return self._backward_gain({candidate: 1.0})
+
+    def _backward_gain(self, seeds: Dict[str, float]) -> float:
+        """Hard-fault log-gain of improved observabilities ``seeds``.
+
+        ``seeds`` maps nets to their *new* observability; the pass
+        walks the combined fan-in cone distributing sensitisation
+        probabilities and credits every hard fault whose detection
+        probability improves.
+        """
+        obs_to: Dict[str, float] = dict(seeds)
+        cone: List[str] = []
+        seen: Set[str] = set(seeds)
+        stack = list(seeds)
+        while stack:
+            net = stack.pop()
+            cone.append(net)
+            if len(cone) >= self.max_cone:
+                break  # bound the pass; distant faults gain little
+            node = self.node_of.get(net)
+            if node is None:
+                continue
+            for pin_net in set(node.pin_nets.values()):
+                if pin_net not in seen:
+                    seen.add(pin_net)
+                    stack.append(pin_net)
+        cone.sort(
+            key=lambda n: self.node_of[n].level if n in self.node_of else 0,
+            reverse=True,
+        )
+        gain = 0.0
+        for net in cone:
+            here = obs_to.get(net, 0.0)
+            for fault in self.hard_by_net.get(net, ()):
+                drive = (
+                    self.cop.p1[net] if fault.stuck == 0
+                    else 1.0 - self.cop.p1[net]
+                )
+                gain += _log_gain(fault.pd, drive * here)
+            node = self.node_of.get(net)
+            if node is None or here == 0.0:
+                continue
+            pin_p = {
+                pin: self.cop.p1[n] for pin, n in node.pin_nets.items()
+            }
+            acc: Dict[str, float] = {}
+            _sens_prob(node.expr, pin_p, here, acc)
+            for pin, value in acc.items():
+                pin_net = node.pin_nets[pin]
+                if value > obs_to.get(pin_net, 0.0):
+                    obs_to[pin_net] = value
+        return gain
+
+    # ------------------------------------------------------------------
+    def control_gain(self, candidate: str) -> float:
+        """Gain from re-randomising ``candidate`` (``p1 = 0.5``).
+
+        Two effects are credited:
+
+        * **drive**: hard faults in the bounded forward cone whose
+          activation was starved by a skewed signal probability;
+        * **side-input observability**: a control point on a gating
+          signal (e.g. a comparator "region enable") re-sensitises the
+          gates it feeds, restoring observability to everything that
+          exits through them.  The improved observabilities seed a
+          backward pass identical to the observation-point analysis.
+        """
+        new_p1: Dict[str, float] = {candidate: 0.5}
+        frontier = [(candidate, 0)]
+        gain = _local_drive_gain(self.cop, self.hard_by_net, candidate, 0.5)
+        visited: Set[str] = {candidate}
+        obs_seeds: Dict[str, float] = {}
+        while frontier:
+            net, depth = frontier.pop()
+            if depth >= self.cone_depth:
+                continue
+            for node in self.readers.get(net, ()):
+                out = node.out_net
+                # Side-input re-sensitisation at this gate.
+                self._seed_side_inputs(node, new_p1, obs_seeds)
+                if out in visited:
+                    continue
+                visited.add(out)
+                pin_p = {
+                    pin: new_p1.get(n, self.cop.p1[n])
+                    for pin, n in node.pin_nets.items()
+                }
+                p = node.expr.eval_prob(pin_p)
+                if abs(p - self.cop.p1[out]) < 1e-6:
+                    continue  # probability change damped out
+                new_p1[out] = p
+                gain += _local_drive_gain(
+                    self.cop, self.hard_by_net, out, p
+                )
+                frontier.append((out, depth + 1))
+        if obs_seeds:
+            gain += self._backward_gain(obs_seeds)
+        return gain
+
+    def _seed_side_inputs(self, node, new_p1: Dict[str, float],
+                          obs_seeds: Dict[str, float]) -> None:
+        """Record observability improvements on a gate's other inputs."""
+        out_obs = self.cop.obs.get(node.out_net, 0.0)
+        if out_obs <= 0.0:
+            return
+        pin_p = {
+            pin: new_p1.get(n, self.cop.p1[n])
+            for pin, n in node.pin_nets.items()
+        }
+        acc: Dict[str, float] = {}
+        _sens_prob(node.expr, pin_p, out_obs, acc)
+        for pin, value in acc.items():
+            net = node.pin_nets[pin]
+            if net in new_p1:
+                continue  # that's the controlled path itself
+            old = self.cop.obs.get(net, 0.0)
+            if value > 4.0 * max(old, 1e-9) and value > obs_seeds.get(net, 0.0):
+                obs_seeds[net] = value
+
+    def score(self, candidate: str) -> float:
+        """Combined TSFF benefit at ``candidate``."""
+        return self.observation_gain(candidate) + self.control_gain(candidate)
+
+
+def _local_drive_gain(cop: CopResult,
+                      hard_by_net: Dict[str, List[HardFault]],
+                      net: str, new_p1: float) -> float:
+    """Drive-side log-gain for hard faults sitting on ``net``."""
+    gain = 0.0
+    for fault in hard_by_net.get(net, ()):
+        old_drive = cop.p1[net] if fault.stuck == 0 else 1.0 - cop.p1[net]
+        new_drive = new_p1 if fault.stuck == 0 else 1.0 - new_p1
+        obs = cop.obs[net]
+        gain += _log_gain(old_drive * obs, new_drive * obs)
+    return gain

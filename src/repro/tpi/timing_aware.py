@@ -1,0 +1,42 @@
+"""Timing-aware test-point exclusion (paper Section 5 ablation).
+
+The paper discusses the standard mitigation for TPI-induced timing
+violations: run timing analysis first, identify all paths whose slack
+falls below a threshold, and exclude their nets from test-point
+insertion.  This module turns a post-layout STA result into the
+``exclude_nets`` set consumed by :class:`repro.tpi.insertion.TpiConfig`,
+enabling the paper's "exclude test points from critical paths" flow and
+the ablation benchmark that quantifies its cost in testability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+def critical_nets(paths: Iterable, slack_threshold_ps: float) -> Set[str]:
+    """Nets on paths with slack below ``slack_threshold_ps``.
+
+    Args:
+        paths: Timing paths exposing ``slack_ps`` and ``nets``
+            attributes (see :class:`repro.sta.analysis.TimingPath`).
+        slack_threshold_ps: Paths with less slack than this contribute
+            their nets to the exclusion set.
+
+    Returns:
+        The union of nets on all near-critical paths.
+    """
+    excluded: Set[str] = set()
+    for path in paths:
+        if path.slack_ps < slack_threshold_ps:
+            excluded.update(path.nets)
+    return excluded
+
+
+def exclusion_report(excluded: Set[str], all_nets: int) -> str:
+    """One-line summary used by the ablation benchmark output."""
+    pct = 100.0 * len(excluded) / all_nets if all_nets else 0.0
+    return (
+        f"{len(excluded)} nets ({pct:.1f}% of {all_nets}) excluded "
+        f"from test-point insertion"
+    )

@@ -1,0 +1,86 @@
+r"""The transparent scan flip-flop (TSFF) of the paper's Figure 1.
+
+A TSFF is a scan flip-flop with an additional multiplexer at the
+output.  The two muxes form the chain::
+
+    D  --+                         +-- 0 \
+         |                         |      mux --> Q
+         +-- 0 \                   |  +-- 1 /
+    TI ------- mux --> [FF] --> state |
+         +-- 1 /  (TE)                +---- (TR)
+
+Operating modes (paper Section 3.1):
+
+=============  ====  ====  =====================================
+mode            TE    TR   behaviour
+=============  ====  ====  =====================================
+application      0     0   Q = D (pass-through, two mux delays)
+scan shift       1     1   FF shifts TI; Q driven from the FF
+scan capture     0     1   FF captures D; Q driven from the FF —
+                           the TSFF acts as observation point
+                           (D captured) and control point
+                           (Q forced from scan) at once
+scan flush       1     0   Q = TI: tests the mux-to-mux path
+=============  ====  ====  =====================================
+
+This module is the single behavioural reference for the cell: the
+library cell's ``next_state``/``bypass`` expressions are tested against
+these functions, and the Figure 1 benchmark exercises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TsffMode:
+    """One operating mode: the TE/TR control values."""
+
+    name: str
+    te: int
+    tr: int
+
+
+#: The four operating modes of Fig. 1.
+APPLICATION = TsffMode("application", te=0, tr=0)
+SCAN_SHIFT = TsffMode("scan_shift", te=1, tr=1)
+SCAN_CAPTURE = TsffMode("scan_capture", te=0, tr=1)
+SCAN_FLUSH = TsffMode("scan_flush", te=1, tr=0)
+
+ALL_MODES = (APPLICATION, SCAN_SHIFT, SCAN_CAPTURE, SCAN_FLUSH)
+
+
+def tsff_output(d: int, ti: int, te: int, tr: int, state: int) -> int:
+    """Combinational output of the TSFF.
+
+    ``Q = TR ? state : (TE ? TI : D)`` — the reference behaviour the
+    library cell's ``bypass`` expression must match.
+    """
+    if tr:
+        return state
+    return ti if te else d
+
+
+def tsff_next_state(d: int, ti: int, te: int) -> int:
+    """Value captured by the internal flip-flop at a clock edge."""
+    return ti if te else d
+
+
+def mode_table() -> Dict[str, Dict[str, int]]:
+    """Q per mode for every (D, TI, state) combination.
+
+    Used by tests and by the Figure 1 benchmark to print the cell's
+    behavioural table.
+    """
+    table: Dict[str, Dict[str, int]] = {}
+    for mode in ALL_MODES:
+        rows: Dict[str, int] = {}
+        for d in (0, 1):
+            for ti in (0, 1):
+                for state in (0, 1):
+                    key = f"d{d}_ti{ti}_s{state}"
+                    rows[key] = tsff_output(d, ti, mode.te, mode.tr, state)
+        table[mode.name] = rows
+    return table

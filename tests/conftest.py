@@ -1,0 +1,56 @@
+"""Shared fixtures: the library and small, session-cached circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import s38417_like
+from repro.library import cmos130
+from repro.netlist import Circuit
+
+
+@pytest.fixture(scope="session")
+def lib():
+    """The shared 130 nm-class library."""
+    return cmos130()
+
+
+@pytest.fixture(scope="session")
+def small_circuit(lib):
+    """A small generated benchmark (session-cached, do not mutate)."""
+    return s38417_like(scale=0.02)
+
+
+@pytest.fixture()
+def small_circuit_mutable(lib):
+    """A fresh small benchmark safe to rewrite in the test."""
+    return s38417_like(scale=0.02)
+
+
+@pytest.fixture()
+def tiny_pipeline(lib):
+    """A hand-built two-stage pipeline used by timing/DFT tests.
+
+    Structure::
+
+        pi_a --\\
+                NAND -- n1 -- FF1 -- q1 -- INV -- n2 -- FF2 -- q2 -> po
+        pi_b --/
+    """
+    c = Circuit("tiny")
+    c.add_clock("clk", 4000.0)
+    c.add_input("pi_a")
+    c.add_input("pi_b")
+    c.add_net("n1")
+    c.add_instance("g1", lib["NAND2_X1"], {"A": "pi_a", "B": "pi_b",
+                                           "Z": "n1"})
+    c.add_net("q1")
+    c.add_instance("ff1", lib["DFF_X1"], {"D": "n1", "CLK": "clk",
+                                          "Q": "q1"})
+    c.add_net("n2")
+    c.add_instance("g2", lib["INV_X1"], {"A": "q1", "Z": "n2"})
+    c.add_net("q2")
+    c.add_instance("ff2", lib["DFF_X1"], {"D": "n2", "CLK": "clk",
+                                          "Q": "q2"})
+    c.add_output("po", "q2")
+    return c

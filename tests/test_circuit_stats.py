@@ -1,0 +1,31 @@
+"""Tests for structural circuit profiling."""
+
+from repro.circuits import control_core, s38417_like
+from repro.circuits.stats import compare_profiles, profile_circuit
+
+
+def test_profile_counts(small_circuit):
+    stats = profile_circuit(small_circuit)
+    assert stats.n_cells == sum(
+        1 for i in small_circuit.instances.values()
+        if not i.cell.is_filler
+    )
+    assert stats.n_flip_flops == small_circuit.num_flip_flops
+    assert sum(stats.cell_histogram.values()) == stats.n_cells
+    assert sum(stats.fanout_histogram.values()) == stats.n_nets
+    assert stats.max_depth > 5
+    assert 0 < stats.mean_depth <= stats.max_depth
+    assert "shadow" in stats.tag_histogram
+
+
+def test_profile_format(small_circuit):
+    text = profile_circuit(small_circuit).format()
+    assert "top cells" in text and "fanout" in text and "origins" in text
+
+
+def test_compare_profiles():
+    a = profile_circuit(s38417_like(scale=0.02))
+    same = profile_circuit(s38417_like(scale=0.02))
+    assert compare_profiles(a, same) == []
+    other = profile_circuit(control_core(scale=0.06))
+    assert compare_profiles(a, other)  # different sizes detected

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_flow_command(capsys):
+    rc = main(["flow", "--circuit", "s38417", "--scale", "0.015",
+               "--tp", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "patterns" in out and "T_cp" in out and "chip" in out
+
+
+def test_lbist_command(capsys):
+    rc = main(["lbist", "--circuit", "s38417", "--scale", "0.02",
+               "--patterns", "256", "--tp", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "FC no TPs" in out
+
+
+def test_render_command(tmp_path, capsys):
+    rc = main(["render", "--circuit", "s38417", "--scale", "0.02",
+               "--tp", "2", "--out", str(tmp_path)])
+    assert rc == 0
+    for stage in ("floorplan", "placement", "routed"):
+        path = tmp_path / f"s38417_{stage}.svg"
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(SystemExit):
+        main(["flow", "--circuit", "nope"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,81 @@
+"""Tests for the TPI candidate scorer on constructed situations."""
+
+import pytest
+
+from repro.netlist import Circuit, extract_comb_view
+from repro.testability import compute_cop
+from repro.tpi import CandidateScorer, collect_hard_faults
+from repro.tpi.cost import HardFault, _log_gain
+
+
+def _gated_region(lib, width=8, fan=6):
+    """A comparator-gated bundle: `fan` signals observable only when a
+    `width`-wide AND of inputs is 1 — the textbook control-point case.
+    """
+    c = Circuit("gated")
+    enable_inputs = []
+    for i in range(width):
+        c.add_input(f"e{i}")
+        enable_inputs.append(f"e{i}")
+    # Wide AND chain for the enable.
+    prev = enable_inputs[0]
+    for i, name in enumerate(enable_inputs[1:]):
+        c.add_net(f"en{i}")
+        c.add_instance(f"and_en{i}", lib["AND2_X1"],
+                       {"A": prev, "B": name, "Z": f"en{i}"})
+        prev = f"en{i}"
+    enable = prev
+    for i in range(fan):
+        c.add_input(f"d{i}")
+        c.add_net(f"g{i}")
+        c.add_instance(f"gate{i}", lib["AND2_X1"],
+                       {"A": f"d{i}", "B": enable, "Z": f"g{i}"})
+        c.add_output(f"o{i}", f"g{i}")
+    return c, enable
+
+
+def test_log_gain_clipping():
+    assert _log_gain(0.5, 0.4) == 0.0
+    assert _log_gain(1e-6, 1e-3) == pytest.approx(3.0)
+
+
+def test_control_point_on_enable_scores_highest(lib):
+    c, enable = _gated_region(lib)
+    view = extract_comb_view(c, "test")
+    cop = compute_cop(view)
+    hard = collect_hard_faults(cop, 0.05)
+    assert hard, "the gated bundle must produce hard faults"
+    scorer = CandidateScorer(view, cop, hard)
+    enable_score = scorer.score(enable)
+    # The enable beats any single gated data input.
+    assert enable_score > scorer.score("d0")
+    # Control gain dominates at the enable (the observability it
+    # restores through the gate side-inputs).
+    assert scorer.control_gain(enable) > 0
+
+
+def test_observation_gain_on_funnel(lib):
+    """An observation point at a funnel helps everything upstream."""
+    c = Circuit("funnel")
+    for i in range(4):
+        c.add_input(f"i{i}")
+    c.add_net("m0")
+    c.add_net("m1")
+    c.add_net("root")
+    c.add_instance("a", lib["AND2_X1"], {"A": "i0", "B": "i1", "Z": "m0"})
+    c.add_instance("b", lib["AND2_X1"], {"A": "i2", "B": "i3", "Z": "m1"})
+    c.add_instance("r", lib["AND2_X1"], {"A": "m0", "B": "m1", "Z": "root"})
+    c.add_output("o", "root")
+    view = extract_comb_view(c, "test")
+    cop = compute_cop(view)
+    hard = [
+        HardFault(net, sv, cop.detection_probability(net, sv))
+        for net in ("m0", "m1", "i0")
+        for sv in (0, 1)
+    ]
+    scorer = CandidateScorer(view, cop, hard)
+    # Observation at m0 rescues m0/i0 faults; positive gain expected.
+    assert scorer.observation_gain("m0") > 0
+    # Observation at the already-observable root gains nothing extra
+    # over its current observability.
+    assert scorer.observation_gain("root") <= scorer.observation_gain("m0")

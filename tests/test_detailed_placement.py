@@ -1,0 +1,50 @@
+"""Tests for the detailed-placement refinement pass."""
+
+import pytest
+
+from repro.layout import build_floorplan, global_place, refine_placement
+
+
+@pytest.fixture(scope="module")
+def refined():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.04)
+    plan = build_floorplan(c, 0.95)
+    placement = global_place(c, plan)
+    before = placement.total_hpwl_um(c)
+    gain = refine_placement(c, placement, passes=2)
+    return c, plan, placement, before, gain
+
+
+def test_refinement_reduces_hpwl(refined):
+    c, plan, placement, before, gain = refined
+    after = placement.total_hpwl_um(c)
+    assert after <= before
+    assert gain >= 0
+    assert before - after == pytest.approx(gain, rel=0.05, abs=2.0)
+
+
+def test_refinement_preserves_legality(refined):
+    c, plan, placement, _, _ = refined
+    for row_idx, cells in enumerate(placement.rows_cells):
+        row = plan.rows[row_idx]
+        spans = sorted(
+            (placement.positions[n][0] - c.instances[n].cell.width_um / 2,
+             placement.positions[n][0] + c.instances[n].cell.width_um / 2)
+            for n in cells
+        )
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0 + 1e-6
+        if spans:
+            assert spans[0][0] >= row.x0 - 1e-6
+            assert spans[-1][1] <= row.x1 + 1e-6
+
+
+def test_zero_passes_is_noop():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.02)
+    plan = build_floorplan(c, 0.9)
+    placement = global_place(c, plan)
+    snapshot = dict(placement.positions)
+    assert refine_placement(c, placement, passes=0) == 0.0
+    assert placement.positions == snapshot

@@ -1,0 +1,70 @@
+"""Tests for bit-flipping deterministic LBIST."""
+
+import pytest
+
+from repro.lbist import DlbistConfig, run_dlbist
+from repro.lbist.dlbist import (
+    BFF_AREA_FIXED_UM2,
+    BFF_AREA_PER_FLIP_UM2,
+    _hamming_on_cares,
+)
+from repro.scan import insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+
+def test_hamming_on_cares():
+    # pattern 0b1010, cares on bits 0..2 wanting 0b110.
+    assert _hamming_on_cares(0b1010, 0b0111, 0b0110) == 1
+    assert _hamming_on_cares(0b0110, 0b0111, 0b0110) == 0
+    # Don't-care bits never count.
+    assert _hamming_on_cares(0b1111, 0b0001, 0b0001) == 0
+
+
+@pytest.fixture(scope="module")
+def dlbist_pair():
+    from repro.circuits import s38417_like
+    from repro.library import cmos130
+    lib = cmos130()
+    results = {}
+    for tp in (0, 3):
+        c = s38417_like(scale=0.03)
+        if tp:
+            insert_test_points(c, lib, TpiConfig(
+                n_test_points=round(tp / 100 * c.num_flip_flops)
+            ))
+        insert_scan(c, lib, max_chain_length=50)
+        results[tp] = run_dlbist(c, DlbistConfig(n_patterns=512))
+    return results
+
+
+def test_embedding_improves_coverage(dlbist_pair):
+    for result in dlbist_pair.values():
+        assert result.final_coverage > result.pseudo_random_coverage
+        assert result.n_cubes > 0
+        assert result.n_flips >= 0
+
+
+def test_bff_cost_model(dlbist_pair):
+    for result in dlbist_pair.values():
+        expected = (
+            BFF_AREA_FIXED_UM2
+            + BFF_AREA_PER_FLIP_UM2 * result.n_flips
+        )
+        assert result.bff_area_um2 == pytest.approx(expected)
+
+
+def test_test_points_shrink_dlbist_hardware(dlbist_pair):
+    """The paper's Section 2/5 claim: TPI + DLBIST beats DLBIST alone."""
+    base = dlbist_pair[0]
+    with_tps = dlbist_pair[3]
+    assert with_tps.n_flips < base.n_flips
+    assert with_tps.bff_area_um2 < base.bff_area_um2
+    # And coverage does not regress.
+    assert with_tps.final_coverage >= base.final_coverage - 0.01
+
+
+def test_pattern_count_preserved(dlbist_pair):
+    for result in dlbist_pair.values():
+        # Embedding flips bits in existing patterns; it never adds
+        # patterns (that is the whole point of DLBIST).
+        assert len(result.patterns) == 512

@@ -1,0 +1,53 @@
+"""Documentation meta-test: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.netlist", "repro.library", "repro.circuits",
+    "repro.testability", "repro.tpi", "repro.scan", "repro.atpg",
+    "repro.layout", "repro.extraction", "repro.sta", "repro.lbist",
+    "repro.core",
+]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                yield importlib.import_module(
+                    f"{package_name}.{info.name}"
+                )
+
+
+def test_every_module_has_a_docstring():
+    for module in _iter_modules():
+        assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+
+def test_every_public_callable_is_documented():
+    missing = []
+    for module in _iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports are documented at their source
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+                if inspect.isclass(obj):
+                    for mname, member in vars(obj).items():
+                        if mname.startswith("_"):
+                            continue
+                        if inspect.isfunction(member) and not \
+                                inspect.getdoc(member):
+                            missing.append(
+                                f"{module.__name__}.{name}.{mname}"
+                            )
+    assert not missing, f"undocumented public items: {missing[:10]}"

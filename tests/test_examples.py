@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts run end to end at tiny scales."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py", "0.015")
+    assert "fault coverage" in out
+    assert "T_cp" in out and "chip area" in out
+
+
+def test_layout_gallery_runs(tmp_path):
+    out = _run("layout_gallery.py", str(tmp_path))
+    assert "fig3c_routed.svg" in out
+    assert (tmp_path / "fig3a_floorplan.svg").exists()
+    assert (tmp_path / "fig3b_placement.svg").exists()
+    assert (tmp_path / "fig3c_routed.svg").exists()
+
+
+def test_lbist_motivation_runs():
+    out = _run("lbist_motivation.py", "0.02", "256")
+    assert "FC, no TPs" in out
+    assert "Section 2" in out
+
+
+@pytest.mark.slow
+def test_timing_aware_runs():
+    out = _run("timing_aware_tpi.py", "0.03")
+    assert "timing-aware TPI" in out

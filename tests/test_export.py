@@ -1,0 +1,70 @@
+"""Tests for the DEF and Liberty exporters."""
+
+import pytest
+
+from repro.layout import build_floorplan, global_place, GlobalRouter
+from repro.layout.defio import DBU_PER_UM, def_statistics, to_def
+from repro.library.liberty import parse_liberty_cells, to_liberty
+
+
+@pytest.fixture(scope="module")
+def laid_out():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.02)
+    plan = build_floorplan(c, 0.9)
+    placement = global_place(c, plan)
+    router = GlobalRouter(c, placement)
+    router.route_all()
+    return c, plan, placement, router.routed
+
+
+def test_def_structure(laid_out):
+    c, plan, placement, routed = laid_out
+    text = to_def(c, plan, placement, routed)
+    assert text.startswith("VERSION 5.8 ;")
+    assert text.rstrip().endswith("END DESIGN")
+    stats = def_statistics(text)
+    assert stats["rows"] == plan.n_rows
+    assert stats["components"] == len(placement.positions)
+    assert stats["pins"] == len(c.inputs) + len(c.outputs)
+    assert stats["nets"] == len(c.nets)
+
+
+def test_def_coordinates_in_dbu(laid_out):
+    c, plan, placement, routed = laid_out
+    text = to_def(c, plan, placement)
+    die_line = next(l for l in text.splitlines() if l.startswith("DIEAREA"))
+    coords = [int(tok) for tok in die_line.replace("(", " ")
+              .replace(")", " ").split() if tok.lstrip("-").isdigit()]
+    assert coords[2] == int(round(plan.chip.x1 * DBU_PER_UM))
+
+
+def test_def_net_cap(laid_out):
+    c, plan, placement, routed = laid_out
+    text = to_def(c, plan, placement, routed, max_nets=5)
+    assert def_statistics(text)["nets"] == 5
+
+
+def test_def_routed_wiring_emitted(laid_out):
+    c, plan, placement, routed = laid_out
+    text = to_def(c, plan, placement, routed)
+    assert "+ ROUTED M" in text
+
+
+def test_liberty_round_trip_inventory(lib):
+    text = to_liberty(lib)
+    assert text.startswith("library (cmos130) {")
+    cells = parse_liberty_cells(text)
+    assert set(cells) == set(lib.cells)
+    for name, info in cells.items():
+        cell = lib[name]
+        assert info["area"] == pytest.approx(cell.area_um2, abs=1e-3)
+        assert set(info["pins"]) == set(cell.pins)
+
+
+def test_liberty_contains_nldm_tables(lib):
+    text = to_liberty(lib)
+    assert "cell_rise (delay_template)" in text
+    assert "rise_transition (delay_template)" in text
+    assert "clocked_on" in text       # sequential groups present
+    assert "max_capacitance" in text

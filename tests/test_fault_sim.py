@@ -1,0 +1,152 @@
+"""Tests for the fault model and the PPSFP fault simulator.
+
+The fault simulator is validated against a brute-force reference that
+re-simulates the whole circuit with the fault surgically injected into
+the expression evaluation.
+"""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    BitSimulator,
+    Fault,
+    FaultSimulator,
+    FaultStatus,
+    build_fault_list,
+)
+from repro.netlist import extract_comb_view
+from repro.netlist.net import PORT
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.02)
+    view = extract_comb_view(c, "test")
+    sim = BitSimulator(view)
+    return c, view, sim, FaultSimulator(sim), build_fault_list(c, view)
+
+
+def _faulty_reference(view, assignment, fault):
+    """Full faulty-machine simulation, fault injected during eval."""
+    values = dict(assignment)
+    for net, const in view.constants.items():
+        values[net] = const
+
+    def site_value():
+        return fault.value
+
+    if fault.sink is None and fault.net in values:
+        values[fault.net] = site_value()
+    for node in view.nodes:
+        env = {}
+        for pin, net in node.pin_nets.items():
+            v = values[net]
+            if net == fault.net and fault.sink == (node.inst.name, pin):
+                v = site_value()
+            env[pin] = v
+        out = node.expr.eval2(env) & 1
+        if fault.sink is None and node.out_net == fault.net:
+            out = site_value()
+        values[node.out_net] = out
+    return values
+
+
+def _reference_detects(view, assignment, fault):
+    good = dict(assignment)
+    for net, const in view.constants.items():
+        good[net] = const
+    for node in view.nodes:
+        env = {pin: good[net] for pin, net in node.pin_nets.items()}
+        good[node.out_net] = node.expr.eval2(env) & 1
+    bad = _faulty_reference(view, assignment, fault)
+    for net, (inst, pin) in view.output_refs:
+        g = good[net]
+        b = bad[net]
+        if fault.sink == (inst, pin) and net == fault.net:
+            b = fault.value
+        if g != b:
+            return True
+    return False
+
+
+def test_fault_list_census(env):
+    circuit, view, _, fsim, flist = env
+    assert flist.total > 0
+    # Every fault has a status and a representative.
+    assert set(flist.status) == set(flist.faults)
+    # Scan-path faults pre-credited.
+    assert flist.count(FaultStatus.SCAN_TESTED) > 0
+    # Collapsing never crosses scan/capture status boundaries silently.
+    for f, rep in flist.representative.items():
+        assert flist.status[f] == flist.status[rep]
+
+
+def test_fault_collapsing_through_inverters(env, lib):
+    from repro.netlist import Circuit
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_net("n1")
+    c.add_net("n2")
+    c.add_instance("i1", lib["INV_X1"], {"A": "a", "Z": "n1"})
+    c.add_instance("i2", lib["INV_X1"], {"A": "n1", "Z": "n2"})
+    c.add_output("po", "n2")
+    view = extract_comb_view(c, "test")
+    flist = build_fault_list(c, view)
+    rep_of = flist.representative
+    # n1 sa0 is equivalent to a sa1 (through i1), n2 sa0 to n1 sa1.
+    f_n1_sa0 = next(f for f in flist.faults
+                    if f.net == "n1" and f.sink is None and f.value == 0)
+    assert rep_of[f_n1_sa0].net == "a"
+    f_n2_sa0 = next(f for f in flist.faults
+                    if f.net == "n2" and f.sink is None and f.value == 0)
+    assert rep_of[f_n2_sa0].net == "a"
+    assert rep_of[f_n2_sa0].value == 0  # double inversion
+
+
+def test_detection_matches_reference(env):
+    circuit, view, sim, fsim, flist = env
+    rng = random.Random(5)
+    targets = [f for f in flist.targets() if fsim.in_view(f)]
+    sample = rng.sample(targets, min(60, len(targets)))
+    for trial in range(3):
+        assignment = {n: rng.getrandbits(1) for n in view.input_nets}
+        words = {n: v for n, v in assignment.items()}
+        good = sim.run(words)
+        for fault in sample:
+            got = bool(fsim.detect_word(good, fault) & 1)
+            want = _reference_detects(view, assignment, fault)
+            assert got == want, f"{fault} trial {trial}"
+
+
+def test_run_block_drops_nothing_spurious(env):
+    circuit, view, sim, fsim, flist = env
+    rng = random.Random(11)
+    words = sim.random_block(rng)
+    targets = [f for f in flist.targets() if fsim.in_view(f)]
+    detections = fsim.run_block(words, targets)
+    assert detections
+    # Every detection word is nonzero and within the block width.
+    for fault, word in detections.items():
+        assert 0 < word < (1 << sim.width)
+
+
+def test_mark_propagates_to_class(env):
+    _, _, _, _, flist = env
+    classes = flist.classes()
+    rep, members = next(
+        (r, m) for r, m in classes.items()
+        if len(m) > 1 and flist.status[r] is FaultStatus.UNDETECTED
+    )
+    flist.mark(rep, FaultStatus.DETECTED)
+    assert all(flist.status[m] is FaultStatus.DETECTED for m in members)
+    flist.mark(rep, FaultStatus.UNDETECTED)  # restore shared fixture
+
+
+def test_coverage_metrics(env):
+    _, _, _, _, flist = env
+    fc = flist.fault_coverage
+    fe = flist.fault_efficiency
+    assert 0 < fc <= 1 and fc <= fe <= 1

@@ -1,0 +1,71 @@
+"""Tests for floorplanning (rows, rings, pads, utilisation sizing)."""
+
+import math
+
+import pytest
+
+from repro.layout import (
+    CORE_MARGIN_UM,
+    GROUND_RING_UM,
+    IO_RING_UM,
+    POWER_RING_UM,
+    build_floorplan,
+)
+from repro.library import ROW_HEIGHT_UM
+
+
+def test_core_sized_for_utilization(lib, small_circuit):
+    plan = build_floorplan(small_circuit, target_utilization=0.97)
+    cell_area = sum(
+        i.cell.area_um2 for i in small_circuit.instances.values()
+    )
+    achieved = cell_area / plan.core_area_um2
+    assert 0.90 <= achieved <= 0.99
+
+
+def test_lower_utilization_grows_core(lib, small_circuit):
+    tight = build_floorplan(small_circuit, 0.97)
+    loose = build_floorplan(small_circuit, 0.50)
+    assert loose.core_area_um2 > 1.8 * tight.core_area_um2
+    assert loose.chip_area_um2 > tight.chip_area_um2
+
+
+def test_chip_is_square_and_encloses_core(lib, small_circuit):
+    plan = build_floorplan(small_circuit, 0.97)
+    assert plan.chip.width == pytest.approx(plan.chip.height)
+    ring = CORE_MARGIN_UM + GROUND_RING_UM + POWER_RING_UM + IO_RING_UM
+    assert plan.core.x0 == pytest.approx(ring)
+    assert plan.core.x1 <= plan.chip.x1 - ring + 1e-6
+    assert 0.9 <= plan.aspect_ratio <= 1.1  # paper Section 4.3
+
+
+def test_rows_abut_and_alternate(lib, small_circuit):
+    plan = build_floorplan(small_circuit, 0.97)
+    for a, b in zip(plan.rows, plan.rows[1:]):
+        assert b.y == pytest.approx(a.y + ROW_HEIGHT_UM)
+        assert a.flipped != b.flipped
+    assert plan.total_row_length_um == pytest.approx(
+        sum(r.length_um for r in plan.rows)
+    )
+
+
+def test_pads_on_io_ring(lib, small_circuit):
+    plan = build_floorplan(small_circuit, 0.97)
+    ports = set(small_circuit.inputs) | set(small_circuit.outputs)
+    assert set(plan.pad_positions) == ports
+    side = plan.chip.width
+    inner = IO_RING_UM / 2
+    for pos in plan.pad_positions.values():
+        x, y = pos
+        on_edge = (
+            abs(x - inner) < 1e-6 or abs(x - (side - inner)) < 1e-6
+            or abs(y - inner) < 1e-6 or abs(y - (side - inner)) < 1e-6
+        )
+        assert on_edge, pos
+
+
+def test_bad_utilization_rejected(lib, small_circuit):
+    with pytest.raises(ValueError):
+        build_floorplan(small_circuit, 1.5)
+    with pytest.raises(ValueError):
+        build_floorplan(small_circuit, 0.0)

@@ -1,0 +1,112 @@
+"""Integration tests for the full Figure 2 flow and the experiment
+sweep."""
+
+import pytest
+
+from repro.circuits import s38417_like
+from repro.core import (
+    ExperimentConfig,
+    FlowConfig,
+    ascii_density,
+    format_table1,
+    format_table2,
+    format_table3,
+    render_svg,
+    run_experiment,
+    run_flow,
+)
+from repro.atpg import AtpgConfig
+from repro.netlist import validate
+
+
+@pytest.fixture(scope="module")
+def flow_result(lib):
+    circuit = s38417_like(scale=0.03)
+    config = FlowConfig(
+        tp_percent=2.0,
+        atpg=AtpgConfig(seed=3, backtrack_limit=32,
+                        max_deterministic=250),
+    )
+    from repro.library import cmos130
+    return run_flow(circuit, cmos130(), config)
+
+
+def test_flow_produces_all_artifacts(flow_result):
+    r = flow_result
+    assert r.chains is not None and r.chains.n_chains >= 1
+    assert r.plan is not None and r.placement is not None
+    assert r.clock_trees and r.filler is not None
+    assert r.congestion is not None and r.parasitics
+    assert r.sta is not None and r.atpg is not None
+    assert validate(r.circuit).ok
+
+
+def test_flow_tables(flow_result):
+    m = flow_result.test_metrics()
+    assert m.n_test_points >= 1
+    assert 0.80 <= m.fault_coverage <= 1.0
+    assert m.n_patterns > 0
+    a = flow_result.area_metrics()
+    assert a["chip_area_um2"] > a["core_area_um2"]
+    assert 0 <= a["filler_fraction"] < 0.6
+
+
+def test_flow_timing_sane(flow_result):
+    sta = flow_result.sta
+    path = sta.critical("clk")
+    assert path is not None
+    assert path.total_ps > 0
+    assert path.t_setup_ps > 0
+    assert sta.hold_violations == 0  # hold-fix ECO ran
+    total = (path.t_wires_ps + path.t_intrinsic_ps + path.t_load_dep_ps
+             + path.t_setup_ps + path.t_skew_ps)
+    assert path.total_ps == pytest.approx(total)
+
+
+def test_flow_stage_timings_recorded(flow_result):
+    stages = flow_result.stage_seconds
+    for key in ("tpi_scan", "floorplan_place", "scan_reorder",
+                "eco_cts_route", "extraction", "sta", "atpg"):
+        assert key in stages
+
+
+def test_render_views(flow_result):
+    r = flow_result
+    svg = render_svg(r.circuit, r.plan, r.placement, r.routed, "routed")
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "line" in svg  # wires drawn
+    svg_fp = render_svg(r.circuit, r.plan, stage="floorplan")
+    assert "line" not in svg_fp
+    with pytest.raises(ValueError):
+        render_svg(r.circuit, r.plan, stage="nope")
+    density = ascii_density(r.circuit, r.placement)
+    assert len(density.splitlines()) >= 4
+
+
+def test_experiment_sweep_and_formatting(lib):
+    config = ExperimentConfig(
+        name="mini",
+        circuit_factory=lambda: s38417_like(scale=0.02),
+        tp_percents=(0.0, 3.0),
+        flow=FlowConfig(
+            atpg=AtpgConfig(seed=1, backtrack_limit=24,
+                            max_deterministic=150),
+        ),
+    )
+    result = run_experiment(config)
+    rows1 = result.table1_rows()
+    assert [r["tp_percent"] for r in rows1] == [0.0, 3.0]
+    assert rows1[0]["n_tp"] == 0 and rows1[1]["n_tp"] >= 1
+    assert rows1[0]["patterns_dec_percent"] == 0.0
+    rows2 = result.table2_rows()
+    assert rows2[0]["core_inc_percent"] == 0.0
+    assert rows2[1]["n_cells"] > rows2[0]["n_cells"]
+    rows3 = result.table3_rows()
+    assert {r["domain"] for r in rows3} == {"clk"}
+    # Formatting produces aligned headers.
+    for rows, fmt in ((rows1, format_table1), (rows2, format_table2),
+                      (rows3, format_table3)):
+        text = fmt(rows)
+        lines = text.splitlines()
+        assert len(lines) == len(rows) + 2
+        assert len(set(len(l) for l in lines)) == 1

@@ -1,0 +1,108 @@
+"""Tests for the LBIST substrate (LFSR, MISR, engine)."""
+
+import pytest
+
+from repro.lbist import (
+    LFSR,
+    LbistConfig,
+    MISR,
+    PRIMITIVE_TAPS,
+    coverage_at,
+    run_lbist,
+    signature_of,
+)
+from repro.scan import insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_TAPS))
+def test_lfsr_period_is_maximal_for_small_widths(width):
+    if width > 16:
+        pytest.skip("full-period check only for small registers")
+    lfsr = LFSR(width=width, seed=1)
+    start = lfsr.state
+    period = 0
+    while True:
+        lfsr.step()
+        period += 1
+        if lfsr.state == start:
+            break
+        assert period <= (1 << width)
+    assert period == (1 << width) - 1
+
+
+def test_lfsr_never_reaches_zero_state():
+    lfsr = LFSR(width=8, seed=3)
+    for _ in range(1 << 9):
+        lfsr.step()
+        assert lfsr.state != 0
+
+
+def test_lfsr_patterns_deterministic():
+    a = LFSR(width=32, seed=99).patterns(20, 10)
+    b = LFSR(width=32, seed=99).patterns(20, 10)
+    assert a == b
+    c = LFSR(width=32, seed=100).patterns(20, 10)
+    assert a != c
+
+
+def test_lfsr_rejects_unknown_width():
+    with pytest.raises(ValueError):
+        LFSR(width=13)
+
+
+def test_misr_distinguishes_streams():
+    base = [0x1234, 0x5678, 0x9ABC, 0xDEF0]
+    sig = signature_of(base, width=32)
+    flipped = list(base)
+    flipped[2] ^= 1  # single-bit response error
+    assert signature_of(flipped, width=32) != sig
+    # Order matters too (time compaction).
+    assert signature_of(list(reversed(base)), width=32) != sig
+
+
+def test_misr_aliasing_probability():
+    assert MISR(width=32).aliasing_probability == pytest.approx(2.0 ** -32)
+
+
+def test_lbist_session_and_curve(lib, small_circuit_mutable):
+    c = small_circuit_mutable
+    insert_scan(c, lib, max_chain_length=50)
+    res = run_lbist(c, LbistConfig(n_patterns=512))
+    assert res.n_patterns == 512
+    assert 0.4 < res.fault_coverage < 1.0
+    # Coverage is monotone along the curve.
+    coverages = [cov for _, cov in res.coverage_curve]
+    assert coverages == sorted(coverages)
+    assert coverage_at(res, 512) == pytest.approx(res.fault_coverage)
+    assert res.signature != 0
+
+
+def test_lbist_deterministic(lib):
+    from repro.circuits import s38417_like
+
+    def session():
+        c = s38417_like(scale=0.02)
+        insert_scan(c, cmos := lib, max_chain_length=50)
+        res = run_lbist(c, LbistConfig(n_patterns=256))
+        return res.signature, res.fault_coverage
+
+    assert session() == session()
+
+
+def test_test_points_lift_lbist_coverage(lib):
+    """The paper's Section 2 motivation, measured."""
+    from repro.circuits import s38417_like
+
+    def coverage(tp_percent):
+        c = s38417_like(scale=0.03)
+        if tp_percent:
+            insert_test_points(c, lib, TpiConfig(
+                n_test_points=round(tp_percent / 100 * c.num_flip_flops)
+            ))
+        insert_scan(c, lib, max_chain_length=50)
+        return run_lbist(c, LbistConfig(n_patterns=1024)).fault_coverage
+
+    base = coverage(0)
+    with_tps = coverage(3)
+    assert with_tps > base + 0.02

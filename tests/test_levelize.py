@@ -1,0 +1,86 @@
+"""Tests for combinational-view extraction and levelisation."""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    CombinationalLoopError,
+    extract_comb_view,
+)
+from repro.scan import insert_scan
+from repro.tpi import insert_test_points, TpiConfig
+
+
+def test_test_view_cuts_flip_flops(lib, tiny_pipeline):
+    view = extract_comb_view(tiny_pipeline, "test")
+    # FF outputs become controllable, FF D pins observable.
+    assert "q1" in view.input_nets and "q2" in view.input_nets
+    endpoints = {ref for _, ref in view.output_refs}
+    assert ("ff1", "D") in endpoints and ("ff2", "D") in endpoints
+    # Two combinational nodes, levelised.
+    assert [n.inst.name for n in view.nodes] in (
+        [["g1", "g2"]][0], ["g2", "g1"]
+    )
+
+
+def test_topological_order_property(lib, small_circuit):
+    view = extract_comb_view(small_circuit, "test")
+    known = set(view.input_nets) | set(view.constants)
+    for node in view.nodes:
+        for net in node.pin_nets.values():
+            assert net in known, f"{node.inst.name} used {net} early"
+        known.add(node.out_net)
+
+
+def test_levels_monotone(lib, small_circuit):
+    view = extract_comb_view(small_circuit, "test")
+    level_of = {net: 0 for net in view.input_nets}
+    for net in view.constants:
+        level_of.setdefault(net, 0)
+    for node in view.nodes:
+        expected = 1 + max(
+            level_of[n] for n in node.pin_nets.values()
+        )
+        assert node.level == expected
+        level_of[node.out_net] = node.level
+
+
+def test_functional_view_makes_tsff_transparent(lib):
+    c = Circuit("t")
+    c.add_clock("clk", 1000.0)
+    c.add_input("a")
+    c.add_input("se")
+    c.add_input("tr")
+    c.add_net("q")
+    c.add_instance("tp", lib["TSFF_X1"], {
+        "D": "a", "TI": "a", "TE": "se", "TR": "tr", "CLK": "clk",
+        "Q": "q",
+    })
+    c.add_output("y", "q")
+    functional = extract_comb_view(c, "functional")
+    # In application mode the TSFF is a pass-through node.
+    assert any(n.inst.name == "tp" for n in functional.nodes)
+    test = extract_comb_view(c, "test")
+    # In capture mode it is a register boundary instead.
+    assert all(n.inst.name != "tp" for n in test.nodes)
+    assert "q" in test.input_nets
+    # TR is held 1 in capture, 0 in application mode.
+    assert test.constants["tr"] == 1
+    assert functional.constants["tr"] == 0
+
+
+def test_unknown_mode_rejected(lib, tiny_pipeline):
+    with pytest.raises(ValueError):
+        extract_comb_view(tiny_pipeline, "bogus")
+
+
+def test_dft_insertion_preserves_view_consistency(lib,
+                                                  small_circuit_mutable):
+    c = small_circuit_mutable
+    insert_test_points(c, lib, TpiConfig(n_test_points=3))
+    insert_scan(c, lib, max_chain_length=50)
+    view = extract_comb_view(c, "test")
+    # Scan-enable and TR nets are constants, not free inputs.
+    assert "scan_enable" in view.constants
+    assert "tp_enable" in view.constants
+    assert "scan_enable" not in view.input_nets

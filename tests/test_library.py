@@ -1,0 +1,99 @@
+"""Tests for the 130 nm-class cell library."""
+
+import pytest
+
+from repro.library import (
+    ROW_HEIGHT_UM,
+    SITE_WIDTH_UM,
+    build_cmos130_library,
+    exhaustive_truth_table,
+    metal_stack_130nm,
+    average_signal_rc,
+    signal_layers,
+)
+
+
+def test_expected_cells_present(lib):
+    for name in ("INV_X1", "NAND2_X1", "NAND4_X2", "XOR2_X1", "MUX2_X2",
+                 "DFF_X1", "SDFF_X1", "TSFF_X1", "CLKBUF_X4", "FILL1"):
+        assert name in lib
+
+
+def test_cell_geometry(lib):
+    inv = lib["INV_X1"]
+    assert inv.width_um == pytest.approx(3 * SITE_WIDTH_UM)
+    assert inv.height_um == ROW_HEIGHT_UM
+    assert inv.area_um2 == pytest.approx(inv.width_um * ROW_HEIGHT_UM)
+
+
+def test_tsff_is_scan_ff_plus_mux_area(lib):
+    """The TSFF area premium over the scan FF is about one mux."""
+    tsff, sdff, mux = lib["TSFF_X1"], lib["SDFF_X1"], lib["MUX2_X1"]
+    premium = tsff.width_sites - sdff.width_sites
+    assert 0 < premium <= mux.width_sites + 2
+
+
+def test_drive_families_ordered(lib):
+    family = lib.family("INV")
+    assert [c.drive for c in family] == [1, 2, 4]
+    # Stronger drives have lower load sensitivity.
+    weak = family[0].arc("A", "Z").delay.lookup(40.0, 30.0).value
+    strong = family[-1].arc("A", "Z").delay.lookup(40.0, 30.0).value
+    assert strong < weak
+
+
+def test_functions_match_names(lib):
+    assert exhaustive_truth_table(
+        lib["NAND2_X1"].functions["Z"], ["A", "B"]) == [1, 1, 1, 0]
+    assert exhaustive_truth_table(
+        lib["NOR2_X1"].functions["Z"], ["A", "B"]) == [1, 0, 0, 0]
+    assert exhaustive_truth_table(
+        lib["XOR2_X1"].functions["Z"], ["A", "B"]) == [0, 1, 1, 0]
+    assert exhaustive_truth_table(
+        lib["AOI21_X1"].functions["Z"], ["A", "B", "C"]
+    ) == [1, 1, 1, 0, 0, 0, 0, 0]
+
+
+def test_sequential_specs(lib):
+    sdff = lib["SDFF_X1"].sequential
+    assert sdff.scan_in == "TI" and sdff.scan_enable == "TE"
+    assert sdff.test_point_enable is None
+    tsff = lib["TSFF_X1"].sequential
+    assert tsff.test_point_enable == "TR"
+    assert lib["TSFF_X1"].is_tsff and lib["TSFF_X1"].is_scan
+    assert not lib["SDFF_X1"].is_tsff
+
+
+def test_tsff_has_transparent_arc(lib):
+    tsff = lib["TSFF_X1"]
+    arc = tsff.arc("D", "Q")
+    assert arc.delay.lookup(40.0, 10.0).value > 0
+    # Plain FF has no data->output arc.
+    with pytest.raises(KeyError):
+        lib["DFF_X1"].arc("D", "Q")
+
+
+def test_fillers_and_clock_buffers(lib):
+    fillers = lib.fillers()
+    assert [f.width_sites for f in fillers] == [1, 2, 4, 8]
+    assert all(not f.pins for f in fillers)
+    clkbufs = lib.clock_buffers()
+    assert clkbufs and all(c.is_clock_buffer for c in clkbufs)
+
+
+def test_library_rejects_duplicates():
+    lib2 = build_cmos130_library()
+    with pytest.raises(ValueError):
+        lib2.add(lib2["INV_X1"])
+
+
+def test_metal_stack_shape():
+    stack = metal_stack_130nm()
+    assert len(stack) == 6
+    assert [l.direction for l in stack] == ["H", "V", "H", "V", "H", "V"]
+    sig = signal_layers(stack)
+    assert [l.index for l in sig] == [2, 3, 4, 5]
+    r, c = average_signal_rc(stack)
+    assert r > 0 and c > 0
+    # Upper layers are faster than lower ones.
+    assert stack[4].r_ohm_per_um < stack[2].r_ohm_per_um

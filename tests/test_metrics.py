@@ -1,0 +1,68 @@
+"""Tests for the paper's test-data equations and table metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import TestDataMetrics, percent_change
+from repro.core import test_application_time_cycles as tat_cycles
+from repro.core import test_data_volume_bits as tdv_bits
+
+
+def test_equation_1_exact():
+    # TDV = 2 * n * ((l_max + 1) * p + l_max)
+    assert tdv_bits(4, 100, 500) == 2 * 4 * (101 * 500 + 100)
+
+
+def test_equation_2_exact():
+    # TAT = (l_max + 1) * p + 2 * l_max
+    assert tat_cycles(4, 100, 500) == 101 * 500 + 200
+
+
+@given(st.integers(1, 64), st.integers(1, 500), st.integers(0, 5000))
+def test_equations_monotone_in_patterns(n, lmax, p):
+    assert (
+        tdv_bits(n, lmax, p + 1)
+        > tdv_bits(n, lmax, p)
+    )
+    assert (
+        tat_cycles(n, lmax, p + 1)
+        > tat_cycles(n, lmax, p)
+    )
+
+
+@given(st.integers(1, 64), st.integers(1, 500), st.integers(0, 5000))
+def test_tdv_scales_with_chains(n, lmax, p):
+    assert (
+        tdv_bits(n + 1, lmax, p)
+        > tdv_bits(n, lmax, p)
+    )
+    # TAT is independent of the chain count (shift depth matters).
+    assert (
+        tat_cycles(n + 1, lmax, p)
+        == tat_cycles(n, lmax, p)
+    )
+
+
+def test_metrics_dataclass_properties():
+    m = TestDataMetrics(
+        n_test_points=16, n_flip_flops=1652, n_chains=17, l_max=100,
+        n_faults=30000, fault_coverage=0.991, fault_efficiency=0.995,
+        n_patterns=250,
+    )
+    assert m.tdv_bits == tdv_bits(17, 100, 250)
+    assert m.tat_cycles == tat_cycles(17, 100, 250)
+
+
+def test_percent_change():
+    assert percent_change(200, 100) == pytest.approx(-50.0)
+    assert percent_change(100, 105) == pytest.approx(5.0)
+    assert percent_change(0, 100) == 0.0
+
+
+def test_balanced_chains_reduce_tat():
+    """More, shorter chains cut TAT at constant FF count (paper 4.2)."""
+    ffs = 1600
+    patterns = 300
+    single = tat_cycles(1, ffs, patterns)
+    many = tat_cycles(16, ffs // 16, patterns)
+    assert many < single / 10

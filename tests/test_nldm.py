@@ -1,0 +1,63 @@
+"""Tests for NLDM lookup tables (interpolation, extrapolation, flags)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.library.nldm import NLDMTable
+
+
+@pytest.fixture()
+def table():
+    return NLDMTable(
+        slews=[10.0, 100.0],
+        loads=[1.0, 11.0],
+        values=[[5.0, 15.0], [25.0, 35.0]],
+    )
+
+
+def test_exact_at_grid_points(table):
+    assert table.lookup(10.0, 1.0).value == pytest.approx(5.0)
+    assert table.lookup(100.0, 11.0).value == pytest.approx(35.0)
+
+
+def test_bilinear_midpoint(table):
+    mid = table.lookup(55.0, 6.0)
+    assert mid.value == pytest.approx(20.0)
+    assert not mid.extrapolated
+
+
+def test_extrapolation_flagged_and_linear(table):
+    high = table.lookup(10.0, 21.0)  # one grid step beyond the corner
+    assert high.extrapolated
+    assert high.value == pytest.approx(25.0)  # 5 + 2 * (15-5)
+    low = table.lookup(0.0, 1.0)
+    assert low.extrapolated
+
+
+def test_intrinsic_is_zero_slew_zero_load(table):
+    # Row slope: (25-5)/90 per ps slew; col slope: (15-5)/10 per fF.
+    expected = 5.0 - 10.0 * (20.0 / 90.0) - 1.0 * (10.0 / 10.0)
+    assert table.intrinsic_ps() == pytest.approx(expected)
+
+
+def test_index_validation():
+    with pytest.raises(ValueError):
+        NLDMTable([1.0, 1.0], [1.0, 2.0], [[0, 0], [0, 0]])
+    with pytest.raises(ValueError):
+        NLDMTable([1.0, 2.0], [1.0, 2.0], [[0, 0]])
+
+
+@given(st.floats(min_value=0.0, max_value=2000.0),
+       st.floats(min_value=0.0, max_value=400.0))
+def test_linear_table_monotone_in_load_and_slew(slew, load):
+    table = NLDMTable.linear(40.0, 10.0, 0.2)
+    base = table.lookup(slew, load).value
+    assert table.lookup(slew, load + 5.0).value >= base - 1e-9
+    assert table.lookup(slew + 5.0, load).value >= base - 1e-9
+
+
+def test_linear_table_flags_out_of_range():
+    table = NLDMTable.linear(40.0, 10.0, 0.2)
+    assert not table.lookup(60.0, 20.0).extrapolated
+    assert table.lookup(table.max_slew * 2, 20.0).extrapolated
+    assert table.lookup(60.0, table.max_load * 2).extrapolated

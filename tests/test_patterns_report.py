@@ -1,0 +1,104 @@
+"""Tests for pattern interchange and timing reports."""
+
+import pytest
+
+from repro.atpg import AtpgConfig, run_atpg
+from repro.atpg.patterns import (
+    from_pattern_text,
+    scan_load_schedule,
+    to_pattern_text,
+)
+from repro.scan import insert_scan
+from repro.sta.report import format_path, format_summary, worst_paths_report
+
+
+@pytest.fixture(scope="module")
+def atpg_env():
+    from repro.circuits import s38417_like
+    from repro.library import cmos130
+    c = s38417_like(scale=0.015)
+    chains = insert_scan(c, cmos130(), max_chain_length=30)
+    res = run_atpg(c, config=AtpgConfig(
+        seed=4, backtrack_limit=24, max_deterministic=150,
+    ))
+    return c, chains, res
+
+
+def test_pattern_text_round_trip(atpg_env):
+    c, chains, res = atpg_env
+    text = to_pattern_text(res, c.name)
+    inputs, patterns = from_pattern_text(text)
+    assert inputs == res.input_nets
+    assert patterns == res.patterns
+
+
+def test_pattern_text_errors():
+    with pytest.raises(ValueError):
+        from_pattern_text("0101\n")
+    with pytest.raises(ValueError):
+        from_pattern_text("inputs a b\n0\n")
+    with pytest.raises(ValueError):
+        from_pattern_text("inputs a b\n0x\n")
+
+
+def test_scan_load_schedule_shapes(atpg_env):
+    c, chains, res = atpg_env
+    q_net_of = {
+        name: c.instances[name].conns["Q"]
+        for chain in chains.chains for name in chain
+    }
+    schedule = scan_load_schedule(
+        res.patterns[:5], res.input_nets, chains.chains, q_net_of,
+    )
+    assert len(schedule) == 5
+    for per_chain in schedule:
+        assert len(per_chain) == chains.n_chains
+        for chain, bits in zip(chains.chains, per_chain):
+            assert len(bits) == len(chain)
+            assert set(bits) <= {"0", "1"}
+
+
+def test_scan_load_targets_correct_cells(atpg_env):
+    """Shifting the schedule leaves each FF holding its pattern bit."""
+    c, chains, res = atpg_env
+    q_net_of = {
+        name: c.instances[name].conns["Q"]
+        for chain in chains.chains for name in chain
+    }
+    index = {net: j for j, net in enumerate(res.input_nets)}
+    pattern = res.patterns[0]
+    schedule = scan_load_schedule(
+        [pattern], res.input_nets, chains.chains, q_net_of,
+    )[0]
+    for chain, stream in zip(chains.chains, schedule):
+        # After len(chain) shifts, bit k of the stream sits in FF
+        # chain[len(chain)-1-k].
+        for k, bit in enumerate(stream):
+            ff = chain[len(chain) - 1 - k]
+            j = index[q_net_of[ff]]
+            assert bit == ("1" if (pattern >> j) & 1 else "0")
+
+
+def test_timing_report_formatting(lib, tiny_pipeline):
+    from repro.extraction import extract_all
+    from repro.layout import GlobalRouter, build_floorplan, global_place
+    from repro.sta import StaConfig, run_sta
+
+    plan = build_floorplan(tiny_pipeline, 0.5)
+    placement = global_place(tiny_pipeline, plan)
+    router = GlobalRouter(tiny_pipeline, placement)
+    router.route_all()
+    parasitics = extract_all(tiny_pipeline, placement, router.routed)
+    result = run_sta(tiny_pipeline, parasitics, StaConfig(derate=1.0))
+
+    path = result.critical("clk")
+    block = format_path(path, period_ps=4000.0)
+    assert "Startpoint: ff1" in block
+    assert "T_cp (eq. 3)" in block
+    assert "slack" in block
+
+    summary = format_summary(result)
+    assert "clk" in summary and "F_max" in summary
+
+    report = worst_paths_report(result, count=2)
+    assert report.count("Startpoint") >= 1

@@ -1,0 +1,86 @@
+"""Tests for global placement and legalisation."""
+
+import random
+
+import pytest
+
+from repro.layout import build_floorplan, global_place
+from repro.library import ROW_HEIGHT_UM, SITE_WIDTH_UM
+
+
+@pytest.fixture(scope="module")
+def placed():
+    from repro.circuits import s38417_like
+    from repro.library import cmos130
+    c = s38417_like(scale=0.03)
+    plan = build_floorplan(c, 0.97)
+    placement = global_place(c, plan)
+    return c, plan, placement
+
+
+def test_every_cell_placed_inside_core(placed):
+    c, plan, placement = placed
+    movable = [i for i in c.instances.values() if not i.cell.is_filler]
+    assert len(placement.positions) == len(movable)
+    for name, (x, y) in placement.positions.items():
+        w = c.instances[name].cell.width_um
+        assert plan.core.x0 - 1e-6 <= x - w / 2
+        assert x + w / 2 <= plan.core.x1 + 1e-6
+        assert plan.core.y0 <= y <= plan.core.y1
+
+
+def test_no_overlaps_within_rows(placed):
+    c, plan, placement = placed
+    for row_idx, cells in enumerate(placement.rows_cells):
+        spans = []
+        for name in cells:
+            x, _ = placement.positions[name]
+            w = c.instances[name].cell.width_um
+            spans.append((x - w / 2, x + w / 2, name))
+        spans.sort()
+        for (a0, a1, na), (b0, b1, nb) in zip(spans, spans[1:]):
+            assert a1 <= b0 + 1e-6, f"{na} overlaps {nb} in row {row_idx}"
+
+
+def test_rows_not_overfull(placed):
+    c, plan, placement = placed
+    occupancy = placement.row_occupancy_sites(c)
+    for row, used in zip(plan.rows, occupancy):
+        assert used <= row.n_sites
+
+
+def test_cells_on_row_centerlines(placed):
+    c, plan, placement = placed
+    row_centers = {
+        round(row.y + ROW_HEIGHT_UM / 2, 3) for row in plan.rows
+    }
+    for name, (x, y) in placement.positions.items():
+        assert round(y, 3) in row_centers
+
+
+def test_achieved_utilization_near_target(placed):
+    c, plan, placement = placed
+    assert placement.utilization(c) == pytest.approx(0.97, abs=0.05)
+
+
+def test_placement_beats_random_wirelength(placed):
+    c, plan, placement = placed
+    hpwl = placement.total_hpwl_um(c)
+    rng = random.Random(5)
+    names = list(placement.positions)
+    shuffled = list(placement.positions.values())
+    rng.shuffle(shuffled)
+    saved = dict(placement.positions)
+    placement.positions = dict(zip(names, shuffled))
+    random_hpwl = placement.total_hpwl_um(c)
+    placement.positions = saved
+    assert hpwl < 0.75 * random_hpwl
+
+
+def test_placement_deterministic():
+    from repro.circuits import s38417_like
+    c1 = s38417_like(scale=0.02)
+    c2 = s38417_like(scale=0.02)
+    p1 = global_place(c1, build_floorplan(c1, 0.9))
+    p2 = global_place(c2, build_floorplan(c2, 0.9))
+    assert p1.positions == p2.positions

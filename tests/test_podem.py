@@ -1,0 +1,125 @@
+"""Tests for the PODEM test generator."""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    BitSimulator,
+    Fault,
+    FaultSimulator,
+    PodemEngine,
+    build_fault_list,
+)
+from repro.atpg.compaction import pack_block
+from repro.netlist import Circuit, extract_comb_view
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.02)
+    view = extract_comb_view(c, "test")
+    sim = BitSimulator(view)
+    return c, view, sim, FaultSimulator(sim), build_fault_list(c, view)
+
+
+def _cube_to_pattern(view, cube, rng):
+    inputs = list(view.input_nets)
+    idx = {n: j for j, n in enumerate(inputs)}
+    pattern = rng.getrandbits(len(inputs))
+    for net, value in cube.assignment.items():
+        j = idx[net]
+        if value:
+            pattern |= 1 << j
+        else:
+            pattern &= ~(1 << j)
+    return pattern
+
+
+def test_cubes_always_detect_their_target(env):
+    circuit, view, sim, fsim, flist = env
+    podem = PodemEngine(view, backtrack_limit=96)
+    rng = random.Random(1)
+    targets = [f for f in flist.targets() if fsim.in_view(f)]
+    checked = 0
+    for fault in rng.sample(targets, min(80, len(targets))):
+        cube = podem.generate(fault)
+        if cube.status != "detected":
+            continue
+        checked += 1
+        # Detection must survive ANY fill: try three random fills.
+        for _ in range(3):
+            pattern = _cube_to_pattern(view, cube, rng)
+            words = pack_block(view.input_nets, [pattern])
+            assert fault in fsim.run_block(words, [fault]), str(fault)
+    assert checked >= 50
+
+
+def test_redundant_fault_proven(lib):
+    """a AND (NOT a) == 0: the output sa0 is untestable."""
+    c = Circuit("redundant")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_net("na")
+    c.add_net("dead")
+    c.add_net("out")
+    c.add_instance("i", lib["INV_X1"], {"A": "a", "Z": "na"})
+    c.add_instance("g", lib["AND2_X1"], {"A": "a", "B": "na", "Z": "dead"})
+    c.add_instance("o", lib["OR2_X1"], {"A": "dead", "B": "b", "Z": "out"})
+    c.add_output("po", "out")
+    view = extract_comb_view(c, "test")
+    podem = PodemEngine(view, backtrack_limit=64)
+    cube = podem.generate(Fault("dead", None, 0))
+    assert cube.status == "redundant"
+    # The sa1 counterpart is testable: a=0, b=0 observes it.
+    cube1 = podem.generate(Fault("dead", None, 1))
+    assert cube1.status == "detected"
+
+
+def test_fixed_constraints_respected(env):
+    circuit, view, sim, fsim, flist = env
+    podem = PodemEngine(view, backtrack_limit=96)
+    rng = random.Random(2)
+    targets = [f for f in flist.targets() if fsim.in_view(f)]
+    done = 0
+    for fault in targets:
+        base = podem.generate(fault)
+        if base.status != "detected" or not base.assignment:
+            continue
+        # Re-generate with the cube itself as constraints: the result
+        # must not contradict them.
+        again = podem.generate(fault, fixed=base.assignment)
+        if again.status == "detected":
+            for net, value in again.assignment.items():
+                assert base.assignment.get(net, value) == value
+        done += 1
+        if done >= 15:
+            break
+    assert done == 15
+
+
+def test_incompatible_status_under_conflicting_constraints(env):
+    circuit, view, sim, fsim, flist = env
+    podem = PodemEngine(view, backtrack_limit=48)
+    targets = [f for f in flist.targets() if fsim.in_view(f)
+               and f.sink is None]
+    for fault in targets:
+        cube = podem.generate(fault)
+        if cube.status != "detected" or not cube.assignment:
+            continue
+        # Flip every cube bit: activation can become impossible.
+        flipped = {n: 1 - v for n, v in cube.assignment.items()}
+        result = podem.generate(fault, fixed=flipped)
+        assert result.status in ("detected", "incompatible", "aborted")
+        if result.status == "incompatible":
+            return
+    pytest.skip("no fault produced an incompatible constraint set")
+
+
+def test_backtrack_budget_bounds_work(env):
+    circuit, view, sim, fsim, flist = env
+    podem = PodemEngine(view, backtrack_limit=1, restarts=1)
+    targets = [f for f in flist.targets() if fsim.in_view(f)]
+    statuses = {podem.generate(f).status for f in targets[:40]}
+    assert statuses <= {"detected", "aborted", "redundant"}

@@ -1,0 +1,34 @@
+"""Additional rendering coverage: cell colour classes and density."""
+
+from repro.core.render import _cell_class, ascii_density, render_svg
+from repro.layout import build_floorplan, global_place
+from repro.scan import insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+
+def test_cell_classes(lib, small_circuit_mutable):
+    c = small_circuit_mutable
+    insert_test_points(c, lib, TpiConfig(n_test_points=2))
+    insert_scan(c, lib, max_chain_length=40)
+    classes = {_cell_class(c, name) for name in c.instances}
+    assert {"tsff", "ff", "comb"} <= classes
+
+
+def test_tsffs_rendered_in_red(lib, small_circuit_mutable):
+    c = small_circuit_mutable
+    insert_test_points(c, lib, TpiConfig(n_test_points=2))
+    insert_scan(c, lib, max_chain_length=40)
+    plan = build_floorplan(c, 0.9)
+    placement = global_place(c, plan)
+    svg = render_svg(c, plan, placement, stage="placement")
+    assert "#d62728" in svg  # the TSFF colour appears
+
+
+def test_density_characters(lib, small_circuit):
+    plan = build_floorplan(small_circuit, 0.9)
+    placement = global_place(small_circuit, plan)
+    density = ascii_density(small_circuit, placement, columns=32)
+    rows = density.splitlines()
+    assert all(len(r) == 32 for r in rows)
+    allowed = set(".123456789#")
+    assert set("".join(rows)) <= allowed

@@ -1,0 +1,122 @@
+"""Tests for the global router and the RC extractor."""
+
+import pytest
+
+from repro.extraction import NetParasitics, extract_all, extract_net
+from repro.extraction.rc import OHM_FF_TO_PS
+from repro.layout import GlobalRouter, RoutedNet, RouteSegment, build_floorplan, global_place
+from repro.layout.geometry import hpwl
+from repro.library.layers import metal_stack_130nm
+
+
+@pytest.fixture(scope="module")
+def routed_env():
+    from repro.circuits import s38417_like
+    c = s38417_like(scale=0.03)
+    plan = build_floorplan(c, 0.97)
+    placement = global_place(c, plan)
+    router = GlobalRouter(c, placement)
+    report = router.route_all()
+    return c, plan, placement, router, report
+
+
+def test_every_multi_pin_net_routed(routed_env):
+    c, plan, placement, router, report = routed_env
+    for name, net in c.nets.items():
+        pins = router._pin_points(name)
+        routed = router.routed[name]
+        if len(pins) >= 2 and hpwl(pins) > 1e-9:
+            assert routed.segments, f"net {name} unrouted"
+
+
+def test_segments_rectilinear_and_lengths_consistent(routed_env):
+    c, plan, placement, router, report = routed_env
+    for routed in router.routed.values():
+        total = 0.0
+        for seg in routed.segments:
+            assert seg.x0 == seg.x1 or seg.y0 == seg.y1
+            assert 2 <= seg.layer <= 5
+            total += seg.length_um
+        assert routed.wirelength_um == pytest.approx(total)
+
+
+def test_wirelength_at_least_hpwl(routed_env):
+    c, plan, placement, router, report = routed_env
+    for name, routed in router.routed.items():
+        pins = router._pin_points(name)
+        if len(pins) >= 2:
+            assert routed.wirelength_um >= hpwl(pins) - 1e-6
+
+
+def test_congestion_report(routed_env):
+    _, _, _, router, report = routed_env
+    assert report.total_wirelength_um > 0
+    assert 0 <= report.mean_utilization <= report.max_utilization
+    assert report.overflowed_edges >= 0
+
+
+def test_low_utilization_routes_with_less_congestion():
+    from repro.circuits import s38417_like
+    results = {}
+    for util in (0.97, 0.50):
+        c = s38417_like(scale=0.03)
+        plan = build_floorplan(c, util)
+        placement = global_place(c, plan)
+        report = GlobalRouter(c, placement).route_all()
+        results[util] = report
+    assert (
+        results[0.50].max_utilization <= results[0.97].max_utilization
+    )
+
+
+def test_extract_two_pin_elmore_hand_check(lib):
+    """One 100 um M3 segment between driver and a single sink."""
+    from repro.netlist import Circuit
+    from repro.layout.placement import Placement
+    from repro.layout.floorplan import build_floorplan
+
+    c = Circuit("t")
+    c.add_input("a")
+    c.add_net("n1")
+    c.add_net("n2")
+    c.add_instance("d", lib["INV_X1"], {"A": "a", "Z": "n1"})
+    c.add_instance("s", lib["INV_X1"], {"A": "n1", "Z": "n2"})
+    c.add_output("po", "n2")
+    plan = build_floorplan(c, 0.5)
+    placement = Placement(plan=plan)
+    placement.positions = {"d": (0.0, 0.0), "s": (100.0, 0.0)}
+    routed = RoutedNet(net="n1", segments=[
+        RouteSegment(0.0, 0.0, 100.0, 0.0, 3)
+    ], wirelength_um=100.0)
+    stack = metal_stack_130nm()
+    layers = {l.index: l for l in stack}
+    m3 = layers[3]
+    p = extract_net(c, placement, routed, layers)
+    wire_c = 100.0 * m3.c_ff_per_um
+    assert p.wire_cap_ff == pytest.approx(wire_c)
+    pin_c = lib["INV_X1"].pin_cap_ff("A")
+    assert p.pin_cap_ff == pytest.approx(pin_c)
+    assert p.total_cap_ff == pytest.approx(wire_c + pin_c)
+    from repro.library.layers import VIA_RESISTANCE_OHM
+    r = 100.0 * m3.r_ohm_per_um + VIA_RESISTANCE_OHM
+    expected = r * (wire_c / 2 + pin_c) * OHM_FF_TO_PS
+    assert p.delay_to(("s", "A")) == pytest.approx(expected)
+
+
+def test_extract_all_covers_every_net(routed_env):
+    c, plan, placement, router, _ = routed_env
+    parasitics = extract_all(c, placement, router.routed)
+    assert set(parasitics) == set(c.nets)
+    for name, p in parasitics.items():
+        assert p.total_cap_ff >= 0
+        for sink, d in p.elmore_ps.items():
+            assert d >= 0
+    # Sinks of routed nets all get an Elmore entry.
+    for name, net in c.nets.items():
+        if router.routed[name].segments:
+            p = parasitics[name]
+            placed_sinks = [
+                s for s in net.sinks
+                if s[0] == "@port" or s[0] in placement.positions
+            ]
+            assert len(p.elmore_ps) == len(placed_sinks)

@@ -1,0 +1,112 @@
+"""Cycle-accurate sequential simulation tests: scan and TSFF modes
+observed on the real machine, not inferred from combinational views."""
+
+import random
+
+import pytest
+
+from repro.netlist import Circuit
+from repro.netlist.simulate import SequentialSimulator
+from repro.scan import SCAN_ENABLE, TP_ENABLE, insert_scan
+from repro.tpi import TpiConfig, insert_test_points
+
+
+def test_pipeline_propagates_over_two_cycles(lib, tiny_pipeline):
+    sim = SequentialSimulator(tiny_pipeline)
+    sim.set_input("pi_a", 0b1100)
+    sim.set_input("pi_b", 0b1010)
+    # n1 = NAND(a, b) settles combinationally.
+    assert sim.net_value("n1") & 0b1111 == (~(0b1100 & 0b1010)) & 0b1111
+    sim.clock_edge()          # FF1 captures n1
+    assert sim.state["ff1"] & 0b1111 == 0b0111
+    sim.clock_edge()          # FF2 captures INV(q1)
+    assert sim.state["ff2"] & 0b1111 == 0b1000
+    assert sim.output_value("po") & 0b1111 == 0b1000
+
+
+def test_scan_shift_on_the_sequential_machine(lib, small_circuit_mutable):
+    c = small_circuit_mutable
+    chains = insert_scan(c, lib, max_chain_length=16)
+    sim = SequentialSimulator(c, width=1)
+    sim.set_input(SCAN_ENABLE, 1)
+    chain = chains.chains[0]
+    si = chains.scan_in_ports[0]
+    stimulus = [1, 0, 1, 1, 0]
+    domain = chains.clock_of_chain[0]
+    for bit in stimulus + [0] * (len(chain) - len(stimulus)):
+        sim.set_input(si, bit)
+        sim.clock_edge([domain])
+    # After len(chain) shifts, the first bit sits at the chain tail.
+    for k, bit in enumerate(stimulus):
+        ff = chain[len(chain) - 1 - k] if k < len(chain) else None
+        assert sim.state[ff] == stimulus[k]
+
+
+def test_tsff_modes_on_the_sequential_machine(lib):
+    c = Circuit("t")
+    c.add_clock("clk", 1000.0)
+    c.add_input("d")
+    c.add_input("si")
+    c.add_input(SCAN_ENABLE)
+    c.add_input(TP_ENABLE)
+    c.add_net("q")
+    c.add_instance("tp", lib["TSFF_X1"], {
+        "D": "d", "TI": "si", "TE": SCAN_ENABLE, "TR": TP_ENABLE,
+        "CLK": "clk", "Q": "q",
+    })
+    c.add_output("po", "q")
+    sim = SequentialSimulator(c, width=1)
+
+    # Application mode: transparent.
+    sim.set_input(SCAN_ENABLE, 0)
+    sim.set_input(TP_ENABLE, 0)
+    sim.set_input("d", 1)
+    assert sim.output_value("po") == 1
+    sim.set_input("d", 0)
+    assert sim.output_value("po") == 0
+
+    # Capture mode: output from the (zero) state while D is captured.
+    sim.set_input(TP_ENABLE, 1)
+    sim.set_input("d", 1)
+    assert sim.output_value("po") == 0
+    sim.clock_edge()
+    assert sim.state["tp"] == 1
+    assert sim.output_value("po") == 1  # now controlled from the flop
+
+    # Flush mode: TI streams through combinationally.
+    sim.set_input(SCAN_ENABLE, 1)
+    sim.set_input(TP_ENABLE, 0)
+    sim.set_input("si", 1)
+    assert sim.output_value("po") == 1
+    sim.set_input("si", 0)
+    assert sim.output_value("po") == 0
+
+
+def test_tpi_preserves_sequential_behaviour(lib):
+    """The strongest equivalence check: run the same input sequence on
+    the original and the TPI'd circuit, compare every output each
+    cycle (application mode)."""
+    from repro.circuits import s38417_like
+    reference = s38417_like(scale=0.015)
+    modified = s38417_like(scale=0.015)
+    insert_test_points(modified, lib, TpiConfig(n_test_points=3))
+    insert_scan(modified, lib, max_chain_length=20)
+
+    ref_sim = SequentialSimulator(reference)
+    mod_sim = SequentialSimulator(modified)
+    mod_sim.set_input(SCAN_ENABLE, 0)
+    mod_sim.set_input(TP_ENABLE, 0)
+
+    rng = random.Random(6)
+    data_inputs = [n for n in reference.inputs
+                   if all(n != d.net for d in reference.clocks)]
+    for cycle in range(6):
+        for name in data_inputs:
+            word = rng.getrandbits(64)
+            ref_sim.set_input(name, word)
+            mod_sim.set_input(name, word)
+        for port in reference.outputs:
+            assert ref_sim.output_value(port) == \
+                mod_sim.output_value(port), f"{port} at cycle {cycle}"
+        ref_sim.clock_edge()
+        mod_sim.clock_edge()

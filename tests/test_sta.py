@@ -1,0 +1,157 @@
+"""Tests for static timing analysis (delays, paths, skew, slow nodes)."""
+
+import pytest
+
+from repro.extraction import extract_all
+from repro.layout import GlobalRouter, build_floorplan, global_place
+from repro.netlist import Circuit
+from repro.sta import (
+    StaConfig,
+    app_mode_arcs,
+    build_timing_nodes,
+    evaluate_arc,
+    run_sta,
+    wire_degraded_slew,
+)
+
+
+def _lay_out(circuit, util=0.5):
+    plan = build_floorplan(circuit, util)
+    placement = global_place(circuit, plan)
+    router = GlobalRouter(circuit, placement)
+    router.route_all()
+    parasitics = extract_all(circuit, placement, router.routed)
+    return parasitics
+
+
+def test_evaluate_arc_decomposition(lib):
+    arc = lib["NAND2_X1"].arc("A", "Z")
+    ad = evaluate_arc(arc, input_slew_ps=60.0, load_ff=20.0, derate=1.0)
+    assert ad.delay_ps == pytest.approx(
+        ad.intrinsic_ps + ad.load_dependent_ps
+    )
+    assert ad.intrinsic_ps == pytest.approx(
+        arc.delay.intrinsic_ps(), rel=1e-9
+    )
+    derated = evaluate_arc(arc, 60.0, 20.0, derate=1.25)
+    assert derated.delay_ps == pytest.approx(1.25 * ad.delay_ps)
+
+
+def test_slow_node_flagging(lib):
+    arc = lib["INV_X1"].arc("A", "Z")
+    ok = evaluate_arc(arc, 60.0, 20.0)
+    assert not ok.extrapolated
+    slow = evaluate_arc(arc, 60.0, arc.delay.max_load * 3)
+    assert slow.extrapolated
+
+
+def test_wire_degraded_slew_monotone():
+    assert wire_degraded_slew(100.0, 0.0) == pytest.approx(100.0)
+    assert wire_degraded_slew(100.0, 50.0) > 100.0
+
+
+def test_app_mode_arcs_block_test_paths(lib):
+    tsff_arcs = {(a.from_pin, a.to_pin) for a in app_mode_arcs(lib["TSFF_X1"])}
+    assert tsff_arcs == {("D", "Q")}
+    sdff_arcs = {(a.from_pin, a.to_pin) for a in app_mode_arcs(lib["SDFF_X1"])}
+    assert sdff_arcs == {("CLK", "Q")}
+
+
+def test_pipeline_path_decomposition(lib, tiny_pipeline):
+    parasitics = _lay_out(tiny_pipeline)
+    result = run_sta(tiny_pipeline, parasitics,
+                     StaConfig(derate=1.0, input_slew_ps=40.0))
+    path = result.critical("clk")
+    assert path is not None
+    # Worst register-to-register path: ff1 -> g2 -> ff2.
+    assert path.endpoint == "ff2"
+    assert path.startpoint == "ff1"
+    total = (
+        path.t_wires_ps + path.t_intrinsic_ps + path.t_load_dep_ps
+        + path.t_setup_ps + path.t_skew_ps
+    )
+    assert path.total_ps == pytest.approx(total)  # eq. (3)
+    assert path.t_setup_ps == pytest.approx(
+        lib["DFF_X1"].sequential.setup_ps
+    )
+    assert path.slack_ps == pytest.approx(4000.0 - path.total_ps)
+    assert path.fmax_mhz == pytest.approx(1e6 / path.total_ps)
+    assert path.n_test_points == 0
+
+
+def test_timing_nodes_topological(lib, small_circuit):
+    nodes = build_timing_nodes(small_circuit)
+    known = set(small_circuit.inputs)
+    launches = {n.out_net for n in nodes if n.is_launch}
+    known |= launches  # launch outputs break the cycle through FFs
+    for node in nodes:
+        if node.is_launch:
+            continue
+        for arc in node.arcs:
+            net = node.inst.conns[arc.from_pin]
+            assert net in known or net in launches
+        known.add(node.out_net)
+
+
+def test_tsff_lengthens_paths(lib):
+    """Inserting a TSFF on the pipeline's data net slows the path."""
+    def build(with_tp):
+        c = Circuit("t")
+        c.add_clock("clk", 4000.0)
+        c.add_input("a")
+        c.add_net("q1")
+        c.add_instance("ff1", lib["DFF_X1"],
+                       {"D": "a", "CLK": "clk", "Q": "q1"})
+        c.add_net("n1")
+        c.add_instance("g", lib["INV_X1"], {"A": "q1", "Z": "n1"})
+        end_net = "n1"
+        if with_tp:
+            c.add_input("se")
+            c.add_input("tr")
+            c.add_net("tpq")
+            c.add_instance("tp", lib["TSFF_X1"], {
+                "D": "n1", "TI": "a", "TE": "se", "TR": "tr",
+                "CLK": "clk", "Q": "tpq",
+            })
+            end_net = "tpq"
+        c.add_net("q2")
+        c.add_instance("ff2", lib["DFF_X1"],
+                       {"D": end_net, "CLK": "clk", "Q": "q2"})
+        c.add_output("po", "q2")
+        return c
+
+    base = build(False)
+    tp = build(True)
+    sta_base = run_sta(base, _lay_out(base), StaConfig(derate=1.0))
+    sta_tp = run_sta(tp, _lay_out(tp), StaConfig(derate=1.0))
+    p_base = sta_base.critical("clk")
+    p_tp = sta_tp.critical("clk")
+    assert p_tp.total_ps > p_base.total_ps + 100.0  # >= two mux delays
+    assert p_tp.n_test_points == 1
+
+
+def test_multi_domain_paths_split(lib):
+    from repro.circuits import control_core
+    c = control_core(scale=0.04)
+    from repro.scan import insert_scan
+    insert_scan(c, lib, max_chain_length=50)
+    from repro.netlist.fanout import fix_electrical
+    fix_electrical(c, lib)
+    from repro.layout.cts import synthesize_all_clock_trees
+    plan = build_floorplan(c, 0.97)
+    placement = global_place(c, plan)
+    from repro.layout.eco import eco_place
+    trees = synthesize_all_clock_trees(c, lib, dict(placement.positions))
+    new = [b for t in trees for b in t.buffers]
+    hints = {}
+    for t in trees:
+        hints.update(t.buffer_positions)
+    eco_place(c, placement, new, hints=hints)
+    router = GlobalRouter(c, placement)
+    router.route_all()
+    parasitics = extract_all(c, placement, router.routed)
+    result = run_sta(c, parasitics)
+    assert set(result.paths) <= {"clk8", "clk64"}
+    for domain, paths in result.paths.items():
+        for p in paths:
+            assert p.domain == domain

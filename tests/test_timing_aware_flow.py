@@ -1,0 +1,52 @@
+"""End-to-end test of the Section 5 timing-aware TPI mitigation."""
+
+import pytest
+
+from repro.circuits import s38417_like
+from repro.core import FlowConfig, run_flow
+from repro.library import cmos130
+from repro.tpi import critical_nets
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_flow(s38417_like(scale=0.04), cmos130(), FlowConfig(
+        tp_percent=0.0, run_atpg_phase=False,
+    ))
+
+
+def test_exclusion_set_from_real_paths(baseline):
+    paths = baseline.sta.all_paths()
+    assert paths
+    worst = baseline.sta.worst_path()
+    # A threshold just above worst slack picks up at least that path.
+    excluded = critical_nets(paths, worst.slack_ps + 1.0)
+    assert excluded >= set(worst.nets)
+
+
+def test_timing_aware_flow_respects_exclusions(baseline):
+    worst = baseline.sta.worst_path()
+    threshold = worst.slack_ps + max(200.0, 0.2 * worst.total_ps)
+    excluded = frozenset(critical_nets(
+        baseline.sta.all_paths(), threshold,
+    ))
+    aware = run_flow(s38417_like(scale=0.04), cmos130(), FlowConfig(
+        tp_percent=3.0, exclude_nets=excluded, run_atpg_phase=False,
+    ))
+    assert aware.tpi is not None and aware.tpi.count >= 1
+    for record in aware.tpi.inserted:
+        assert record.net not in excluded
+
+
+def test_unconstrained_flow_may_slow_critical_path(baseline):
+    """TPI moves/extends critical paths (paper: 'new paths become
+    critical'); the flow must report the decomposition regardless."""
+    run = run_flow(s38417_like(scale=0.04), cmos130(), FlowConfig(
+        tp_percent=5.0, run_atpg_phase=False,
+    ))
+    path = run.sta.worst_path()
+    base_path = baseline.sta.worst_path()
+    # Direction: adding TSFFs never speeds the design up materially.
+    assert path.total_ps >= 0.9 * base_path.total_ps
+    # Slow nodes are reported, not fixed (Section 4.4).
+    assert isinstance(run.sta.slow_nodes, set)

@@ -1,0 +1,84 @@
+"""Tests for the TSFF behavioural model (paper Figure 1)."""
+
+import itertools
+
+import pytest
+
+from repro.library import STATE_PIN
+from repro.tpi import (
+    ALL_MODES,
+    APPLICATION,
+    SCAN_CAPTURE,
+    SCAN_FLUSH,
+    SCAN_SHIFT,
+    mode_table,
+    tsff_next_state,
+    tsff_output,
+)
+from repro.atpg.threeval import eval3_encoded, encode, decode
+
+
+def test_application_mode_is_transparent():
+    for d, ti, state in itertools.product((0, 1), repeat=3):
+        assert tsff_output(d, ti, APPLICATION.te, APPLICATION.tr,
+                           state) == d
+
+
+def test_capture_mode_observes_and_controls():
+    for d, ti, state in itertools.product((0, 1), repeat=3):
+        # Output controlled from the stored state...
+        assert tsff_output(d, ti, SCAN_CAPTURE.te, SCAN_CAPTURE.tr,
+                           state) == state
+        # ...while the functional input is captured.
+        assert tsff_next_state(d, ti, SCAN_CAPTURE.te) == d
+
+
+def test_shift_mode_shifts_scan_input():
+    for d, ti, state in itertools.product((0, 1), repeat=3):
+        assert tsff_next_state(d, ti, SCAN_SHIFT.te) == ti
+        assert tsff_output(d, ti, SCAN_SHIFT.te, SCAN_SHIFT.tr,
+                           state) == state
+
+
+def test_flush_mode_streams_scan_input():
+    """TE=1, TR=0: TI passes combinationally through both muxes."""
+    for d, ti, state in itertools.product((0, 1), repeat=3):
+        assert tsff_output(d, ti, SCAN_FLUSH.te, SCAN_FLUSH.tr,
+                           state) == ti
+
+
+def test_mode_table_is_complete():
+    table = mode_table()
+    assert set(table) == {m.name for m in ALL_MODES}
+    assert all(len(rows) == 8 for rows in table.values())
+
+
+def test_library_bypass_expression_matches_reference(lib):
+    """The TSFF cell's bypass function IS the Fig. 1 behaviour."""
+    bypass = lib["TSFF_X1"].sequential.bypass
+    for d, ti, te, tr, state in itertools.product((0, 1), repeat=5):
+        pins = {
+            "D": encode(d), "TI": encode(ti), "TE": encode(te),
+            "TR": encode(tr), STATE_PIN: encode(state),
+        }
+        got = decode(eval3_encoded(bypass, pins))
+        assert got == tsff_output(d, ti, te, tr, state), (
+            d, ti, te, tr, state
+        )
+
+
+def test_library_next_state_matches_reference(lib):
+    next_state = lib["TSFF_X1"].sequential.next_state
+    for d, ti, te in itertools.product((0, 1), repeat=3):
+        pins = {"D": encode(d), "TI": encode(ti), "TE": encode(te)}
+        got = decode(eval3_encoded(next_state, pins))
+        assert got == tsff_next_state(d, ti, te)
+
+
+def test_tsff_pass_through_costs_two_mux_delays(lib):
+    """Paper 3.1: application-mode delay grows by >= two mux delays."""
+    tsff = lib["TSFF_X1"]
+    mux = lib["MUX2_X1"]
+    tsff_d = tsff.arc("D", "Q").delay.lookup(40.0, 10.0).value
+    mux_d = mux.arc("A", "Z").delay.lookup(40.0, 10.0).value
+    assert tsff_d >= 1.5 * mux_d
