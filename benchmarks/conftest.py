@@ -8,10 +8,16 @@ reproduces the published sizes at correspondingly long runtimes.
 
 Outputs: every bench writes its table/figure to ``benchmarks/out/`` so
 the run leaves a complete paper-vs-measured record behind.
+
+Sweeps run through the parallel executor (bit-identical to the serial
+reference at any job count): set ``REPRO_BENCH_JOBS=N`` to fan the six
+levels out over N worker processes, and ``REPRO_BENCH_CACHE=dir`` to
+reuse finished levels across bench invocations.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import pathlib
 
@@ -19,7 +25,12 @@ import pytest
 
 from repro.atpg import AtpgConfig
 from repro.circuits import control_core, dsp_core_p26909, s38417_like
-from repro.core import ExperimentConfig, FlowConfig, run_experiment
+from repro.core import (
+    ExecutorConfig,
+    ExperimentConfig,
+    FlowConfig,
+    run_sweep,
+)
 
 #: Default bench scales per circuit (fraction of the published size).
 BENCH_SCALES = {
@@ -44,10 +55,12 @@ def _scale_for(name: str) -> float:
 def _experiment(name: str) -> ExperimentConfig:
     scale = _scale_for(name)
     atpg = AtpgConfig(seed=2004, backtrack_limit=48)
+    # Factories are partials (picklable) so REPRO_BENCH_JOBS > 1 can
+    # ship them to executor worker processes.
     if name == "s38417":
         return ExperimentConfig(
             name="s38417",
-            circuit_factory=lambda: s38417_like(scale=scale),
+            circuit_factory=functools.partial(s38417_like, scale=scale),
             tp_percents=TP_PERCENTS,
             flow=FlowConfig(target_utilization=0.97,
                             max_chain_length=100, atpg=atpg),
@@ -55,7 +68,7 @@ def _experiment(name: str) -> ExperimentConfig:
     if name == "control_core":
         return ExperimentConfig(
             name="control_core",
-            circuit_factory=lambda: control_core(scale=scale),
+            circuit_factory=functools.partial(control_core, scale=scale),
             tp_percents=TP_PERCENTS,
             flow=FlowConfig(target_utilization=0.97,
                             max_chain_length=100, atpg=atpg),
@@ -63,7 +76,7 @@ def _experiment(name: str) -> ExperimentConfig:
     if name == "p26909":
         return ExperimentConfig(
             name="p26909",
-            circuit_factory=lambda: dsp_core_p26909(scale=scale),
+            circuit_factory=functools.partial(dsp_core_p26909, scale=scale),
             tp_percents=TP_PERCENTS,
             flow=FlowConfig(target_utilization=0.50,
                             max_chain_length=None, n_chains=32,
@@ -72,13 +85,21 @@ def _experiment(name: str) -> ExperimentConfig:
     raise KeyError(name)
 
 
+def _executor() -> ExecutorConfig:
+    """Executor settings from the environment (serial, uncached default)."""
+    return ExecutorConfig(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+    )
+
+
 _CACHE = {}
 
 
 def sweep_result(name: str):
     """Run (or reuse) the six-layout sweep for one circuit."""
     if name not in _CACHE:
-        _CACHE[name] = run_experiment(_experiment(name))
+        _CACHE[name] = run_sweep(_experiment(name), _executor())
     return _CACHE[name]
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -201,7 +202,12 @@ class PodemEngine:
         result = TestCube(status="aborted", assignment={})
         for attempt in range(n_restarts):
             self._rand_active = attempt > 0
-            self._rng.seed(hash((fault.net, fault.sink, fault.value, attempt)))
+            # Stable per-(fault, attempt) seed: ``hash()`` on strings is
+            # randomised per process (PYTHONHASHSEED), which would make
+            # pool workers diverge from a serial run bit for bit.
+            self._rng.seed(zlib.crc32(repr(
+                (fault.net, fault.sink, fault.value, attempt)
+            ).encode("utf-8")))
             result = self._search(fault, budget, fixed)
             spent += result.backtracks
             result.backtracks = spent

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro flow  --circuit s38417 --scale 0.06 --tp 2
     python -m repro sweep --circuit p26909 --scale 0.05
+    python -m repro sweep --circuit s38417 --jobs 4 --cache-dir .sweeps
     python -m repro lbist --circuit s38417 --scale 0.05 --patterns 4096
     python -m repro render --circuit s38417 --scale 0.05 --out gallery/
 
@@ -15,12 +16,14 @@ published circuit sizes; 1.0 reproduces the paper's dimensions.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 from typing import Callable, Dict
 
 from repro.circuits import control_core, dsp_core_p26909, s38417_like
 from repro.core import (
+    ExecutorConfig,
     ExperimentConfig,
     FlowConfig,
     format_table1,
@@ -29,6 +32,7 @@ from repro.core import (
     render_svg,
     run_experiment,
     run_flow,
+    run_sweep,
 )
 from repro.lbist import LbistConfig, coverage_at, run_lbist
 from repro.library import cmos130
@@ -54,9 +58,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fraction of the published circuit size")
 
 
+def _tp_percents(text: str) -> tuple:
+    """argparse type: '0,1,2.5' -> (0.0, 1.0, 2.5)."""
+    try:
+        return tuple(float(p) for p in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        )
+
+
 def _factory(args) -> Callable:
     factory, _ = CIRCUITS[args.circuit]
-    return lambda: factory(scale=args.scale)
+    # functools.partial (not a lambda): the sweep executor pickles the
+    # factory into worker processes when --jobs > 1.
+    return functools.partial(factory, scale=args.scale)
 
 
 def _flow_config(args, **overrides) -> FlowConfig:
@@ -92,13 +108,36 @@ def cmd_flow(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """The paper's six-layout sweep; prints Tables 1-3."""
+    """The paper's six-layout sweep; prints Tables 1-3.
+
+    The serial path (``--jobs 1``, no cache) is the reference
+    semantics; ``--jobs N`` and ``--cache-dir`` route the sweep
+    through the parallel executor, which is bit-identical to it.
+    """
+    kwargs = {}
+    if args.tp_percents:
+        kwargs["tp_percents"] = args.tp_percents
     config = ExperimentConfig(
         name=args.circuit,
         circuit_factory=_factory(args),
         flow=_flow_config(args),
+        **kwargs,
     )
-    result = run_experiment(config)
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs > 1 or cache_dir:
+        executor = ExecutorConfig(jobs=args.jobs, cache_dir=cache_dir,
+                                  use_cache=not args.no_cache)
+        print(f"[executor] jobs={args.jobs} "
+              f"cache={cache_dir or 'off'}")
+        result = run_sweep(config, executor)
+        cached = sorted(
+            pct for pct, run in result.runs.items() if run.from_cache
+        )
+        if cached:
+            print("[executor] served from cache: "
+                  + ", ".join(f"{pct:g}%" for pct in cached))
+    else:
+        result = run_experiment(config)
     print("Table 1: Impact of TPI on test data")
     print(format_table1(result.table1_rows()))
     print("\nTable 2: Impact of TPI on silicon area")
@@ -167,6 +206,15 @@ def main(argv=None) -> int:
 
     p_sweep = sub.add_parser("sweep", help="run the 0-5%% sweep")
     _add_common(p_sweep)
+    p_sweep.add_argument("--tp-percents", type=_tp_percents, default=None,
+                         help="comma-separated TP levels to sweep "
+                              "(default: the paper's 0-5%% ladder)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep levels")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="content-addressed result cache directory")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="ignore --cache-dir (force fresh runs)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lbist = sub.add_parser("lbist", help="LBIST coverage curves")

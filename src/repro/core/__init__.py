@@ -1,13 +1,36 @@
 """The paper's experiment layer: the Figure 2 flow, the 0-5% sweep,
-Table 1-3 assembly, and Figure 3 rendering."""
+Table 1-3 assembly, Figure 3 rendering, and the parallel sweep
+executor with its content-addressed result cache."""
 
+from repro.core.executor import (
+    CACHE_SCHEMA_VERSION,
+    ExecutorConfig,
+    FlowSummary,
+    PathSummary,
+    ResultCache,
+    StaSummary,
+    SweepExecutionError,
+    circuit_structural_hash,
+    config_fingerprint,
+    derive_seed,
+    flow_cache_key,
+    run_sweep,
+    run_sweeps,
+    summarize,
+)
 from repro.core.experiment import (
     ExperimentConfig,
     ExperimentResult,
     PAPER_TP_PERCENTS,
     run_experiment,
 )
-from repro.core.flow import FlowConfig, FlowResult, run_flow
+from repro.core.flow import (
+    FlowConfig,
+    FlowResult,
+    LAYOUT_STAGE_KEYS,
+    STAGE_KEYS,
+    run_flow,
+)
 from repro.core.metrics import (
     TestDataMetrics,
     percent_change,
@@ -18,13 +41,26 @@ from repro.core.render import ascii_density, render_svg
 from repro.core.reporting import format_table1, format_table2, format_table3
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ExecutorConfig",
     "ExperimentConfig",
     "ExperimentResult",
     "FlowConfig",
     "FlowResult",
+    "FlowSummary",
+    "LAYOUT_STAGE_KEYS",
     "PAPER_TP_PERCENTS",
+    "PathSummary",
+    "ResultCache",
+    "STAGE_KEYS",
+    "StaSummary",
+    "SweepExecutionError",
     "TestDataMetrics",
     "ascii_density",
+    "circuit_structural_hash",
+    "config_fingerprint",
+    "derive_seed",
+    "flow_cache_key",
     "format_table1",
     "format_table2",
     "format_table3",
@@ -32,6 +68,9 @@ __all__ = [
     "render_svg",
     "run_experiment",
     "run_flow",
+    "run_sweep",
+    "run_sweeps",
+    "summarize",
     "test_application_time_cycles",
     "test_data_volume_bits",
 ]

@@ -1,0 +1,616 @@
+"""Parallel sweep executor with content-addressed result caching.
+
+The paper's experiment (Section 4.1) generates six independent layouts
+per circuit — one per test-point level.  Levels never share state: each
+layout starts from a freshly built netlist, so the sweep is
+embarrassingly parallel.  This module fans sweep levels (and whole
+circuits) out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and memoises finished levels in an on-disk cache so re-runs and
+partially-failed sweeps resume instantly.
+
+Three ideas, in order of appearance:
+
+* **Picklable summaries** — a worker cannot return a
+  :class:`~repro.core.flow.FlowResult` (it drags the whole mutated
+  netlist, placement and routing across the process boundary), so it
+  returns a :class:`FlowSummary`: exactly the Table 1/2/3 quantities,
+  per-stage timings and log records, nothing else.  ``FlowSummary``
+  quacks like ``FlowResult`` for every accessor the table builders in
+  :class:`~repro.core.experiment.ExperimentResult` use, so sweep
+  results assemble through the identical code path as serial runs.
+
+* **Content-addressed caching** — each level's cache key is the SHA-256
+  of ``(circuit structural hash, FlowConfig fingerprint, library
+  version, schema version)``.  Identical inputs always map to the same
+  key; any change to the netlist, a config knob or the library version
+  changes the key.  Entries are one pickle file per key under
+  ``cache_dir``; writes are atomic (temp file + ``os.replace``) so a
+  killed sweep never leaves a corrupt entry behind, and unreadable
+  entries are treated as misses and deleted.
+
+* **Determinism** — the flow's only RNG consumer is seeded from
+  ``FlowConfig.atpg.seed``, and every stochastic tie-break in the code
+  base derives from stable (process-independent) hashes, so a parallel
+  run is bit-identical to a serial run of the same configs.
+  Optionally (``ExecutorConfig.derive_seeds``) the per-level ATPG seed
+  is itself derived from the cache key, decorrelating levels without
+  sacrificing reproducibility; the flag is part of the cache key, so
+  the two modes never alias.
+
+Serial :func:`~repro.core.experiment.run_experiment` remains the
+reference semantics; with ``derive_seeds=False`` (the default) this
+executor reproduces it exactly, at any job count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.flow import FlowConfig, FlowResult, run_flow
+from repro.core.metrics import TestDataMetrics
+from repro.library.cell import Library
+from repro.library.cmos130 import cmos130
+from repro.netlist.circuit import Circuit
+
+#: Bump when the FlowSummary layout or key derivation changes; old
+#: cache entries then miss instead of unpickling into the wrong shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Picklable result summaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathSummary:
+    """Picklable digest of one :class:`~repro.sta.analysis.TimingPath`.
+
+    Carries every field the Table 3 assembly reads, plus slack.
+    """
+
+    domain: str
+    endpoint: str
+    startpoint: str
+    t_wires_ps: float
+    t_intrinsic_ps: float
+    t_load_dep_ps: float
+    t_setup_ps: float
+    t_skew_ps: float
+    total_ps: float
+    slack_ps: float
+    n_test_points: int
+
+    @property
+    def fmax_mhz(self) -> float:
+        """Highest frequency this path permits."""
+        return 1e6 / self.total_ps if self.total_ps > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class StaSummary:
+    """Picklable digest of an :class:`~repro.sta.analysis.StaResult`."""
+
+    paths: Dict[str, Tuple[PathSummary, ...]]
+    slow_nodes: Tuple[str, ...] = ()
+    hold_violations: int = 0
+
+    def critical(self, domain: str) -> Optional[PathSummary]:
+        """Worst path of one domain."""
+        paths = self.paths.get(domain)
+        return paths[0] if paths else None
+
+
+@dataclass
+class FlowSummary:
+    """Everything a sweep needs from one flow run, and nothing more.
+
+    Unlike :class:`~repro.core.flow.FlowResult` this object holds no
+    netlist, placement or routing, so it pickles in microseconds and
+    crosses process boundaries (and the result cache) cheaply.  It
+    offers the same accessor surface the Table 1/2/3 builders use:
+    :meth:`test_metrics`, :meth:`area_metrics`, :attr:`n_test_points`
+    and :attr:`sta`.
+
+    Attributes:
+        tp_percent: The sweep level this run executed.
+        n_test_points: TSFFs actually inserted.
+        test: Table 1 metrics (None when the ATPG phase was skipped).
+        area: Table 2 metrics (None when the layout phase was skipped).
+        sta: Table 3 digest (None when the layout phase was skipped).
+        stage_seconds: Per-stage wall-clock seconds.  On a cache hit
+            the executor zeroes this dict (no stage re-ran) and keeps
+            the original timings in :attr:`cached_stage_seconds`.
+        cached_stage_seconds: Stage timings of the run that populated
+            the cache entry (empty for fresh runs).
+        log: Per-stage log records emitted by the worker.
+        cache_key: Content hash this summary is stored under.
+        from_cache: True when served from the cache, not computed.
+        worker_pid: PID of the process that ran the flow.
+    """
+
+    tp_percent: float
+    n_test_points: int
+    test: Optional[TestDataMetrics] = None
+    area: Optional[Dict[str, float]] = None
+    sta: Optional[StaSummary] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cached_stage_seconds: Dict[str, float] = field(default_factory=dict)
+    log: Tuple[str, ...] = ()
+    cache_key: str = ""
+    from_cache: bool = False
+    worker_pid: int = 0
+
+    def test_metrics(self) -> TestDataMetrics:
+        """The paper's Table 1 row for this run."""
+        if self.test is None:
+            raise ValueError("flow ran without the ATPG phase")
+        return self.test
+
+    def area_metrics(self) -> Dict[str, float]:
+        """The paper's Table 2 row for this run."""
+        if self.area is None:
+            raise ValueError("flow ran without the layout phase")
+        return dict(self.area)
+
+
+def summarize(result: FlowResult, cache_key: str = "") -> FlowSummary:
+    """Condense a :class:`FlowResult` into a picklable summary."""
+    test = None
+    if result.atpg is not None and result.chains is not None:
+        test = result.test_metrics()
+    area = None
+    if result.plan is not None and result.congestion is not None:
+        area = result.area_metrics()
+    sta = None
+    if result.sta is not None:
+        sta = StaSummary(
+            paths={
+                domain: tuple(
+                    PathSummary(
+                        domain=p.domain,
+                        endpoint=p.endpoint,
+                        startpoint=p.startpoint,
+                        t_wires_ps=p.t_wires_ps,
+                        t_intrinsic_ps=p.t_intrinsic_ps,
+                        t_load_dep_ps=p.t_load_dep_ps,
+                        t_setup_ps=p.t_setup_ps,
+                        t_skew_ps=p.t_skew_ps,
+                        total_ps=p.total_ps,
+                        slack_ps=p.slack_ps,
+                        n_test_points=p.n_test_points,
+                    )
+                    for p in paths
+                )
+                for domain, paths in result.sta.paths.items()
+            },
+            slow_nodes=tuple(sorted(result.sta.slow_nodes)),
+            hold_violations=result.sta.hold_violations,
+        )
+    pid = os.getpid()
+    log = tuple(
+        f"pid {pid}: {stage}: {seconds * 1000.0:.1f} ms"
+        for stage, seconds in result.stage_seconds.items()
+    )
+    return FlowSummary(
+        tp_percent=result.config.tp_percent,
+        n_test_points=result.n_test_points,
+        test=test,
+        area=area,
+        sta=sta,
+        stage_seconds=dict(result.stage_seconds),
+        log=log,
+        cache_key=cache_key,
+        worker_pid=pid,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Recursively reduce ``obj`` to an order-independent structure.
+
+    Dataclass fields and dict items are sorted by name, sets by their
+    canonical representation — so two logically equal configs always
+    canonicalise identically, no matter the construction order of their
+    dicts and sets.  The type name is included so distinct config
+    classes with equal fields never collide.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        items = tuple(
+            (f.name, _canonical(getattr(obj, f.name)))
+            for f in sorted(dataclasses.fields(obj), key=lambda f: f.name)
+        )
+        return ("dc", type(obj).__name__, items)
+    if isinstance(obj, dict):
+        items = tuple(sorted(
+            ((_canonical(k), _canonical(v)) for k, v in obj.items()),
+            key=repr,
+        ))
+        return ("dict", items)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((_canonical(x) for x in obj), key=repr)))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(_canonical(x) for x in obj))
+    if isinstance(obj, float):
+        return ("f", repr(obj))
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}: add it to "
+        "repro.core.executor._canonical"
+    )
+
+
+def config_fingerprint(config) -> str:
+    """Stable SHA-256 fingerprint of a (nested) config dataclass.
+
+    Equal configs fingerprint equally regardless of field, dict or set
+    construction order; any changed knob changes the fingerprint.
+    """
+    canon = repr(_canonical(config)).encode("utf-8")
+    return hashlib.sha256(canon).hexdigest()
+
+
+def circuit_structural_hash(circuit: Circuit) -> str:
+    """SHA-256 over the netlist structure (names, cells, connectivity).
+
+    Two circuits hash equally iff they have the same instances (name,
+    cell, pin connections), nets (driver, sinks), ports and clock
+    domains.  Placement and other derived state never enter the hash —
+    the flow recomputes those from the netlist.
+    """
+    h = hashlib.sha256()
+
+    def feed(tag: str, payload) -> None:
+        h.update(tag.encode("utf-8"))
+        h.update(repr(payload).encode("utf-8"))
+        h.update(b"\x00")
+
+    feed("name", circuit.name)
+    feed("inputs", tuple(circuit.inputs))
+    feed("outputs", tuple(
+        (port, circuit.output_net(port)) for port in circuit.outputs
+    ))
+    feed("clocks", tuple(
+        (dom.net, dom.period_ps) for dom in circuit.clocks
+    ))
+    for name in sorted(circuit.instances):
+        inst = circuit.instances[name]
+        feed("inst", (name, inst.cell.name, tuple(sorted(inst.conns.items()))))
+    for name in sorted(circuit.nets):
+        net = circuit.nets[name]
+        feed("net", (name, net.driver, tuple(sorted(net.sinks))))
+    return h.hexdigest()
+
+
+def flow_cache_key(circuit: Circuit, config: FlowConfig,
+                   library: Library, extra: str = "") -> str:
+    """Cache key of one flow run: circuit x config x library version.
+
+    Args:
+        circuit: The pre-DFT netlist the flow would start from.
+        config: Full flow configuration (the level's ``tp_percent``
+            already applied).
+        library: Cell library; its name and the package version stand
+            in for the library contents, which are code-defined.
+        extra: Executor-mode salt (e.g. the ``derive_seeds`` flag) so
+            runs under different execution semantics never alias.
+    """
+    parts = "\n".join([
+        f"schema={CACHE_SCHEMA_VERSION}",
+        circuit_structural_hash(circuit),
+        config_fingerprint(config),
+        f"library={library.name}:{repro.__version__}",
+        extra,
+    ])
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()
+
+
+def derive_seed(cache_key: str) -> int:
+    """Deterministic 63-bit ATPG seed derived from a cache key."""
+    return int(cache_key[:16], 16) & 0x7FFFFFFFFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed pickle store: one :class:`FlowSummary` per key.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
+    directories small on big sweeps).  Writes go through a temp file
+    and ``os.replace`` so concurrent writers and crashes can never
+    leave a torn entry; unreadable entries read as misses and are
+    deleted.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        """Entry path for ``key``."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[FlowSummary]:
+        """Load the summary stored under ``key``, or None."""
+        path = self.path(key)
+        try:
+            with open(path, "rb") as handle:
+                summary = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn/stale entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(summary, FlowSummary):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: FlowSummary) -> None:
+        """Atomically store ``summary`` under ``key``."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutorConfig:
+    """How a sweep is executed.
+
+    Attributes:
+        jobs: Worker processes.  1 runs every level inline in this
+            process (no pool, no pickling of task specs) — handy for
+            debugging and for lambdas as circuit factories.
+        cache_dir: Result-cache directory; None disables caching.
+        use_cache: Master switch; False ignores ``cache_dir``.
+        derive_seeds: Re-seed each level's ATPG RNG from its cache key
+            instead of the configured seed.  Applied identically at
+            every job count, so parallel and serial runs stay
+            bit-identical; keyed into the cache so the modes never mix.
+        mp_context: ``multiprocessing`` start method (None = platform
+            default).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    derive_seeds: bool = False
+    mp_context: Optional[str] = None
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The configured cache, or None when caching is off."""
+        if self.cache_dir and self.use_cache:
+            return ResultCache(self.cache_dir)
+        return None
+
+
+@dataclass
+class _LevelTask:
+    """One (circuit, level) unit of work.  Must stay picklable."""
+
+    name: str
+    tp_percent: float
+    circuit_factory: Callable[[], Circuit]
+    flow: FlowConfig
+    library: Optional[Library]
+    cache_key: str
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more sweep levels failed.
+
+    Completed levels were already cached (when a cache is configured),
+    so re-running the sweep resumes from the failures only.
+
+    Attributes:
+        failures: ``(circuit name, tp_percent, exception)`` per failed
+            level.
+    """
+
+    def __init__(self, failures: List[Tuple[str, float, BaseException]]):
+        self.failures = failures
+        lines = ", ".join(
+            f"{name} @ {pct:g}%: {exc!r}" for name, pct, exc in failures
+        )
+        super().__init__(
+            f"{len(failures)} sweep level(s) failed ({lines}); "
+            "completed levels are cached and will be reused on re-run"
+        )
+
+
+def _run_level(task: _LevelTask) -> FlowSummary:
+    """Worker entry point: build a fresh netlist, run the flow."""
+    circuit = task.circuit_factory()
+    library = task.library if task.library is not None else cmos130()
+    result = run_flow(circuit, library, task.flow)
+    return summarize(result, cache_key=task.cache_key)
+
+
+def _check_picklable(task: _LevelTask) -> None:
+    """Fail early, with a pointed message, on unpicklable task specs."""
+    try:
+        pickle.dumps(task)
+    except Exception as exc:
+        raise TypeError(
+            f"sweep level {task.name} @ {task.tp_percent:g}% is not "
+            "picklable and cannot be sent to a worker process; use a "
+            "module-level circuit factory (functools.partial(factory, "
+            "scale=...) instead of a lambda), or run with jobs=1"
+        ) from exc
+
+
+def _plan_levels(config: ExperimentConfig,
+                 executor: ExecutorConfig) -> List[_LevelTask]:
+    """Expand one experiment into per-level tasks with cache keys.
+
+    The circuit is built once per level *in the parent* purely to
+    compute its structural hash (factories are deterministic, so the
+    worker's fresh build hashes identically); the built netlist is
+    dropped, never pickled.
+    """
+    library = config.library or cmos130()
+    tasks = []
+    for pct in config.tp_percents:
+        flow = replace(config.flow, tp_percent=pct)
+        circuit = config.circuit_factory()
+        key = flow_cache_key(
+            circuit, flow, library,
+            extra=f"derive_seeds={executor.derive_seeds}",
+        )
+        if executor.derive_seeds:
+            flow = replace(flow, atpg=replace(flow.atpg,
+                                              seed=derive_seed(key)))
+        tasks.append(_LevelTask(
+            name=config.name,
+            tp_percent=pct,
+            circuit_factory=config.circuit_factory,
+            flow=flow,
+            library=config.library,
+            cache_key=key,
+        ))
+    return tasks
+
+
+def _cache_hit(summary: FlowSummary) -> FlowSummary:
+    """Rebadge a stored summary as a hit: no stage re-ran, so the
+    live ``stage_seconds`` are all zero and the original timings move
+    to ``cached_stage_seconds``."""
+    return replace(
+        summary,
+        from_cache=True,
+        cached_stage_seconds=dict(summary.stage_seconds),
+        stage_seconds={k: 0.0 for k in summary.stage_seconds},
+    )
+
+
+def run_sweeps(
+    configs: Sequence[ExperimentConfig],
+    executor: Optional[ExecutorConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run several circuits' sweeps, fanning all levels out together.
+
+    Every (circuit, level) pair is an independent task; with N circuits
+    of M levels each and ``jobs`` workers, up to ``jobs`` of the N*M
+    flows run concurrently.  Results are assembled into per-circuit
+    :class:`~repro.core.experiment.ExperimentResult` objects whose runs
+    hold :class:`FlowSummary` values — the Table 1/2/3 builders work
+    unchanged.
+
+    Raises:
+        SweepExecutionError: When any level fails.  Levels that
+            finished first were already cached, so a re-run resumes.
+    """
+    executor = executor or ExecutorConfig()
+    cache = executor.cache
+    tasks: List[_LevelTask] = []
+    for config in configs:
+        tasks.extend(_plan_levels(config, executor))
+
+    summaries: Dict[Tuple[str, float], FlowSummary] = {}
+    pending: List[_LevelTask] = []
+    for task in tasks:
+        stored = cache.get(task.cache_key) if cache else None
+        if stored is not None:
+            summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
+        else:
+            pending.append(task)
+
+    failures: List[Tuple[str, float, BaseException]] = []
+    if pending:
+        if executor.jobs <= 1:
+            for task in pending:
+                try:
+                    summary = _run_level(task)
+                except Exception as exc:
+                    failures.append((task.name, task.tp_percent, exc))
+                    continue
+                summaries[(task.name, task.tp_percent)] = summary
+                if cache:
+                    cache.put(task.cache_key, summary)
+        else:
+            for task in pending:
+                _check_picklable(task)
+            import multiprocessing
+
+            ctx = (multiprocessing.get_context(executor.mp_context)
+                   if executor.mp_context else None)
+            workers = min(executor.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=ctx) as pool:
+                futures = {
+                    pool.submit(_run_level, task): task for task in pending
+                }
+                # Let every level run to completion even when one fails:
+                # each finished level is cached immediately, so a re-run
+                # resumes from the failures alone.
+                for future in as_completed(futures):
+                    task = futures[future]
+                    try:
+                        summary = future.result()
+                    except Exception as exc:
+                        failures.append((task.name, task.tp_percent, exc))
+                        continue
+                    summaries[(task.name, task.tp_percent)] = summary
+                    if cache:
+                        cache.put(task.cache_key, summary)
+
+    if failures:
+        failures.sort(key=lambda f: (f[0], f[1]))
+        raise SweepExecutionError(failures)
+
+    results: Dict[str, ExperimentResult] = {}
+    for config in configs:
+        runs = {
+            pct: summaries[(config.name, pct)]
+            for pct in config.tp_percents
+        }
+        results[config.name] = ExperimentResult(name=config.name, runs=runs)
+    return results
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    executor: Optional[ExecutorConfig] = None,
+) -> ExperimentResult:
+    """Run one circuit's sweep through the parallel executor.
+
+    Drop-in for :func:`~repro.core.experiment.run_experiment`: the
+    returned object builds the same Table 1/2/3 rows, with
+    :class:`FlowSummary` values in ``runs`` instead of full
+    :class:`~repro.core.flow.FlowResult` objects.
+    """
+    return run_sweeps([config], executor)[config.name]

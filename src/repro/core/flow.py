@@ -44,6 +44,30 @@ from repro.scan.reorder import ReorderReport, reorder_chains
 from repro.sta.analysis import StaConfig, StaResult, run_sta
 from repro.tpi.insertion import TpiConfig, TpiReport, insert_test_points
 
+#: Stable contract: the keys of :attr:`FlowResult.stage_seconds`, in
+#: execution order.  A full run records exactly these; skipping the
+#: layout phase drops the five middle keys, skipping the ATPG phase
+#: drops ``"atpg"``.  Dashboards, benches and the executor's cache
+#: summaries key on these names — treat renames as breaking changes.
+STAGE_KEYS = (
+    "tpi_scan",
+    "floorplan_place",
+    "scan_reorder",
+    "eco_cts_route",
+    "extraction",
+    "sta",
+    "atpg",
+)
+
+#: Stage keys recorded only when ``run_layout_phase`` is on.
+LAYOUT_STAGE_KEYS = (
+    "floorplan_place",
+    "scan_reorder",
+    "eco_cts_route",
+    "extraction",
+    "sta",
+)
+
 
 @dataclass
 class FlowConfig:
@@ -60,6 +84,10 @@ class FlowConfig:
         sta: STA configuration.
         pd_threshold: TPI hard-fault threshold.
         exclude_nets: Timing-aware TPI exclusion set (Section 5).
+            Stored as a ``frozenset`` (any iterable is accepted and
+            normalised), so a ``FlowConfig`` shared between runs can
+            never leak per-run mutations; the flow hands TPI a fresh
+            mutable copy each call.
         run_atpg_phase: Generate patterns (Table 1 needs it; Tables 2-3
             do not).
         run_layout_phase: Run placement/route/extraction/STA.
@@ -88,6 +116,12 @@ class FlowConfig:
     #: Detailed-placement refinement sweeps after legalisation.
     detailed_passes: int = 2
 
+    def __post_init__(self):
+        # Normalise any iterable (list, set, generator) to a frozenset:
+        # configs must be immutable, hashable and fingerprintable.
+        if not isinstance(self.exclude_nets, frozenset):
+            self.exclude_nets = frozenset(self.exclude_nets)
+
 
 @dataclass
 class FlowResult:
@@ -96,6 +130,11 @@ class FlowResult:
     The Table 1/2/3 quantities are available through
     :meth:`test_metrics`, :meth:`area_metrics` and the :attr:`sta`
     result; benches diff them against the 0% run.
+
+    :attr:`stage_seconds` maps stage name to wall-clock seconds; its
+    keys are the documented :data:`STAGE_KEYS` contract (in that
+    order), with the layout keys present only when the layout phase
+    ran and ``"atpg"`` only when the ATPG phase ran.
     """
 
     circuit: Circuit

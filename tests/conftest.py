@@ -1,4 +1,5 @@
-"""Shared fixtures: the library and small, session-cached circuits."""
+"""Shared fixtures: the library and small session-cached circuits, plus
+the ``--update-golden`` option of the golden-table regression tests."""
 
 from __future__ import annotations
 
@@ -7,6 +8,20 @@ import pytest
 from repro.circuits import s38417_like
 from repro.library import cmos130
 from repro.netlist import Circuit
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ fixtures from the current outputs "
+             "instead of diffing against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """True when the run should rewrite the golden fixtures."""
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,316 @@
+"""Tests for the parallel sweep executor and its result cache.
+
+The headline test is the determinism regression gate: the s38417-small
+sweep run serially (the reference semantics) and through the executor
+with ``jobs=4`` must produce *exactly* equal Table 1/2/3 rows — not
+approximately equal: the executor's contract is bit-identical results
+at any job count.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+
+import pytest
+
+from repro.atpg import AtpgConfig
+from repro.circuits import s38417_like
+from repro.core import (
+    ExecutorConfig,
+    ExperimentConfig,
+    FlowConfig,
+    FlowSummary,
+    ResultCache,
+    SweepExecutionError,
+    circuit_structural_hash,
+    config_fingerprint,
+    derive_seed,
+    flow_cache_key,
+    run_experiment,
+    run_flow,
+    run_sweep,
+    run_sweeps,
+    summarize,
+)
+from repro.core import executor as executor_mod
+from repro.library import cmos130
+
+#: Cheap ATPG knobs: full flow semantics at a fraction of the runtime.
+FAST_ATPG = AtpgConfig(seed=7, backtrack_limit=24, max_deterministic=60,
+                       abort_recovery_blocks=4, second_chance_factor=1)
+LEVELS = (0.0, 2.0, 4.0)
+SCALE = 0.012
+
+
+def small_experiment(name: str = "s38417") -> ExperimentConfig:
+    return ExperimentConfig(
+        name=name,
+        circuit_factory=functools.partial(s38417_like, scale=SCALE),
+        tp_percents=LEVELS,
+        flow=FlowConfig(atpg=FAST_ATPG),
+    )
+
+
+def table_dicts(result):
+    return {
+        "table1": result.table1_rows(),
+        "table2": result.table2_rows(),
+        "table3": result.table3_rows(),
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    """The reference: the classic serial sweep."""
+    return run_experiment(small_experiment())
+
+
+@pytest.fixture(scope="module")
+def sweep_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("sweep_cache"))
+
+
+@pytest.fixture(scope="module")
+def parallel_result(sweep_cache_dir):
+    """The same sweep through the executor: 4 workers, cold cache."""
+    return run_sweep(
+        small_experiment(),
+        ExecutorConfig(jobs=4, cache_dir=sweep_cache_dir),
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_result(parallel_result, sweep_cache_dir):
+    """Second invocation against the now-warm cache."""
+    return run_sweep(
+        small_experiment(),
+        ExecutorConfig(jobs=4, cache_dir=sweep_cache_dir),
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism regression gate (the tentpole's correctness test)
+# ----------------------------------------------------------------------
+def test_parallel_sweep_is_bit_identical_to_serial(serial_result,
+                                                   parallel_result):
+    assert table_dicts(serial_result) == table_dicts(parallel_result)
+
+
+def test_parallel_sweep_ran_in_worker_processes(parallel_result):
+    pids = {run.worker_pid for run in parallel_result.runs.values()}
+    assert os.getpid() not in pids
+    assert not any(run.from_cache for run in parallel_result.runs.values())
+
+
+def test_parallel_sweep_covers_all_levels(parallel_result):
+    assert sorted(parallel_result.runs) == sorted(LEVELS)
+    for run in parallel_result.runs.values():
+        assert isinstance(run, FlowSummary)
+        assert run.test is not None and run.area is not None
+        assert run.sta is not None and run.cache_key
+
+
+# ----------------------------------------------------------------------
+# Warm cache
+# ----------------------------------------------------------------------
+def test_warm_cache_serves_every_level(warm_result, parallel_result):
+    assert all(run.from_cache for run in warm_result.runs.values())
+    assert table_dicts(warm_result) == table_dicts(parallel_result)
+
+
+def test_warm_cache_reruns_no_flow_stage(warm_result):
+    for run in warm_result.runs.values():
+        assert sum(run.stage_seconds.values()) == 0.0
+        # The original timings survive for inspection.
+        assert sum(run.cached_stage_seconds.values()) > 0.0
+
+
+def test_no_cache_flag_forces_fresh_runs(sweep_cache_dir):
+    config = small_experiment()
+    # Layout-off, single level: cheap, and its key differs from the
+    # cached full-flow levels anyway.
+    config.tp_percents = (0.0,)
+    config.flow = FlowConfig(atpg=FAST_ATPG, run_layout_phase=False)
+    executor = ExecutorConfig(jobs=1, cache_dir=sweep_cache_dir,
+                              use_cache=False)
+    result = run_sweep(config, executor)
+    assert not result.runs[0.0].from_cache
+
+
+# ----------------------------------------------------------------------
+# Cache keys and fingerprints
+# ----------------------------------------------------------------------
+def test_structural_hash_is_reproducible_and_sensitive():
+    a = s38417_like(scale=SCALE)
+    b = s38417_like(scale=SCALE)
+    c = s38417_like(scale=0.015)
+    assert circuit_structural_hash(a) == circuit_structural_hash(b)
+    assert circuit_structural_hash(a) == circuit_structural_hash(a.clone())
+    assert circuit_structural_hash(a) != circuit_structural_hash(c)
+
+
+def test_structural_hash_sees_netlist_edits():
+    a = s38417_like(scale=SCALE)
+    before = circuit_structural_hash(a)
+    lib = cmos130()
+    net = a.new_net("probe")
+    a.add_instance(a.new_instance_name("probe"), lib["INV_X1"],
+                   {"A": a.inputs[0], "Z": net.name})
+    assert circuit_structural_hash(a) != before
+
+
+def test_config_fingerprint_distinguishes_configs():
+    base = FlowConfig(atpg=FAST_ATPG)
+    assert config_fingerprint(base) == config_fingerprint(
+        FlowConfig(atpg=FAST_ATPG))
+    assert config_fingerprint(base) != config_fingerprint(
+        FlowConfig(atpg=FAST_ATPG, tp_percent=1.0))
+    assert config_fingerprint(base) != config_fingerprint(
+        FlowConfig(atpg=AtpgConfig(seed=8)))
+
+
+def test_cache_key_covers_circuit_config_and_mode():
+    circuit = s38417_like(scale=SCALE)
+    lib = cmos130()
+    config = FlowConfig(atpg=FAST_ATPG)
+    key = flow_cache_key(circuit, config, lib)
+    assert key == flow_cache_key(s38417_like(scale=SCALE), config, lib)
+    assert key != flow_cache_key(circuit, FlowConfig(tp_percent=2.0), lib)
+    assert key != flow_cache_key(circuit, config, lib, extra="derived")
+    seed = derive_seed(key)
+    assert 0 <= seed < 2 ** 63
+    assert seed == derive_seed(key)
+
+
+# ----------------------------------------------------------------------
+# ResultCache robustness
+# ----------------------------------------------------------------------
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    summary = FlowSummary(tp_percent=1.0, n_test_points=3,
+                          stage_seconds={"atpg": 1.5}, cache_key="ab" * 32)
+    key = "ab" * 32
+    assert cache.get(key) is None
+    cache.put(key, summary)
+    loaded = cache.get(key)
+    assert loaded == summary
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_result_cache_treats_corrupt_entries_as_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    cache.put(key, FlowSummary(tp_percent=0.0, n_test_points=0))
+    cache.path(key).write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    assert not cache.path(key).exists()  # dropped, will be recomputed
+
+
+def test_result_cache_rejects_foreign_objects(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ef" * 32
+    path = cache.path(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"not": "a summary"}))
+    assert cache.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# Failure handling and resume
+# ----------------------------------------------------------------------
+def test_failed_levels_resume_from_cache(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "resume")
+    config = ExperimentConfig(
+        name="s38417",
+        circuit_factory=functools.partial(s38417_like, scale=0.01),
+        tp_percents=(0.0, 2.0, 4.0),
+        flow=FlowConfig(atpg=FAST_ATPG, run_layout_phase=False),
+    )
+
+    real_run_flow = executor_mod.run_flow
+
+    def failing_run_flow(circuit, library, flow_config):
+        if flow_config.tp_percent == 2.0:
+            raise RuntimeError("injected level failure")
+        return real_run_flow(circuit, library, flow_config)
+
+    monkeypatch.setattr(executor_mod, "run_flow", failing_run_flow)
+    with pytest.raises(SweepExecutionError) as excinfo:
+        run_sweep(config, ExecutorConfig(jobs=1, cache_dir=cache_dir))
+    assert [(n, p) for n, p, _ in excinfo.value.failures] == [("s38417", 2.0)]
+
+    # The healthy levels were cached before the failure surfaced ...
+    monkeypatch.setattr(executor_mod, "run_flow", real_run_flow)
+    result = run_sweep(config, ExecutorConfig(jobs=1, cache_dir=cache_dir))
+    assert result.runs[0.0].from_cache and result.runs[4.0].from_cache
+    # ... and only the failed level ran fresh on the retry.
+    assert not result.runs[2.0].from_cache
+
+
+def test_unpicklable_factory_fails_with_pointed_message():
+    config = ExperimentConfig(
+        name="s38417",
+        circuit_factory=lambda: s38417_like(scale=0.01),
+        tp_percents=(0.0,),
+        flow=FlowConfig(atpg=FAST_ATPG, run_layout_phase=False),
+    )
+    with pytest.raises(TypeError, match="functools.partial"):
+        run_sweep(config, ExecutorConfig(jobs=2))
+
+
+# ----------------------------------------------------------------------
+# Multi-circuit fan-out and derived seeding
+# ----------------------------------------------------------------------
+def test_run_sweeps_fans_out_whole_circuits():
+    flow = FlowConfig(atpg=FAST_ATPG, run_layout_phase=False)
+    configs = []
+    for name, scale in (("tiny_a", 0.01), ("tiny_b", 0.012)):
+        configs.append(ExperimentConfig(
+            name=name,
+            circuit_factory=functools.partial(s38417_like, scale=scale),
+            tp_percents=(0.0, 2.0),
+            flow=flow,
+        ))
+    results = run_sweeps(configs, ExecutorConfig(jobs=4))
+    assert sorted(results) == ["tiny_a", "tiny_b"]
+    for result in results.values():
+        assert sorted(result.runs) == [0.0, 2.0]
+        assert all(r.test is not None for r in result.runs.values())
+    keys_a = {r.cache_key for r in results["tiny_a"].runs.values()}
+    keys_b = {r.cache_key for r in results["tiny_b"].runs.values()}
+    assert len(keys_a | keys_b) == 4  # every level's key is distinct
+
+
+def test_derived_seeds_stay_parallel_serial_identical():
+    def experiment():
+        return ExperimentConfig(
+            name="s38417",
+            circuit_factory=functools.partial(s38417_like, scale=0.01),
+            tp_percents=(0.0, 2.0),
+            flow=FlowConfig(atpg=FAST_ATPG, run_layout_phase=False),
+        )
+
+    serial = run_sweep(experiment(),
+                       ExecutorConfig(jobs=1, derive_seeds=True))
+    parallel = run_sweep(experiment(),
+                         ExecutorConfig(jobs=2, derive_seeds=True))
+    serial_rows = [r.test_metrics() for _, r in sorted(serial.runs.items())]
+    par_rows = [r.test_metrics() for _, r in sorted(parallel.runs.items())]
+    assert serial_rows == par_rows
+
+
+# ----------------------------------------------------------------------
+# FlowSummary contract
+# ----------------------------------------------------------------------
+def test_summary_raises_like_flow_result_when_phases_skipped():
+    circuit = s38417_like(scale=0.01)
+    config = FlowConfig(atpg=FAST_ATPG, run_layout_phase=False)
+    summary = summarize(run_flow(circuit, cmos130(), config))
+    assert summary.test_metrics().n_patterns > 0
+    with pytest.raises(ValueError, match="layout phase"):
+        summary.area_metrics()
+    assert summary.sta is None
+    assert summary.log  # per-stage records came along
+    assert all("ms" in line for line in summary.log)

@@ -1,0 +1,111 @@
+"""Contract tests on FlowConfig/FlowResult that the executor relies on.
+
+Two contracts:
+
+* ``FlowConfig.exclude_nets`` is an immutable ``frozenset`` (any
+  iterable is normalised on construction) and a single shared
+  ``FlowConfig`` drives any number of flow runs without leaking state
+  between them — the flow hands TPI a fresh mutable copy per call.
+
+* ``FlowResult.stage_seconds`` keys are the documented
+  :data:`repro.core.flow.STAGE_KEYS` contract: a full run records
+  exactly those keys in that order; skipping a phase drops exactly the
+  documented subset.  The executor's cache summaries, the benches and
+  any dashboard key on these names.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import AtpgConfig
+from repro.circuits import s38417_like
+from repro.core import FlowConfig, LAYOUT_STAGE_KEYS, STAGE_KEYS, run_flow
+from repro.library import cmos130
+from repro.tpi import TpiConfig, insert_test_points
+
+FAST_ATPG = AtpgConfig(seed=5, backtrack_limit=16, max_deterministic=30,
+                       abort_recovery_blocks=2, second_chance_factor=1)
+
+
+# ----------------------------------------------------------------------
+# exclude_nets immutability
+# ----------------------------------------------------------------------
+def test_flow_config_normalises_exclude_nets_to_frozenset():
+    for raw in (["n1", "n2"], {"n1", "n2"}, ("n1", "n2"),
+                frozenset({"n1", "n2"})):
+        config = FlowConfig(exclude_nets=raw)
+        assert isinstance(config.exclude_nets, frozenset)
+        assert config.exclude_nets == frozenset({"n1", "n2"})
+
+
+def test_shared_flow_config_runs_do_not_leak_state():
+    lib = cmos130()
+    exclude = frozenset({"not_a_real_net_1", "not_a_real_net_2"})
+    config = FlowConfig(
+        tp_percent=10.0,
+        exclude_nets=exclude,
+        run_layout_phase=False,
+        run_atpg_phase=False,
+        atpg=FAST_ATPG,
+    )
+    first = run_flow(s38417_like(scale=0.012), lib, config)
+    mid_snapshot = config.exclude_nets
+    second = run_flow(s38417_like(scale=0.012), lib, config)
+
+    # The shared config is untouched by either run ...
+    assert config.exclude_nets == exclude
+    assert config.exclude_nets is mid_snapshot
+    # ... and both runs made identical decisions from it.
+    assert first.n_test_points == second.n_test_points >= 1
+    assert [tp.net for tp in first.tpi.inserted] \
+        == [tp.net for tp in second.tpi.inserted]
+
+
+def test_tpi_does_not_mutate_callers_exclusion_set():
+    lib = cmos130()
+    circuit = s38417_like(scale=0.012)
+    exclude = {"user_net_a", "user_net_b"}
+    insert_test_points(circuit, lib, TpiConfig(
+        n_test_points=1, exclude_nets=exclude,
+    ))
+    # TPI internally adds clock/scan-control nets to its forbidden set;
+    # the caller's set must not see them.
+    assert exclude == {"user_net_a", "user_net_b"}
+
+
+# ----------------------------------------------------------------------
+# stage_seconds key contract
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def full_run():
+    return run_flow(s38417_like(scale=0.012), cmos130(),
+                    FlowConfig(tp_percent=5.0, atpg=FAST_ATPG))
+
+
+def test_full_flow_records_exactly_the_documented_stages(full_run):
+    assert tuple(full_run.stage_seconds) == STAGE_KEYS
+    assert all(v >= 0.0 for v in full_run.stage_seconds.values())
+
+
+def test_layout_stage_keys_are_a_documented_subset():
+    assert set(LAYOUT_STAGE_KEYS) < set(STAGE_KEYS)
+    # Contract order: layout keys sit between tpi_scan and atpg.
+    assert STAGE_KEYS[0] == "tpi_scan"
+    assert STAGE_KEYS[-1] == "atpg"
+    assert STAGE_KEYS[1:-1] == LAYOUT_STAGE_KEYS
+
+
+def test_skipping_layout_drops_exactly_the_layout_stages():
+    result = run_flow(s38417_like(scale=0.012), cmos130(), FlowConfig(
+        tp_percent=0.0, run_layout_phase=False, atpg=FAST_ATPG,
+    ))
+    expected = tuple(k for k in STAGE_KEYS if k not in LAYOUT_STAGE_KEYS)
+    assert tuple(result.stage_seconds) == expected
+
+
+def test_skipping_atpg_drops_exactly_the_atpg_stage():
+    result = run_flow(s38417_like(scale=0.012), cmos130(), FlowConfig(
+        tp_percent=0.0, run_atpg_phase=False,
+    ))
+    assert tuple(result.stage_seconds) == STAGE_KEYS[:-1]

@@ -1,0 +1,95 @@
+"""Golden-fixture regression tests for the Table 1/2/3 outputs.
+
+The small seed circuits' sweep outputs are frozen as JSON under
+``tests/golden/``; every run re-executes the sweep and diffs fresh rows
+against the frozen ones.  Any change to TPI, scan, ATPG, layout,
+extraction or STA that moves a published-table quantity shows up here
+as a precise field-level diff instead of a silent drift.
+
+The flows are deterministic (fixed seeds, process-independent hashes),
+so the comparison is exact for ints/strings and tight (rel=1e-9) for
+floats — the tolerance forgives float formatting, not behaviour.
+
+After an *intentional* behaviour change, refresh the fixtures with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_tables.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.atpg import AtpgConfig
+from repro.circuits import s38417_like
+from repro.core import ExperimentConfig, FlowConfig, run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Frozen sweep settings.  Changing anything here invalidates the
+#: fixtures — regenerate them with --update-golden when you do.
+GOLDEN_SWEEPS = {
+    "s38417_small": ExperimentConfig(
+        name="s38417_small",
+        # 20 flip-flops at this scale: 5% and 10% land on 1 and 2
+        # inserted TSFFs, so every level's rows genuinely differ.
+        circuit_factory=functools.partial(s38417_like, scale=0.012),
+        tp_percents=(0.0, 5.0, 10.0),
+        flow=FlowConfig(
+            atpg=AtpgConfig(seed=11, backtrack_limit=24,
+                            max_deterministic=60,
+                            abort_recovery_blocks=4,
+                            second_chance_factor=1),
+        ),
+    ),
+}
+
+
+def fresh_tables(name: str) -> dict:
+    result = run_experiment(GOLDEN_SWEEPS[name])
+    return {
+        "table1": result.table1_rows(),
+        "table2": result.table2_rows(),
+        "table3": result.table3_rows(),
+    }
+
+
+def assert_rows_match(fresh, golden, context: str) -> None:
+    assert len(fresh) == len(golden), (
+        f"{context}: {len(fresh)} rows, golden has {len(golden)}"
+    )
+    for i, (f_row, g_row) in enumerate(zip(fresh, golden)):
+        assert sorted(f_row) == sorted(g_row), (
+            f"{context} row {i}: column set changed"
+        )
+        for key, g_val in g_row.items():
+            f_val = f_row[key]
+            if isinstance(g_val, float) or isinstance(f_val, float):
+                assert f_val == pytest.approx(g_val, rel=1e-9, abs=1e-9), (
+                    f"{context} row {i} [{key}]: {f_val!r} != {g_val!r}"
+                )
+            else:
+                assert f_val == g_val, (
+                    f"{context} row {i} [{key}]: {f_val!r} != {g_val!r}"
+                )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SWEEPS))
+def test_tables_match_golden(name, update_golden):
+    path = GOLDEN_DIR / f"{name}.json"
+    fresh = fresh_tables(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        pytest.skip(f"rewrote {path}")
+    assert path.exists(), (
+        f"golden fixture {path} missing; create it with --update-golden"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    for table in ("table1", "table2", "table3"):
+        assert_rows_match(fresh[table], golden[table], f"{name}.{table}")
