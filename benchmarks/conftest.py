@@ -18,11 +18,13 @@ reuse finished levels across bench invocations.
 from __future__ import annotations
 
 import functools
+import json
 import os
 import pathlib
 
 import pytest
 
+from repro import obs
 from repro.atpg import AtpgConfig
 from repro.circuits import control_core, dsp_core_p26909, s38417_like
 from repro.core import (
@@ -90,16 +92,60 @@ def _executor() -> ExecutorConfig:
     return ExecutorConfig(
         jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
         cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+        trace=bool(os.environ.get("REPRO_BENCH_TRACE")),
     )
 
 
 _CACHE = {}
 
 
+def _write_stage_breakdown(name: str, result) -> None:
+    """Persist per-stage runtimes per TP level for this sweep.
+
+    Cache-served levels report the timings recorded when the flow
+    actually ran, flagged with ``from_cache`` so readers can tell
+    measured-this-run from replayed numbers.
+    """
+    payload = {
+        "circuit": name,
+        "scale": _scale_for(name),
+        "levels": {
+            f"{pct:g}": {
+                "stage_seconds": run.effective_stage_seconds(),
+                "from_cache": run.from_cache,
+            }
+            for pct, run in sorted(result.runs.items())
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}_stages.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"\n[bench artifact] {path}")
+
+
 def sweep_result(name: str):
-    """Run (or reuse) the six-layout sweep for one circuit."""
+    """Run (or reuse) the six-layout sweep for one circuit.
+
+    With ``REPRO_BENCH_TRACE`` set, the sweep runs traced and a merged
+    Chrome trace-event file lands in ``benchmarks/out/`` next to the
+    per-stage breakdown JSON that every sweep writes.
+    """
     if name not in _CACHE:
-        _CACHE[name] = run_sweep(_experiment(name), _executor())
+        executor = _executor()
+        if executor.trace:
+            with obs.tracing(label=f"bench:{name}") as tracer:
+                result = run_sweep(_experiment(name), executor)
+            traces = [run.trace for run in result.runs.values()]
+            traces.append(tracer.trace())
+            OUT_DIR.mkdir(exist_ok=True)
+            trace_path = OUT_DIR / f"BENCH_{name}_trace.json"
+            obs.write_chrome_trace(trace_path, traces)
+            print(f"\n[bench artifact] {trace_path}")
+        else:
+            result = run_sweep(_experiment(name), executor)
+        _write_stage_breakdown(name, result)
+        _CACHE[name] = result
     return _CACHE[name]
 
 

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.atpg.compaction import pack_block, reverse_order_compaction
 from repro.atpg.fault_sim import FaultSimulator
 from repro.atpg.faults import Fault, FaultList, FaultStatus, build_fault_list
@@ -152,29 +153,41 @@ def run_atpg(
     ]
 
     # ------------------------------------------------------------- 1
-    random_kept = _random_phase(
-        sim, fsim, fault_list, active, patterns, rng, config
-    )
+    with obs.span("random_phase") as sp:
+        random_kept = _random_phase(
+            sim, fsim, fault_list, active, patterns, rng, config
+        )
+        sp.counter("patterns_kept", random_kept)
 
     # ------------------------------------------------------------- 2
-    det_count, aborted, redundant = _deterministic_phase(
-        circuit, view, sim, fsim, fault_list, patterns, rng, config
-    )
+    with obs.span("podem") as sp:
+        det_count, aborted, redundant = _deterministic_phase(
+            circuit, view, sim, fsim, fault_list, patterns, rng, config
+        )
+        sp.counter("patterns", det_count)
+        sp.counter("aborted_faults", aborted)
+        sp.counter("redundant_faults", redundant)
 
     # ------------------------------------------------------------- 2b
-    recovered = _abort_recovery_phase(
-        sim, fsim, fault_list, patterns, rng, config
-    )
-    aborted -= recovered
+    with obs.span("abort_recovery") as sp:
+        recovered = _abort_recovery_phase(
+            sim, fsim, fault_list, patterns, rng, config
+        )
+        aborted -= recovered
+        sp.counter("recovered_faults", recovered)
 
     # ------------------------------------------------------------- 3
     if config.static_compaction and patterns:
-        detected_targets = [
-            rep
-            for rep in fault_list.classes()
-            if fault_list.status[rep] is FaultStatus.DETECTED
-        ]
-        patterns = reverse_order_compaction(fsim, patterns, detected_targets)
+        with obs.span("static_compaction") as sp:
+            sp.gauge("patterns_before", len(patterns))
+            detected_targets = [
+                rep
+                for rep in fault_list.classes()
+                if fault_list.status[rep] is FaultStatus.DETECTED
+            ]
+            patterns = reverse_order_compaction(fsim, patterns,
+                                                detected_targets)
+            sp.gauge("patterns_after", len(patterns))
 
     return AtpgResult(
         patterns=patterns,
@@ -335,6 +348,11 @@ def _deterministic_phase(
         fault_list.mark_many(detections, FaultStatus.DETECTED)
         patterns.extend(pending_block)
         det_count += len(pending_block)
+        # One flush = one dynamic-compaction round: the kept patterns
+        # per round measure how hard the dropping simulation works.
+        obs.counter("compaction_rounds")
+        obs.counter("compaction_patterns", len(pending_block))
+        obs.counter("dropped_by_simulation", len(detections))
         pending_block.clear()
 
     flush_threshold = max(1, min(config.flush_every, sim.width))
@@ -345,6 +363,8 @@ def _deterministic_phase(
         if fault_list.status[fault] is not FaultStatus.UNDETECTED:
             continue
         cube = podem.generate(fault)
+        obs.counter("backtracks", cube.backtracks)
+        obs.counter("restarts", cube.restarts)
         if cube.status == "redundant":
             fault_list.mark(fault, FaultStatus.REDUNDANT)
             redundant += 1
@@ -376,6 +396,7 @@ def _deterministic_phase(
                 candidate, fixed=cube_assign,
                 restarts=2, backtrack_limit=24,
             )
+            obs.counter("backtracks", extra.backtracks)
             if extra.status == "detected":
                 cube_assign.update(extra.assignment)
                 fault_list.mark(candidate, FaultStatus.DETECTED)
@@ -383,6 +404,8 @@ def _deterministic_phase(
                 failures = 0
             else:
                 failures += 1
+        if merged > 1:
+            obs.counter("merged_targets", merged - 1)
 
         # Random fill of the remaining inputs.
         pattern = rng.getrandbits(n_inputs) if n_inputs else 0
@@ -416,6 +439,9 @@ def _deterministic_phase(
                     config.backtrack_limit * config.second_chance_factor
                 ),
             )
+            obs.counter("backtracks", cube.backtracks)
+            obs.counter("restarts", cube.restarts)
+            obs.counter("second_chance_targets")
             if cube.status == "redundant":
                 fault_list.mark(fault, FaultStatus.REDUNDANT)
                 redundant += 1

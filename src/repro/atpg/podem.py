@@ -49,11 +49,14 @@ class TestCube:
         assignment: Input-net assignment (only for detected faults);
             unassigned inputs may be filled arbitrarily.
         backtracks: Number of backtracks spent.
+        restarts: Number of search restarts consumed (1 = the first,
+            fully deterministic search sufficed).
     """
 
     status: str
     assignment: Dict[str, int]
     backtracks: int = 0
+    restarts: int = 0
 
 
 class PodemEngine:
@@ -211,6 +214,7 @@ class PodemEngine:
             result = self._search(fault, budget, fixed)
             spent += result.backtracks
             result.backtracks = spent
+            result.restarts = attempt + 1
             if result.status in ("detected", "redundant"):
                 if result.status == "redundant" and fixed:
                     result.status = "incompatible"

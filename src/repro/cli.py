@@ -21,11 +21,13 @@ import os
 import sys
 from typing import Callable, Dict
 
+from repro import obs
 from repro.circuits import control_core, dsp_core_p26909, s38417_like
 from repro.core import (
     ExecutorConfig,
     ExperimentConfig,
     FlowConfig,
+    format_stage_seconds,
     format_table1,
     format_table2,
     format_table3,
@@ -59,13 +61,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _tp_percents(text: str) -> tuple:
-    """argparse type: '0,1,2.5' -> (0.0, 1.0, 2.5)."""
+    """argparse type: '0,1,2.5' -> (0.0, 1.0, 2.5).
+
+    Negative and duplicate levels are rejected up front: a negative
+    percentage would ask TPI for a negative test-point count, and a
+    duplicate level would silently run (and cache) the same layout
+    twice.
+    """
     try:
-        return tuple(float(p) for p in text.split(","))
+        values = tuple(float(p) for p in text.split(","))
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated numbers, got {text!r}"
         )
+    negative = [v for v in values if v < 0]
+    if negative:
+        raise argparse.ArgumentTypeError(
+            "TP percentages must be non-negative, got "
+            + ", ".join(f"{v:g}" for v in negative)
+        )
+    seen = set()
+    for value in values:
+        if value in seen:
+            raise argparse.ArgumentTypeError(
+                f"duplicate TP percentage: {value:g}"
+            )
+        seen.add(value)
+    return values
 
 
 def _factory(args) -> Callable:
@@ -86,7 +108,11 @@ def cmd_flow(args) -> int:
     """One full Figure 2 flow at a single TP percentage."""
     circuit = _factory(args)()
     config = _flow_config(args, tp_percent=args.tp)
-    result = run_flow(circuit, cmos130(), config)
+    if args.trace:
+        with obs.tracing(label=f"{args.circuit}@{args.tp:g}%"):
+            result = run_flow(circuit, cmos130(), config)
+    else:
+        result = run_flow(circuit, cmos130(), config)
     m = result.test_metrics()
     print(f"circuit {args.circuit} scale {args.scale} "
           f"TP {args.tp}% ({m.n_test_points} TSFFs)")
@@ -104,6 +130,10 @@ def cmd_flow(args) -> int:
             print(f"  {domain}: T_cp {p.total_ps:.0f} ps "
                   f"(F_max {p.fmax_mhz:.1f} MHz), TPs on path "
                   f"{p.n_test_points}")
+    if args.trace and result.trace is not None:
+        obs.write_chrome_trace(args.trace, [result.trace])
+        print(f"\nwrote trace to {args.trace}")
+        print(obs.format_trace_summary(result.trace))
     return 0
 
 
@@ -124,18 +154,34 @@ def cmd_sweep(args) -> int:
         **kwargs,
     )
     cache_dir = None if args.no_cache else args.cache_dir
+    traces = []
     if args.jobs > 1 or cache_dir:
         executor = ExecutorConfig(jobs=args.jobs, cache_dir=cache_dir,
-                                  use_cache=not args.no_cache)
+                                  use_cache=not args.no_cache,
+                                  trace=bool(args.trace))
         print(f"[executor] jobs={args.jobs} "
               f"cache={cache_dir or 'off'}")
-        result = run_sweep(config, executor)
+        if args.trace:
+            with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
+                result = run_sweep(config, executor)
+            # Worker flow traces plus the parent's scheduling trace
+            # (queue waits, cache counters) merge into one timeline.
+            traces = [run.trace for run in result.runs.values()]
+            traces.append(tracer.trace())
+        else:
+            result = run_sweep(config, executor)
         cached = sorted(
             pct for pct, run in result.runs.items() if run.from_cache
         )
         if cached:
             print("[executor] served from cache: "
                   + ", ".join(f"{pct:g}%" for pct in cached))
+    elif args.trace:
+        # Serial path: one tracer spans the whole sweep, so its trace
+        # already holds every level's stage spans.
+        with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
+            result = run_experiment(config)
+        traces = [tracer.trace()]
     else:
         result = run_experiment(config)
     print("Table 1: Impact of TPI on test data")
@@ -144,6 +190,11 @@ def cmd_sweep(args) -> int:
     print(format_table2(result.table2_rows()))
     print("\nTable 3: Impact of TPI on timing")
     print(format_table3(result.table3_rows()))
+    print("\nStage runtimes (seconds)")
+    print(format_stage_seconds(result))
+    if args.trace:
+        obs.write_chrome_trace(args.trace, traces)
+        print(f"\nwrote trace to {args.trace}")
     return 0
 
 
@@ -202,6 +253,9 @@ def main(argv=None) -> int:
     p_flow = sub.add_parser("flow", help="run one full flow")
     _add_common(p_flow)
     p_flow.add_argument("--tp", type=float, default=1.0)
+    p_flow.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the "
+                             "flow's stages to PATH")
     p_flow.set_defaults(func=cmd_flow)
 
     p_sweep = sub.add_parser("sweep", help="run the 0-5%% sweep")
@@ -215,6 +269,10 @@ def main(argv=None) -> int:
                          help="content-addressed result cache directory")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (force fresh runs)")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a merged Chrome trace-event JSON "
+                              "of all levels (and the executor's "
+                              "scheduling) to PATH")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lbist = sub.add_parser("lbist", help="LBIST coverage curves")

@@ -27,6 +27,7 @@ from repro.core.experiment import (
 from repro.core.flow import (
     FlowConfig,
     FlowResult,
+    HoldFixRound,
     LAYOUT_STAGE_KEYS,
     STAGE_KEYS,
     run_flow,
@@ -38,7 +39,12 @@ from repro.core.metrics import (
     test_data_volume_bits,
 )
 from repro.core.render import ascii_density, render_svg
-from repro.core.reporting import format_table1, format_table2, format_table3
+from repro.core.reporting import (
+    format_stage_seconds,
+    format_table1,
+    format_table2,
+    format_table3,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -48,6 +54,7 @@ __all__ = [
     "FlowConfig",
     "FlowResult",
     "FlowSummary",
+    "HoldFixRound",
     "LAYOUT_STAGE_KEYS",
     "PAPER_TP_PERCENTS",
     "PathSummary",
@@ -61,6 +68,7 @@ __all__ = [
     "config_fingerprint",
     "derive_seed",
     "flow_cache_key",
+    "format_stage_seconds",
     "format_table1",
     "format_table2",
     "format_table3",

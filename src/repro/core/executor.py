@@ -49,18 +49,21 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro
+from repro import obs
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.core.flow import FlowConfig, FlowResult, run_flow
 from repro.core.metrics import TestDataMetrics
 from repro.library.cell import Library
 from repro.library.cmos130 import cmos130
 from repro.netlist.circuit import Circuit
+from repro.obs.tracer import Trace
 
 #: Bump when the FlowSummary layout or key derivation changes; old
 #: cache entries then miss instead of unpickling into the wrong shape.
@@ -135,6 +138,11 @@ class FlowSummary:
         cache_key: Content hash this summary is stored under.
         from_cache: True when served from the cache, not computed.
         worker_pid: PID of the process that ran the flow.
+        trace: The run's span tree when the worker traced its flow
+            (see :mod:`repro.obs`); None otherwise, and always None on
+            cache hits (no stage re-ran).  The plain-class default
+            keeps summaries pickled before this field existed loading
+            cleanly — they read back as untraced.
     """
 
     tp_percent: float
@@ -148,6 +156,20 @@ class FlowSummary:
     cache_key: str = ""
     from_cache: bool = False
     worker_pid: int = 0
+    trace: Optional[Trace] = None
+
+    def effective_stage_seconds(self) -> Dict[str, float]:
+        """Stage timings that actually describe this run's work.
+
+        Live timings when the flow ran in this sweep; the original
+        run's timings when the summary was served from the cache (a
+        hit zeroes :attr:`stage_seconds` because no stage re-ran).
+        Reporting should use this so cached sweeps still render
+        sensible stage tables.
+        """
+        if self.from_cache and self.cached_stage_seconds:
+            return dict(self.cached_stage_seconds)
+        return dict(self.stage_seconds)
 
     def test_metrics(self) -> TestDataMetrics:
         """The paper's Table 1 row for this run."""
@@ -210,6 +232,7 @@ def summarize(result: FlowResult, cache_key: str = "") -> FlowSummary:
         log=log,
         cache_key=cache_key,
         worker_pid=pid,
+        trace=result.trace,
     )
 
 
@@ -338,6 +361,7 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path(self, key: str) -> Path:
         """Entry path for ``key``."""
@@ -359,9 +383,11 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            self.corrupt += 1
             return None
         if not isinstance(summary, FlowSummary):
             self.misses += 1
+            self.corrupt += 1
             return None
         self.hits += 1
         return summary
@@ -402,6 +428,12 @@ class ExecutorConfig:
             bit-identical; keyed into the cache so the modes never mix.
         mp_context: ``multiprocessing`` start method (None = platform
             default).
+        trace: Have every worker record a span tree for its flow run
+            (returned on ``FlowSummary.trace``), and the parent record
+            per-level queue-wait/worker-run spans plus cache counters
+            on the active tracer.  Observability only: it never enters
+            the cache key, so traced and untraced sweeps share cache
+            entries and results stay bit-identical either way.
     """
 
     jobs: int = 1
@@ -409,6 +441,7 @@ class ExecutorConfig:
     use_cache: bool = True
     derive_seeds: bool = False
     mp_context: Optional[str] = None
+    trace: bool = False
 
     @property
     def cache(self) -> Optional[ResultCache]:
@@ -428,6 +461,13 @@ class _LevelTask:
     flow: FlowConfig
     library: Optional[Library]
     cache_key: str
+    #: Record a span tree in the worker (never part of the cache key).
+    trace: bool = False
+
+    @property
+    def label(self) -> str:
+        """Display label of this level (trace and error contexts)."""
+        return f"{self.name}@{self.tp_percent:g}%"
 
 
 class SweepExecutionError(RuntimeError):
@@ -453,10 +493,21 @@ class SweepExecutionError(RuntimeError):
 
 
 def _run_level(task: _LevelTask) -> FlowSummary:
-    """Worker entry point: build a fresh netlist, run the flow."""
+    """Worker entry point: build a fresh netlist, run the flow.
+
+    With ``task.trace`` set, the flow runs under a fresh tracer whose
+    root spans are exactly the run's stage spans; the resulting
+    :class:`~repro.obs.tracer.Trace` rides back on the summary.
+    Tracing is scoped, so an inline (``jobs=1``) run leaves the
+    parent's tracer untouched.
+    """
     circuit = task.circuit_factory()
     library = task.library if task.library is not None else cmos130()
-    result = run_flow(circuit, library, task.flow)
+    if task.trace:
+        with obs.tracing(label=task.label):
+            result = run_flow(circuit, library, task.flow)
+    else:
+        result = run_flow(circuit, library, task.flow)
     return summarize(result, cache_key=task.cache_key)
 
 
@@ -501,20 +552,50 @@ def _plan_levels(config: ExperimentConfig,
             flow=flow,
             library=config.library,
             cache_key=key,
+            trace=executor.trace,
         ))
     return tasks
 
 
 def _cache_hit(summary: FlowSummary) -> FlowSummary:
     """Rebadge a stored summary as a hit: no stage re-ran, so the
-    live ``stage_seconds`` are all zero and the original timings move
-    to ``cached_stage_seconds``."""
+    live ``stage_seconds`` are all zero, the original timings move to
+    ``cached_stage_seconds`` (see ``effective_stage_seconds``), and
+    any stored trace is dropped — a trace describes work this sweep
+    did not perform, and its stale wall epoch would skew a merged
+    timeline."""
     return replace(
         summary,
         from_cache=True,
         cached_stage_seconds=dict(summary.stage_seconds),
         stage_seconds={k: 0.0 for k in summary.stage_seconds},
+        trace=None,
     )
+
+
+def _record_level(tracer, task: _LevelTask, summary: FlowSummary,
+                  t_submit: float, t_done: float) -> None:
+    """Record the parent-side span of one completed level.
+
+    The ``level:`` span covers submit-to-result; when the worker
+    shipped its own trace back, its wall epoch splits the interval
+    into ``queue_wait`` (submit until the worker started the flow) and
+    ``worker_run`` (the flow itself) child spans.
+    """
+    if not tracer.enabled:
+        return
+    start = tracer.rel_wall(t_submit)
+    end = max(start, tracer.rel_wall(t_done))
+    parent = tracer.record_span(
+        f"level:{task.label}", start, end,
+        gauges={"worker_pid": summary.worker_pid},
+    )
+    trace = summary.trace
+    if trace is not None:
+        run_start = min(max(start, tracer.rel_wall(trace.wall_epoch)), end)
+        run_end = min(run_start + trace.duration_s, end)
+        tracer.record_span("queue_wait", start, run_start, parent=parent)
+        tracer.record_span("worker_run", run_start, run_end, parent=parent)
 
 
 def run_sweeps(
@@ -530,12 +611,19 @@ def run_sweeps(
     hold :class:`FlowSummary` values — the Table 1/2/3 builders work
     unchanged.
 
+    With ``executor.trace`` set, every worker's flow trace rides back
+    on its summary, and the sweep's own scheduling (per-level
+    queue-wait/run spans, cache hit/miss/corrupt counters) is recorded
+    on the tracer active in *this* process — activate one around the
+    call with :func:`repro.obs.tracing` to collect it.
+
     Raises:
         SweepExecutionError: When any level fails.  Levels that
             finished first were already cached, so a re-run resumes.
     """
     executor = executor or ExecutorConfig()
     cache = executor.cache
+    tracer = obs.get_tracer()
     tasks: List[_LevelTask] = []
     for config in configs:
         tasks.extend(_plan_levels(config, executor))
@@ -546,18 +634,26 @@ def run_sweeps(
         stored = cache.get(task.cache_key) if cache else None
         if stored is not None:
             summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
+            now = tracer.now()
+            tracer.record_span(f"cache_hit:{task.label}", now, now)
         else:
             pending.append(task)
+    if cache is not None:
+        tracer.counter("cache_hits", cache.hits)
+        tracer.counter("cache_misses", cache.misses)
+        tracer.counter("cache_corrupt", cache.corrupt)
 
     failures: List[Tuple[str, float, BaseException]] = []
     if pending:
         if executor.jobs <= 1:
             for task in pending:
+                t_submit = time.time()
                 try:
                     summary = _run_level(task)
                 except Exception as exc:
                     failures.append((task.name, task.tp_percent, exc))
                     continue
+                _record_level(tracer, task, summary, t_submit, time.time())
                 summaries[(task.name, task.tp_percent)] = summary
                 if cache:
                     cache.put(task.cache_key, summary)
@@ -572,18 +668,21 @@ def run_sweeps(
             with ProcessPoolExecutor(max_workers=workers,
                                      mp_context=ctx) as pool:
                 futures = {
-                    pool.submit(_run_level, task): task for task in pending
+                    pool.submit(_run_level, task): (task, time.time())
+                    for task in pending
                 }
                 # Let every level run to completion even when one fails:
                 # each finished level is cached immediately, so a re-run
                 # resumes from the failures alone.
                 for future in as_completed(futures):
-                    task = futures[future]
+                    task, t_submit = futures[future]
                     try:
                         summary = future.result()
                     except Exception as exc:
                         failures.append((task.name, task.tp_percent, exc))
                         continue
+                    _record_level(tracer, task, summary, t_submit,
+                                  time.time())
                     summaries[(task.name, task.tp_percent)] = summary
                     if cache:
                         cache.put(task.cache_key, summary)

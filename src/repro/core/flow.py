@@ -25,8 +25,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.atpg.engine import AtpgConfig, AtpgResult, run_atpg
 from repro.core.metrics import TestDataMetrics
+from repro.obs.tracer import Trace
 from repro.extraction.rc import NetParasitics, extract_all
 from repro.layout.cts import ClockTree, synthesize_all_clock_trees
 from repro.layout.detailed import refine_placement
@@ -123,6 +125,27 @@ class FlowConfig:
             self.exclude_nets = frozenset(self.exclude_nets)
 
 
+@dataclass(frozen=True)
+class HoldFixRound:
+    """Census of one hold-fix ECO round.
+
+    Attributes:
+        round: 1-based round number within the STA stage.
+        violations_before: Hold-violating endpoints entering the round.
+        buffers_inserted: Delay buffers the round placed (0 means the
+            whitespace budget was exhausted and the loop stopped).
+        budget: Buffer budget the round started with (row whitespace
+            divided by the delay buffer's width).
+        budget_left: Budget remaining after the round's insertions.
+    """
+
+    round: int
+    violations_before: int
+    buffers_inserted: int
+    budget: int
+    budget_left: int
+
+
 @dataclass
 class FlowResult:
     """Everything a flow run produces.
@@ -135,6 +158,13 @@ class FlowResult:
     keys are the documented :data:`STAGE_KEYS` contract (in that
     order), with the layout keys present only when the layout phase
     ran and ``"atpg"`` only when the ATPG phase ran.
+
+    :attr:`hold_fix_rounds` records one :class:`HoldFixRound` per
+    hold-fix ECO iteration (empty when no violations occurred or
+    ``fix_holds`` was off).  :attr:`trace` carries the run's span tree
+    when a tracer was active (see :mod:`repro.obs`), else None; the
+    trace's top-level spans are exactly the recorded
+    :data:`STAGE_KEYS` subset.
     """
 
     circuit: Circuit
@@ -154,6 +184,8 @@ class FlowResult:
     parasitics: Dict[str, NetParasitics] = field(default_factory=dict)
     sta: Optional[StaResult] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    hold_fix_rounds: List[HoldFixRound] = field(default_factory=list)
+    trace: Optional[Trace] = None
 
     # -- Table 1 --------------------------------------------------------
     def test_metrics(self) -> TestDataMetrics:
@@ -210,26 +242,31 @@ def run_flow(circuit: Circuit, library: Library,
     config = config or FlowConfig()
     result = FlowResult(circuit=circuit, config=config)
     clock = time.perf_counter
+    tracer = obs.get_tracer()
+    trace_mark = tracer.mark()
 
     # -- Step 1: TPI & scan insertion -----------------------------------
     t0 = clock()
-    n_ff_before = circuit.num_flip_flops
-    n_tp = round(config.tp_percent / 100.0 * n_ff_before)
-    result.n_test_points = n_tp
-    if n_tp > 0:
-        result.tpi = insert_test_points(circuit, library, TpiConfig(
-            n_test_points=n_tp,
-            pd_threshold=config.pd_threshold,
-            exclude_nets=set(config.exclude_nets),
-        ))
-    result.chains = insert_scan(
-        circuit, library,
-        max_chain_length=config.max_chain_length,
-        n_chains=config.n_chains,
-    )
-    # Synthesis-style electrical DRC: bound fanout (TSFF outputs and
-    # the TE/TR control nets in particular), size overloaded drivers.
-    result.drc = fix_electrical(circuit, library)
+    with obs.span("tpi_scan") as sp:
+        n_ff_before = circuit.num_flip_flops
+        n_tp = round(config.tp_percent / 100.0 * n_ff_before)
+        result.n_test_points = n_tp
+        if n_tp > 0:
+            result.tpi = insert_test_points(circuit, library, TpiConfig(
+                n_test_points=n_tp,
+                pd_threshold=config.pd_threshold,
+                exclude_nets=set(config.exclude_nets),
+            ))
+        result.chains = insert_scan(
+            circuit, library,
+            max_chain_length=config.max_chain_length,
+            n_chains=config.n_chains,
+        )
+        # Synthesis-style electrical DRC: bound fanout (TSFF outputs and
+        # the TE/TR control nets in particular), size overloaded drivers.
+        result.drc = fix_electrical(circuit, library)
+        sp.gauge("test_points", n_tp)
+        sp.gauge("scan_chains", result.chains.n_chains)
     result.stage_seconds["tpi_scan"] = clock() - t0
     if config.validate_netlist:
         validate(circuit).raise_on_error()
@@ -240,8 +277,13 @@ def run_flow(circuit: Circuit, library: Library,
     # -- ATPG (on the reordered netlist, as in the paper) ----------------
     if config.run_atpg_phase:
         t0 = clock()
-        result.atpg = run_atpg(circuit, config=config.atpg)
+        with obs.span("atpg") as sp:
+            result.atpg = run_atpg(circuit, config=config.atpg)
+            sp.counter("patterns", result.atpg.n_patterns)
+            sp.counter("aborted_faults", result.atpg.aborted)
+            sp.counter("redundant_faults", result.atpg.redundant)
         result.stage_seconds["atpg"] = clock() - t0
+    result.trace = tracer.capture(trace_mark)
     return result
 
 
@@ -252,88 +294,114 @@ def _layout_phase(circuit: Circuit, library: Library,
 
     # -- Step 2: floorplanning & placement -------------------------------
     t0 = clock()
-    # Reserve whitespace for the cells later ECO steps insert: clock
-    # buffers (about 1.5x the leaf-cluster count) plus a hold/scan
-    # buffer allowance.  Without the reserve, a 97%-utilisation
-    # floorplan cannot absorb the clock tree.
-    clock_buffer = library.clock_buffers()[-1]
-    small_buffer = library.family("BUF")[0]
-    n_ff = circuit.num_flip_flops
-    est_clock_buffers = 4 + int(1.6 * (n_ff / 18 + 1))
-    reserve = (
-        est_clock_buffers * clock_buffer.area_um2
-        + 40 * small_buffer.area_um2
-    )
-    plan = build_floorplan(circuit, config.target_utilization,
-                           reserve_area_um2=reserve)
-    placement = global_place(circuit, plan)
-    refine_placement(circuit, placement, passes=config.detailed_passes)
-    result.plan = plan
-    result.placement = placement
+    with obs.span("floorplan_place") as sp:
+        # Reserve whitespace for the cells later ECO steps insert: clock
+        # buffers (about 1.5x the leaf-cluster count) plus a hold/scan
+        # buffer allowance.  Without the reserve, a 97%-utilisation
+        # floorplan cannot absorb the clock tree.
+        clock_buffer = library.clock_buffers()[-1]
+        small_buffer = library.family("BUF")[0]
+        n_ff = circuit.num_flip_flops
+        est_clock_buffers = 4 + int(1.6 * (n_ff / 18 + 1))
+        reserve = (
+            est_clock_buffers * clock_buffer.area_um2
+            + 40 * small_buffer.area_um2
+        )
+        plan = build_floorplan(circuit, config.target_utilization,
+                               reserve_area_um2=reserve)
+        placement = global_place(circuit, plan)
+        refine_placement(circuit, placement, passes=config.detailed_passes)
+        result.plan = plan
+        result.placement = placement
+        sp.gauge("rows", plan.n_rows)
+        sp.gauge("cells_placed", len(placement.positions))
     result.stage_seconds["floorplan_place"] = clock() - t0
 
     # -- Step 3: layout-driven scan-chain reordering ----------------------
     t0 = clock()
-    chains = result.chains
-    assert chains is not None
-    ff_positions = {
-        name: placement.positions[name]
-        for chain in chains.chains
-        for name in chain
-    }
-    scan_in_positions = {
-        i: plan.pad_positions.get(port, plan.core.center)
-        for i, port in enumerate(chains.scan_in_ports)
-    }
-    before_buffers = set(circuit.instances)
-    result.reorder = reorder_chains(
-        circuit, chains, ff_positions, scan_in_positions, library
-    )
-    te_buffers = [n for n in circuit.instances if n not in before_buffers]
+    with obs.span("scan_reorder") as sp:
+        chains = result.chains
+        assert chains is not None
+        ff_positions = {
+            name: placement.positions[name]
+            for chain in chains.chains
+            for name in chain
+        }
+        scan_in_positions = {
+            i: plan.pad_positions.get(port, plan.core.center)
+            for i, port in enumerate(chains.scan_in_ports)
+        }
+        before_buffers = set(circuit.instances)
+        result.reorder = reorder_chains(
+            circuit, chains, ff_positions, scan_in_positions, library
+        )
+        te_buffers = [n for n in circuit.instances
+                      if n not in before_buffers]
+        sp.counter("te_buffers", len(te_buffers))
     result.stage_seconds["scan_reorder"] = clock() - t0
 
     # -- Step 4: ECO, clock trees, fillers, routing -----------------------
     t0 = clock()
-    if te_buffers:
-        eco_place(circuit, placement, te_buffers)
-    trees = synthesize_all_clock_trees(
-        circuit, library, dict(placement.positions)
-    )
-    result.clock_trees = trees
-    hints = {}
-    new_buffers = []
-    for tree in trees:
-        hints.update(tree.buffer_positions)
-        new_buffers.extend(tree.buffers)
-    if new_buffers:
-        eco_place(circuit, placement, new_buffers, hints=hints)
-    if config.validate_netlist:
-        validate(circuit).raise_on_error()
-    router = GlobalRouter(circuit, placement)
-    result.congestion = router.route_all()
-    result.routed = router.routed
+    with obs.span("eco_cts_route") as sp:
+        if te_buffers:
+            eco_place(circuit, placement, te_buffers)
+        trees = synthesize_all_clock_trees(
+            circuit, library, dict(placement.positions)
+        )
+        result.clock_trees = trees
+        hints = {}
+        new_buffers = []
+        for tree in trees:
+            hints.update(tree.buffer_positions)
+            new_buffers.extend(tree.buffers)
+        if new_buffers:
+            eco_place(circuit, placement, new_buffers, hints=hints)
+        sp.counter("clock_buffers", len(new_buffers))
+        if config.validate_netlist:
+            validate(circuit).raise_on_error()
+        router = GlobalRouter(circuit, placement)
+        result.congestion = router.route_all()
+        result.routed = router.routed
     result.stage_seconds["eco_cts_route"] = clock() - t0
 
     # -- Step 5: extraction ----------------------------------------------
     t0 = clock()
-    result.parasitics = extract_all(circuit, placement, result.routed)
+    with obs.span("extraction") as sp:
+        result.parasitics = extract_all(circuit, placement, result.routed)
+        sp.counter("nets_extracted", len(result.parasitics))
     result.stage_seconds["extraction"] = clock() - t0
 
     # -- Step 6: STA (with hold-fix ECO loop) ------------------------------
     t0 = clock()
-    result.sta = run_sta(circuit, result.parasitics, config.sta)
-    rounds = config.hold_fix_iterations if config.fix_holds else 0
-    for _ in range(rounds):
-        if not result.sta.hold_slacks:
-            break
-        if _fix_hold_violations(circuit, library, placement,
-                                result.sta) == 0:
-            break  # out of whitespace: remaining violations reported
-        router = GlobalRouter(circuit, placement)
-        result.congestion = router.route_all()
-        result.routed = router.routed
-        result.parasitics = extract_all(circuit, placement, result.routed)
+    with obs.span("sta") as sta_span:
         result.sta = run_sta(circuit, result.parasitics, config.sta)
+        rounds = config.hold_fix_iterations if config.fix_holds else 0
+        for round_no in range(1, rounds + 1):
+            if not result.sta.hold_slacks:
+                break
+            with obs.span("hold_fix_round") as sp:
+                fix = _fix_hold_violations(circuit, library, placement,
+                                           result.sta, round_no=round_no)
+                result.hold_fix_rounds.append(fix)
+                sp.gauge("round", fix.round)
+                sp.gauge("violations_before", fix.violations_before)
+                sp.gauge("buffers_inserted", fix.buffers_inserted)
+                sp.gauge("budget_left", fix.budget_left)
+                if fix.buffers_inserted == 0:
+                    # Out of whitespace: remaining violations reported.
+                    break
+                router = GlobalRouter(circuit, placement)
+                result.congestion = router.route_all()
+                result.routed = router.routed
+                result.parasitics = extract_all(circuit, placement,
+                                                result.routed)
+                result.sta = run_sta(circuit, result.parasitics,
+                                     config.sta)
+        sta_span.counter(
+            "hold_buffers_inserted",
+            sum(r.buffers_inserted for r in result.hold_fix_rounds),
+        )
+        sta_span.gauge("hold_violations_left", result.sta.hold_violations)
     result.stage_seconds["sta"] = clock() - t0
 
     # Fillers last: the hold-fix ECO needs the row gaps the fillers
@@ -345,13 +413,15 @@ def _layout_phase(circuit: Circuit, library: Library,
 
 
 def _fix_hold_violations(circuit: Circuit, library: Library,
-                         placement, sta: StaResult) -> int:
+                         placement, sta: StaResult,
+                         round_no: int = 1) -> HoldFixRound:
     """Insert delay buffers in front of hold-violating data pins.
 
     The smallest buffer is chained on the endpoint's D net (moving only
     that sink) until the measured negative slack is covered; the
     inserted cells are ECO-placed near the endpoint.  Returns the
-    number of buffers inserted (0 when the whitespace budget is spent).
+    round's :class:`HoldFixRound` census; ``buffers_inserted == 0``
+    means the whitespace budget was spent.
     """
     delay_buffer = library.family("BUF")[0]
     min_delay_ps = delay_buffer.arcs[0].delay.lookup(20.0, 4.0).value
@@ -390,4 +460,10 @@ def _fix_hold_violations(circuit: Circuit, library: Library,
             source = new_net.name
     if new_cells:
         eco_place(circuit, placement, new_cells)
-    return len(new_cells)
+    return HoldFixRound(
+        round=round_no,
+        violations_before=len(sta.hold_slacks),
+        buffers_inserted=len(new_cells),
+        budget=budget,
+        budget_left=budget - len(new_cells),
+    )

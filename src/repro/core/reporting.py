@@ -41,6 +41,37 @@ def _format(rows: Iterable[_Row], columns: Sequence[tuple]) -> str:
     return "\n".join(lines)
 
 
+def format_stage_seconds(result) -> str:
+    """Per-stage runtime table for one sweep, one row per TP level.
+
+    Cache-served levels report the timings recorded when the flow
+    actually ran (:meth:`~repro.core.executor.FlowSummary.
+    effective_stage_seconds`), so a fully warm sweep still renders a
+    meaningful table instead of a row of zeros; such rows are flagged
+    in the ``cached`` column.
+    """
+    from repro.core.flow import STAGE_KEYS
+
+    rows: List[Dict[str, object]] = []
+    for pct in sorted(result.runs):
+        run = result.runs[pct]
+        if hasattr(run, "effective_stage_seconds"):
+            seconds = run.effective_stage_seconds()
+        else:
+            seconds = dict(run.stage_seconds)
+        row: Dict[str, object] = {"tp_percent": pct}
+        for key in STAGE_KEYS:
+            row[key] = seconds.get(key, 0.0)
+        row["total"] = sum(seconds.values())
+        if getattr(run, "from_cache", False):
+            row["cached"] = "yes"
+        rows.append(row)
+    columns = [("tp_percent", "#TP(%)", "g")]
+    columns += [(key, key, ".2f") for key in STAGE_KEYS]
+    columns += [("total", "total(s)", ".2f"), ("cached", "cached", "s")]
+    return _format(rows, tuple(columns))
+
+
 def format_table1(rows: Iterable[_Row]) -> str:
     """Table 1: Impact of TPI on test data."""
     return _format(rows, (

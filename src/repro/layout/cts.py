@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.library.cell import Library
 from repro.layout.geometry import Point
 from repro.netlist.circuit import Circuit
@@ -36,6 +37,8 @@ class ClockTree:
         buffer_positions: Desired position per inserted buffer (the ECO
             placer legalises these).
         sink_leaf: Leaf buffer net per sink instance.
+        level_sizes: Buffer count per tree level, leaves (level 0)
+            first; sums to ``len(buffers)``.
     """
 
     domain: str
@@ -43,6 +46,7 @@ class ClockTree:
     levels: int = 0
     buffer_positions: Dict[str, Point] = field(default_factory=dict)
     sink_leaf: Dict[str, str] = field(default_factory=dict)
+    level_sizes: List[int] = field(default_factory=list)
 
 
 def _cluster(points: List[Tuple[str, Point]],
@@ -86,6 +90,24 @@ def synthesize_clock_tree(
     Returns:
         The tree description (buffers, levels, desired positions).
     """
+    with obs.span(f"clock_tree:{domain}") as sp:
+        tree = _build_clock_tree(circuit, library, domain,
+                                 sink_positions, max_cluster)
+        sp.counter("buffers", len(tree.buffers))
+        sp.gauge("levels", tree.levels)
+        for level, size in enumerate(tree.level_sizes):
+            sp.gauge(f"level{level}_buffers", size)
+    return tree
+
+
+def _build_clock_tree(
+    circuit: Circuit,
+    library: Library,
+    domain: str,
+    sink_positions: Dict[str, Point],
+    max_cluster: int,
+) -> ClockTree:
+    """The construction behind :func:`synthesize_clock_tree`."""
     tree = ClockTree(domain=domain)
     sinks = [
         (inst.name, sink_positions[inst.name])
@@ -126,6 +148,7 @@ def synthesize_clock_tree(
             tree.sink_leaf[name] = net.name
         current.append((buf, centre))
     tree.levels = 1
+    tree.level_sizes.append(len(current))
 
     # Upper levels: cluster buffers until one remains.
     while len(current) > 1:
@@ -145,6 +168,7 @@ def synthesize_clock_tree(
             nxt.append((buf, centre))
         current = nxt
         tree.levels += 1
+        tree.level_sizes.append(len(current))
 
     # Root buffer's input comes from the clock pad net.
     root = current[0][0]

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.library.cell import ROW_HEIGHT_UM
 from repro.library.layers import MetalLayer, metal_stack_130nm, signal_layers
 from repro.layout.geometry import Point, manhattan
@@ -154,19 +155,26 @@ class GlobalRouter:
     # ------------------------------------------------------------------
     def route_all(self, rip_up_passes: int = 1) -> CongestionReport:
         """Route every net; returns the final congestion summary."""
-        net_names = sorted(self.circuit.nets)
-        for name in net_names:
-            self._route_net(name)
-        for _ in range(rip_up_passes):
-            victims = self._overflowed_nets()
-            if not victims:
-                break
-            for name in victims:
-                self._unroute(name)
-            # Re-route congested nets last, against the updated map.
-            for name in victims:
+        with obs.span("global_route") as sp:
+            net_names = sorted(self.circuit.nets)
+            for name in net_names:
                 self._route_net(name)
-        return self.report()
+            sp.counter("nets_routed", len(net_names))
+            for _ in range(rip_up_passes):
+                victims = self._overflowed_nets()
+                if not victims:
+                    break
+                sp.counter("ripup_iterations")
+                sp.counter("ripped_nets", len(victims))
+                for name in victims:
+                    self._unroute(name)
+                # Re-route congested nets last, against the updated map.
+                for name in victims:
+                    self._route_net(name)
+            report = self.report()
+            sp.gauge("overflowed_edges", report.overflowed_edges)
+            sp.gauge("max_utilization", report.max_utilization)
+            return report
 
     def _route_net(self, net_name: str) -> None:
         points = self._pin_points(net_name)

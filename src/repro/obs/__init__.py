@@ -1,0 +1,53 @@
+"""Observability layer: span-tree tracing, counters/gauges, exporters.
+
+Zero-dependency instrumentation for the Figure 2 flow and the sweep
+executor.  See :mod:`repro.obs.tracer` for the recording API and
+:mod:`repro.obs.export` for the Chrome trace-event and plain-text
+exporters.  The process-wide default tracer is a no-op; activate with::
+
+    from repro import obs
+
+    with obs.tracing(label="sweep") as tracer:
+        ...instrumented code...
+        obs.write_chrome_trace("out.json", [tracer.trace()])
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    format_trace_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    counter,
+    gauge,
+    get_tracer,
+    install,
+    span,
+    tracing,
+    tracing_active,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "chrome_trace",
+    "counter",
+    "format_trace_summary",
+    "gauge",
+    "get_tracer",
+    "install",
+    "span",
+    "tracing",
+    "tracing_active",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

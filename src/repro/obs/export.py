@@ -1,0 +1,206 @@
+"""Trace exporters: Chrome trace-event JSON and plain-text summaries.
+
+Two consumers, two formats:
+
+* :func:`chrome_trace` — the Chrome trace-event format (the
+  ``{"traceEvents": [...]}`` JSON object understood by Perfetto and
+  ``chrome://tracing``).  Spans become complete (``"ph": "X"``) events
+  with microsecond timestamps; traces from several processes merge
+  onto one time axis using each trace's wall-clock epoch, keyed by
+  ``pid``/``tid``.
+* :func:`format_trace_summary` — a human-readable per-stage table
+  (span tree with call counts, total seconds and attached
+  counters/gauges), for terminals and bench artifacts.
+
+Both operate on the plain-data :class:`~repro.obs.tracer.Trace`
+objects, so they work identically on a live tracer's snapshot, a
+worker trace shipped through the executor, or a trace loaded back from
+a ``FlowSummary``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import Span, Trace
+
+
+def _span_args(span: Span) -> Dict[str, float]:
+    args: Dict[str, float] = {}
+    args.update(span.counters)
+    args.update(span.gauges)
+    return args
+
+
+def chrome_trace(traces: Iterable[Optional[Trace]]) -> dict:
+    """Merge traces into one Chrome trace-event JSON object.
+
+    ``None`` entries (untraced runs) are skipped.  Each trace becomes
+    one ``(pid, tid)`` track: the recording process's real pid, with
+    ``tid`` disambiguating multiple traces from the same process (the
+    inline ``jobs=1`` executor runs every level in the parent).  Trace
+    timestamps are offset by each trace's wall epoch relative to the
+    earliest one, so concurrently recorded traces line up on the
+    shared axis.
+    """
+    live = [t for t in traces if t is not None]
+    events: List[dict] = []
+    if not live:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    epoch0 = min(t.wall_epoch for t in live)
+    tid_of_pid: Dict[int, int] = {}
+    for trace in live:
+        tid = tid_of_pid.get(trace.pid, 0) + 1
+        tid_of_pid[trace.pid] = tid
+        offset_us = (trace.wall_epoch - epoch0) * 1e6
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": trace.pid,
+            "tid": tid,
+            "args": {"name": trace.label or f"pid {trace.pid}"},
+        })
+        if trace.counters or trace.gauges:
+            events.append({
+                "name": "trace_totals",
+                "ph": "I",
+                "s": "p",
+                "ts": offset_us,
+                "pid": trace.pid,
+                "tid": tid,
+                "args": dict(trace.counters, **trace.gauges),
+            })
+        for span in trace.walk():
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": offset_us + span.t_start * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": trace.pid,
+                "tid": tid,
+                "args": _span_args(span),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, traces: Iterable[Optional[Trace]]) -> dict:
+    """Write the merged Chrome trace JSON to ``path``; returns it."""
+    obj = chrome_trace(traces)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=1)
+    return obj
+
+
+def validate_chrome_trace(obj) -> List[str]:
+    """Schema check of a Chrome trace-event object.
+
+    Returns a list of problems (empty when the object is a loadable
+    trace).  Checks the subset of the trace-event spec this package
+    emits: a ``traceEvents`` array of events carrying ``name``/``ph``/
+    ``pid``/``tid``, with non-negative numeric ``ts``/``dur`` on
+    complete events.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for n, event in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "I", "B", "E", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {key!r} must be a non-negative number"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Plain-text summary
+# ----------------------------------------------------------------------
+def _merge_rows(
+    spans: Sequence[Span], depth: int,
+    rows: List[Tuple[int, str, int, float, Dict[str, float]]],
+) -> None:
+    """Aggregate sibling spans by name into (depth, name, calls,
+    seconds, detail) rows, depth first."""
+    order: List[str] = []
+    grouped: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.name not in grouped:
+            order.append(span.name)
+            grouped[span.name] = []
+        grouped[span.name].append(span)
+    for name in order:
+        group = grouped[name]
+        detail: Dict[str, float] = {}
+        for span in group:
+            for key, value in span.counters.items():
+                detail[key] = detail.get(key, 0.0) + value
+            detail.update(span.gauges)  # gauges: last write wins
+        rows.append((
+            depth, name, len(group),
+            sum(s.duration_s for s in group), detail,
+        ))
+        children = [c for s in group for c in s.children]
+        if children:
+            _merge_rows(children, depth + 1, rows)
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def format_trace_summary(trace: Optional[Trace]) -> str:
+    """Render one trace as an indented per-span table.
+
+    Sibling spans with the same name (e.g. repeated hold-fix rounds)
+    are aggregated into one row with a call count; counters sum over
+    the group, gauges keep their last value.
+    """
+    if trace is None or not trace.spans:
+        return "(no trace recorded)"
+    rows: List[Tuple[int, str, int, float, Dict[str, float]]] = []
+    _merge_rows(trace.spans, 0, rows)
+    name_width = max(
+        len("  " * depth + name) for depth, name, _, _, _ in rows
+    )
+    name_width = max(name_width, len("span"))
+    lines = []
+    title = f"trace {trace.label}" if trace.label else "trace"
+    lines.append(f"{title} (pid {trace.pid})")
+    lines.append(
+        f"{'span':<{name_width}}  {'calls':>5}  {'total(s)':>9}  detail"
+    )
+    for depth, name, calls, seconds, detail in rows:
+        label = "  " * depth + name
+        detail_text = " ".join(
+            f"{key}={_format_value(value)}"
+            for key, value in sorted(detail.items())
+        )
+        lines.append(
+            f"{label:<{name_width}}  {calls:>5}  {seconds:>9.3f}  "
+            f"{detail_text}".rstrip()
+        )
+    extras = dict(trace.counters, **trace.gauges)
+    if extras:
+        lines.append("totals: " + " ".join(
+            f"{key}={_format_value(value)}"
+            for key, value in sorted(extras.items())
+        ))
+    return "\n".join(lines)

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import validate_chrome_trace
 
 
 def test_flow_command(capsys):
@@ -39,3 +42,46 @@ def test_unknown_circuit_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_negative_tp_percents_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--tp-percents", "0,-1,2"])
+    assert "non-negative" in capsys.readouterr().err
+
+
+def test_duplicate_tp_percents_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--tp-percents", "0,2,2"])
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_garbage_tp_percents_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--tp-percents", "0,two"])
+    assert "comma-separated" in capsys.readouterr().err
+
+
+def test_flow_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "flow.json"
+    rc = main(["flow", "--circuit", "s38417", "--scale", "0.012",
+               "--tp", "2", "--trace", str(trace_path)])
+    assert rc == 0
+    obj = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(obj) == []
+    out = capsys.readouterr().out
+    assert "wrote trace" in out
+    assert "tpi_scan" in out  # the per-stage summary table printed
+
+
+def test_sweep_trace_merges_levels_into_one_file(tmp_path, capsys):
+    trace_path = tmp_path / "sweep.json"
+    rc = main(["sweep", "--circuit", "s38417", "--scale", "0.01",
+               "--tp-percents", "0,2", "--trace", str(trace_path)])
+    assert rc == 0
+    obj = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(obj) == []
+    names = {e["name"] for e in obj["traceEvents"]}
+    assert "tpi_scan" in names and "atpg" in names
+    out = capsys.readouterr().out
+    assert "Stage runtimes" in out

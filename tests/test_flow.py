@@ -83,6 +83,122 @@ def test_render_views(flow_result):
     assert len(density.splitlines()) >= 4
 
 
+# ----------------------------------------------------------------------
+# Hold-fix ECO
+# ----------------------------------------------------------------------
+class _StubSta:
+    """Bare minimum of StaResult that _fix_hold_violations reads."""
+
+    def __init__(self, hold_slacks):
+        self.hold_slacks = hold_slacks
+
+
+def _seq_endpoint(circuit):
+    """A sequential instance with a connected data pin."""
+    for name, inst in sorted(circuit.instances.items()):
+        seq = inst.cell.sequential
+        if seq is not None and inst.conns.get(seq.data_pin):
+            return name
+    raise AssertionError("no sequential endpoint found")
+
+
+@pytest.fixture(scope="module")
+def hold_fix_flow():
+    """A small placed layout to exercise the hold-fix ECO against."""
+    from repro.library import cmos130
+    circuit = s38417_like(scale=0.02)
+    config = FlowConfig(tp_percent=0.0, run_atpg_phase=False,
+                        atpg=AtpgConfig(seed=3))
+    return run_flow(circuit, cmos130(), config)
+
+
+def test_hold_fix_rounds_census_is_consistent(flow_result):
+    for fix in flow_result.hold_fix_rounds:
+        assert fix.violations_before >= 1
+        assert 0 <= fix.buffers_inserted <= fix.budget
+        assert fix.budget_left == fix.budget - fix.buffers_inserted
+
+
+def test_fix_hold_violations_budget_exhaustion(hold_fix_flow, monkeypatch):
+    """Full rows -> zero budget -> no insertions, netlist untouched."""
+    from repro.core.flow import _fix_hold_violations
+
+    r = hold_fix_flow
+    placement = r.placement
+    monkeypatch.setattr(
+        placement, "row_occupancy_sites",
+        lambda circuit: [row.n_sites for row in placement.plan.rows],
+    )
+    endpoint = _seq_endpoint(r.circuit)
+    before = len(r.circuit.instances)
+    from repro.library import cmos130
+    fix = _fix_hold_violations(r.circuit, cmos130(), placement,
+                               _StubSta({endpoint: -80.0}))
+    assert fix.budget == 0
+    assert fix.buffers_inserted == 0
+    assert fix.budget_left == 0
+    assert fix.violations_before == 1
+    assert len(r.circuit.instances) == before
+
+
+def test_fix_hold_violations_inserts_within_budget(hold_fix_flow,
+                                                   monkeypatch):
+    from repro.core.flow import _fix_hold_violations
+
+    r = hold_fix_flow
+    placement = r.placement
+    # The finished flow's fillers occupy all whitespace; report
+    # half-empty rows so the ECO has a budget to spend.
+    monkeypatch.setattr(
+        placement, "row_occupancy_sites",
+        lambda circuit: [row.n_sites // 2 for row in placement.plan.rows],
+    )
+    endpoint = _seq_endpoint(r.circuit)
+    before = len(r.circuit.instances)
+    from repro.library import cmos130
+    fix = _fix_hold_violations(r.circuit, cmos130(), placement,
+                               _StubSta({endpoint: -50.0}), round_no=2)
+    assert fix.round == 2
+    assert fix.violations_before == 1
+    assert fix.buffers_inserted >= 1
+    assert fix.budget_left == fix.budget - fix.buffers_inserted
+    assert len(r.circuit.instances) == before + fix.buffers_inserted
+
+
+def test_hold_fix_loop_breaks_on_exhausted_budget(monkeypatch):
+    """A zero-insertion round ends the ECO loop with violations left."""
+    from repro.core import flow as flow_mod
+    from repro.library import cmos130
+
+    calls = []
+
+    def exhausted_fix(circuit, library, placement, sta, round_no=1):
+        calls.append(round_no)
+        return flow_mod.HoldFixRound(
+            round=round_no, violations_before=len(sta.hold_slacks),
+            buffers_inserted=0, budget=0, budget_left=0,
+        )
+
+    real_run_sta = flow_mod.run_sta
+
+    def sta_with_violation(circuit, parasitics, config):
+        res = real_run_sta(circuit, parasitics, config)
+        res.hold_slacks = {"fake_ff": -10.0}
+        res.hold_violations = 1
+        return res
+
+    monkeypatch.setattr(flow_mod, "_fix_hold_violations", exhausted_fix)
+    monkeypatch.setattr(flow_mod, "run_sta", sta_with_violation)
+    result = run_flow(s38417_like(scale=0.015), cmos130(),
+                      FlowConfig(tp_percent=0.0, run_atpg_phase=False))
+    assert calls == [1]  # the loop broke after the exhausted round
+    assert result.hold_fix_rounds == [flow_mod.HoldFixRound(
+        round=1, violations_before=1, buffers_inserted=0,
+        budget=0, budget_left=0,
+    )]
+    assert result.sta.hold_violations == 1  # reported, not hidden
+
+
 def test_experiment_sweep_and_formatting(lib):
     config = ExperimentConfig(
         name="mini",
