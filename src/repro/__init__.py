@@ -17,13 +17,65 @@ The package implements the complete experimental stack of the paper:
 
 Quick start::
 
-    from repro.circuits import s38417_like
-    from repro.core import FlowConfig, run_flow
-    from repro.library import cmos130
+    import repro
 
-    circuit = s38417_like(scale=0.1)
-    result = run_flow(circuit, cmos130(), FlowConfig(tp_percent=1.0))
+    result = repro.run("s38417", scale=0.1, tp_percent=1.0)
     print(result.test_metrics())
+
+The supported programmatic surface is :mod:`repro.api` (re-exported
+here); subpackage internals may change between releases.
 """
 
+from typing import TYPE_CHECKING
+
 __version__ = "1.0.0"
+
+#: The supported top-level surface; everything else is internal.
+__all__ = [
+    "CIRCUITS",
+    "FlowConfig",
+    "FlowResult",
+    "api",
+    "load_circuit",
+    "run",
+    "sweep",
+    "__version__",
+]
+
+#: Lazily-resolved re-exports: attribute name -> home module.  PEP 562
+#: keeps ``import repro`` light (``repro.obs`` is imported during the
+#: flow's own startup, so an eager facade import would be circular).
+_EXPORTS = {
+    "CIRCUITS": "repro.api",
+    "load_circuit": "repro.api",
+    "run": "repro.api",
+    "sweep": "repro.api",
+    "FlowConfig": "repro.core.flow",
+    "FlowResult": "repro.core.flow",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only eager imports
+    from repro import api
+    from repro.api import CIRCUITS, load_circuit, run, sweep
+    from repro.core.flow import FlowConfig, FlowResult
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy resolution of the public facade."""
+    import importlib
+
+    if name == "api":
+        return importlib.import_module("repro.api")
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    """Advertise the lazy facade names alongside the real globals."""
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,221 @@
+"""The supported library entry point of the reproduction toolkit.
+
+Everything a program needs to drive the paper's experiments lives
+here: :func:`load_circuit` builds one of the registered benchmark
+netlists, :func:`run` executes the full Figure 2 flow on it, and
+:func:`sweep` runs the paper's multi-level TP sweep that regenerates
+Tables 1-3.  The CLI (``python -m repro``) is a thin shell over these
+same functions, so the two surfaces cannot drift apart.
+
+Quick start::
+
+    import repro
+
+    result = repro.run("s38417", scale=0.05, tp_percent=2.0)
+    print(result.test_metrics())
+
+All configuration flows through :class:`repro.FlowConfig` — keyword
+options given to :func:`run`/:func:`sweep` are applied with
+``FlowConfig.replace`` and therefore reject unknown keys with a
+did-you-mean error.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.circuits import control_core, dsp_core_p26909, s38417_like
+from repro.core.executor import ExecutorConfig, run_sweep as _run_sweep
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.flow import FlowConfig, FlowResult, run_flow
+from repro.library.cell import Library
+from repro.library.cmos130 import cmos130
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "CIRCUITS",
+    "CircuitSpec",
+    "load_circuit",
+    "run",
+    "sweep",
+]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One registered benchmark circuit.
+
+    Attributes:
+        factory: Builds a fresh pre-DFT netlist; takes ``scale``.
+        flow_defaults: Paper-accurate :class:`FlowConfig` overrides
+            for this circuit (utilisation, chain policy).
+    """
+
+    factory: Callable[..., Circuit]
+    flow_defaults: Mapping[str, Any]
+
+
+#: Registered benchmark circuits and their paper-accurate flow settings.
+CIRCUITS: Dict[str, CircuitSpec] = {
+    "s38417": CircuitSpec(
+        s38417_like,
+        {"target_utilization": 0.97, "max_chain_length": 100},
+    ),
+    "control_core": CircuitSpec(
+        control_core,
+        {"target_utilization": 0.97, "max_chain_length": 100},
+    ),
+    "p26909": CircuitSpec(
+        dsp_core_p26909,
+        {"target_utilization": 0.50, "max_chain_length": None,
+         "n_chains": 32},
+    ),
+}
+
+
+def load_circuit(name: str, scale: float = 0.05) -> Circuit:
+    """Build a fresh registered benchmark netlist.
+
+    Args:
+        name: A key of :data:`CIRCUITS` (e.g. ``"s38417"``).
+        scale: Fraction of the published circuit size (1.0 reproduces
+            the paper's dimensions).
+
+    Returns:
+        The pre-DFT netlist.
+
+    Raises:
+        KeyError: Unknown circuit name (message lists the choices).
+    """
+    spec = CIRCUITS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown circuit {name!r}; choose from "
+            + ", ".join(sorted(CIRCUITS))
+        )
+    return spec.factory(scale=scale)
+
+
+def _resolve_config(
+    circuit_name: Optional[str],
+    config: Union[FlowConfig, Mapping[str, Any], None],
+    options: Dict[str, Any],
+) -> FlowConfig:
+    """Merge registry defaults, an explicit config, and overrides."""
+    if config is None:
+        base = FlowConfig()
+        if circuit_name is not None:
+            base = base.replace(**CIRCUITS[circuit_name].flow_defaults)
+    elif isinstance(config, FlowConfig):
+        base = config
+    else:
+        base = FlowConfig.from_dict(config)
+    return base.replace(**options) if options else base
+
+
+def run(
+    circuit: Union[Circuit, str],
+    library: Optional[Library] = None,
+    config: Union[FlowConfig, Mapping[str, Any], None] = None,
+    *,
+    scale: float = 0.05,
+    **options: Any,
+) -> FlowResult:
+    """Run the full Figure 2 flow; the one supported library call.
+
+    Args:
+        circuit: A pre-DFT :class:`Circuit` (modified in place — pass
+            a clone when the original must survive), or the name of a
+            registered benchmark (see :data:`CIRCUITS`).
+        library: Standard-cell library; defaults to the 130 nm one.
+        config: Base :class:`FlowConfig`, or a plain dict accepted by
+            :meth:`FlowConfig.from_dict`.  For named circuits the
+            registry's paper-accurate defaults seed the config when
+            none is given.
+        scale: Circuit size fraction, used only when ``circuit`` is a
+            name.
+        **options: :class:`FlowConfig` field overrides (e.g.
+            ``tp_percent=2.0``, ``incremental_eco=False``); unknown
+            keys raise a did-you-mean ``ValueError``.
+
+    Returns:
+        The populated :class:`FlowResult`.
+    """
+    name = circuit if isinstance(circuit, str) else None
+    if isinstance(circuit, str):
+        circuit = load_circuit(circuit, scale=scale)
+    flow_config = _resolve_config(name, config, options)
+    return run_flow(circuit, library or cmos130(), flow_config)
+
+
+def sweep(
+    circuit: Union[str, Callable[[], Circuit]],
+    library: Optional[Library] = None,
+    config: Union[FlowConfig, Mapping[str, Any], None] = None,
+    *,
+    scale: float = 0.05,
+    tp_percents: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    trace: bool = False,
+    name: Optional[str] = None,
+    **options: Any,
+) -> ExperimentResult:
+    """Run the paper's TP sweep (Tables 1-3) over one circuit.
+
+    Args:
+        circuit: Registered benchmark name, or a zero-argument factory
+            returning a fresh pre-DFT netlist per level (must be
+            picklable when ``jobs > 1``).
+        library: Standard-cell library; defaults to the 130 nm one.
+        config: Base :class:`FlowConfig` (object or dict), seeded from
+            the registry for named circuits when omitted.
+        scale: Circuit size fraction, used only for named circuits.
+        tp_percents: TP levels to sweep (default: the paper's ladder).
+        jobs: Worker processes; >1 routes through the parallel
+            executor, which is bit-identical to the serial path.
+        cache_dir: Content-addressed result cache directory; also
+            routes through the executor.
+        use_cache: Read/write the cache (``False`` forces fresh runs).
+        trace: Ask executor workers to record per-run span traces
+            (serial runs inherit any ambient :func:`repro.obs.tracing`
+            context instead).
+        name: Experiment name (defaults to the circuit name).
+        **options: :class:`FlowConfig` overrides, as in :func:`run`.
+
+    Returns:
+        The :class:`ExperimentResult` with the Table 1/2/3 rows.
+    """
+    circuit_name = circuit if isinstance(circuit, str) else None
+    if isinstance(circuit, str):
+        spec = CIRCUITS.get(circuit)
+        if spec is None:
+            raise KeyError(
+                f"unknown circuit {circuit!r}; choose from "
+                + ", ".join(sorted(CIRCUITS))
+            )
+        # functools.partial (not a lambda): the sweep executor pickles
+        # the factory into worker processes when jobs > 1.
+        factory = functools.partial(spec.factory, scale=scale)
+    else:
+        factory = circuit
+    flow_config = _resolve_config(circuit_name, config, options)
+    experiment = ExperimentConfig(
+        name=name or circuit_name or "sweep",
+        circuit_factory=factory,
+        flow=flow_config,
+        library=library,
+        **({"tp_percents": tuple(tp_percents)} if tp_percents else {}),
+    )
+    if jobs > 1 or cache_dir:
+        executor = ExecutorConfig(jobs=jobs, cache_dir=cache_dir,
+                                  use_cache=use_cache, trace=trace)
+        return _run_sweep(experiment, executor)
+    return run_experiment(experiment)

@@ -16,41 +16,22 @@ published circuit sizes; 1.0 reproduces the paper's dimensions.
 from __future__ import annotations
 
 import argparse
-import functools
 import os
 import sys
-from typing import Callable, Dict
 
-from repro import obs
-from repro.circuits import control_core, dsp_core_p26909, s38417_like
+from repro import api, obs
+from repro.api import CIRCUITS
 from repro.core import (
-    ExecutorConfig,
-    ExperimentConfig,
-    FlowConfig,
     format_stage_seconds,
     format_table1,
     format_table2,
     format_table3,
     render_svg,
-    run_experiment,
-    run_flow,
-    run_sweep,
 )
 from repro.lbist import LbistConfig, coverage_at, run_lbist
 from repro.library import cmos130
 from repro.scan import insert_scan
 from repro.tpi import TpiConfig, insert_test_points
-
-#: Circuit factories plus their paper-accurate flow settings.
-CIRCUITS: Dict[str, tuple] = {
-    "s38417": (s38417_like,
-               dict(target_utilization=0.97, max_chain_length=100)),
-    "control_core": (control_core,
-                     dict(target_utilization=0.97, max_chain_length=100)),
-    "p26909": (dsp_core_p26909,
-               dict(target_utilization=0.50, max_chain_length=None,
-                    n_chains=32)),
-}
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -90,29 +71,24 @@ def _tp_percents(text: str) -> tuple:
     return values
 
 
-def _factory(args) -> Callable:
-    factory, _ = CIRCUITS[args.circuit]
-    # functools.partial (not a lambda): the sweep executor pickles the
-    # factory into worker processes when --jobs > 1.
-    return functools.partial(factory, scale=args.scale)
-
-
-def _flow_config(args, **overrides) -> FlowConfig:
-    _, kwargs = CIRCUITS[args.circuit]
-    merged = dict(kwargs)
-    merged.update(overrides)
-    return FlowConfig(**merged)
+def _flow_overrides(args) -> dict:
+    """FlowConfig overrides shared by the flow/sweep subcommands."""
+    overrides = {}
+    if getattr(args, "no_incremental", False):
+        overrides["incremental_eco"] = False
+    return overrides
 
 
 def cmd_flow(args) -> int:
     """One full Figure 2 flow at a single TP percentage."""
-    circuit = _factory(args)()
-    config = _flow_config(args, tp_percent=args.tp)
+    options = _flow_overrides(args)
     if args.trace:
         with obs.tracing(label=f"{args.circuit}@{args.tp:g}%"):
-            result = run_flow(circuit, cmos130(), config)
+            result = api.run(args.circuit, scale=args.scale,
+                             tp_percent=args.tp, **options)
     else:
-        result = run_flow(circuit, cmos130(), config)
+        result = api.run(args.circuit, scale=args.scale,
+                         tp_percent=args.tp, **options)
     m = result.test_metrics()
     print(f"circuit {args.circuit} scale {args.scale} "
           f"TP {args.tp}% ({m.n_test_points} TSFFs)")
@@ -144,32 +120,28 @@ def cmd_sweep(args) -> int:
     semantics; ``--jobs N`` and ``--cache-dir`` route the sweep
     through the parallel executor, which is bit-identical to it.
     """
-    kwargs = {}
-    if args.tp_percents:
-        kwargs["tp_percents"] = args.tp_percents
-    config = ExperimentConfig(
-        name=args.circuit,
-        circuit_factory=_factory(args),
-        flow=_flow_config(args),
-        **kwargs,
+    sweep_kwargs = dict(
+        scale=args.scale,
+        tp_percents=args.tp_percents,
+        **_flow_overrides(args),
     )
     cache_dir = None if args.no_cache else args.cache_dir
     traces = []
     if args.jobs > 1 or cache_dir:
-        executor = ExecutorConfig(jobs=args.jobs, cache_dir=cache_dir,
-                                  use_cache=not args.no_cache,
-                                  trace=bool(args.trace))
+        sweep_kwargs.update(jobs=args.jobs, cache_dir=cache_dir,
+                            use_cache=not args.no_cache,
+                            trace=bool(args.trace))
         print(f"[executor] jobs={args.jobs} "
               f"cache={cache_dir or 'off'}")
         if args.trace:
             with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
-                result = run_sweep(config, executor)
+                result = api.sweep(args.circuit, **sweep_kwargs)
             # Worker flow traces plus the parent's scheduling trace
             # (queue waits, cache counters) merge into one timeline.
             traces = [run.trace for run in result.runs.values()]
             traces.append(tracer.trace())
         else:
-            result = run_sweep(config, executor)
+            result = api.sweep(args.circuit, **sweep_kwargs)
         cached = sorted(
             pct for pct, run in result.runs.items() if run.from_cache
         )
@@ -180,10 +152,10 @@ def cmd_sweep(args) -> int:
         # Serial path: one tracer spans the whole sweep, so its trace
         # already holds every level's stage spans.
         with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
-            result = run_experiment(config)
+            result = api.sweep(args.circuit, **sweep_kwargs)
         traces = [tracer.trace()]
     else:
-        result = run_experiment(config)
+        result = api.sweep(args.circuit, **sweep_kwargs)
     print("Table 1: Impact of TPI on test data")
     print(format_table1(result.table1_rows()))
     print("\nTable 2: Impact of TPI on silicon area")
@@ -202,7 +174,7 @@ def cmd_lbist(args) -> int:
     """Pseudo-random LBIST coverage with/without test points."""
     results = {}
     for tp in (0.0, args.tp):
-        circuit = _factory(args)()
+        circuit = api.load_circuit(args.circuit, scale=args.scale)
         if tp:
             insert_test_points(circuit, cmos130(), TpiConfig(
                 n_test_points=round(tp / 100 * circuit.num_flip_flops)
@@ -223,10 +195,9 @@ def cmd_lbist(args) -> int:
 
 def cmd_render(args) -> int:
     """Write the Figure 3 SVG views of one layout."""
-    circuit = _factory(args)()
-    result = run_flow(circuit, cmos130(), _flow_config(
-        args, tp_percent=args.tp, run_atpg_phase=False,
-    ))
+    result = api.run(args.circuit, scale=args.scale,
+                     tp_percent=args.tp, run_atpg_phase=False)
+    circuit = result.circuit
     os.makedirs(args.out, exist_ok=True)
     views = {
         "floorplan": (None, None),
@@ -253,6 +224,10 @@ def main(argv=None) -> int:
     p_flow = sub.add_parser("flow", help="run one full flow")
     _add_common(p_flow)
     p_flow.add_argument("--tp", type=float, default=1.0)
+    p_flow.add_argument("--no-incremental", action="store_true",
+                        help="recompute route/extraction/STA from "
+                             "scratch every hold-fix round (escape "
+                             "hatch for the incremental ECO engine)")
     p_flow.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace-event JSON of the "
                              "flow's stages to PATH")
@@ -269,6 +244,9 @@ def main(argv=None) -> int:
                          help="content-addressed result cache directory")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (force fresh runs)")
+    p_sweep.add_argument("--no-incremental", action="store_true",
+                         help="recompute route/extraction/STA from "
+                              "scratch every hold-fix round")
     p_sweep.add_argument("--trace", default=None, metavar="PATH",
                          help="write a merged Chrome trace-event JSON "
                               "of all levels (and the executor's "

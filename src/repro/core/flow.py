@@ -21,15 +21,17 @@ or buffering of data paths (paper Section 4.1).
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro import obs
 from repro.atpg.engine import AtpgConfig, AtpgResult, run_atpg
 from repro.core.metrics import TestDataMetrics
 from repro.obs.tracer import Trace
-from repro.extraction.rc import NetParasitics, extract_all
+from repro.extraction.rc import NetParasitics, extract_all, extract_incremental
 from repro.layout.cts import ClockTree, synthesize_all_clock_trees
 from repro.layout.detailed import refine_placement
 from repro.layout.eco import eco_place
@@ -43,7 +45,14 @@ from repro.netlist.fanout import DrcReport, fix_electrical
 from repro.netlist.validate import validate
 from repro.scan.insertion import ScanChains, insert_scan
 from repro.scan.reorder import ReorderReport, reorder_chains
-from repro.sta.analysis import StaConfig, StaResult, run_sta
+from repro.sta.analysis import (
+    StaConfig,
+    StaResult,
+    StaState,
+    run_sta,
+    run_sta_incremental,
+    run_sta_with_state,
+)
 from repro.tpi.insertion import TpiConfig, TpiReport, insert_test_points
 
 #: Stable contract: the keys of :attr:`FlowResult.stage_seconds`, in
@@ -69,6 +78,32 @@ LAYOUT_STAGE_KEYS = (
     "extraction",
     "sta",
 )
+
+
+def _reject_unknown_keys(given: Mapping[str, Any], known: List[str],
+                         what: str) -> None:
+    """Raise a did-you-mean ValueError for keys outside ``known``."""
+    for key in given:
+        if key in known:
+            continue
+        close = difflib.get_close_matches(key, known, n=1)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise ValueError(f"unknown {what} key {key!r}{hint}")
+
+
+def _coerce_config_kwargs(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and coerce plain-data kwargs for :class:`FlowConfig`."""
+    known = [f.name for f in dataclasses.fields(FlowConfig)]
+    _reject_unknown_keys(data, known, "FlowConfig")
+    for key, sub_cls in (("atpg", AtpgConfig), ("sta", StaConfig)):
+        value = data.get(key)
+        if isinstance(value, Mapping):
+            sub_known = [f.name for f in dataclasses.fields(sub_cls)]
+            _reject_unknown_keys(value, sub_known, sub_cls.__name__)
+            data[key] = sub_cls(**value)
+    if "exclude_nets" in data and data["exclude_nets"] is not None:
+        data["exclude_nets"] = frozenset(data["exclude_nets"])
+    return data
 
 
 @dataclass
@@ -98,8 +133,18 @@ class FlowConfig:
             re-analyse (the paper "verified that no hold ... violations
             occur"); up to ``hold_fix_iterations`` rounds.
         hold_fix_iterations: Maximum hold-fix ECO rounds.
+        incremental_eco: Use the scoped re-route / re-extract / re-STA
+            engine inside the hold-fix loop (the default).  Off, every
+            round recomputes the whole design from scratch — the
+            equivalence escape hatch behind the CLI's
+            ``--no-incremental``.
         detailed_passes: Detailed-placement refinement sweeps run after
             legalisation (adjacent-swap wirelength cleanup).
+
+    Construct with keyword arguments, :meth:`from_dict`, or
+    :meth:`replace` — positional construction is deprecated: the field
+    order is not part of the API contract and changes between
+    releases.
     """
 
     tp_percent: float = 0.0
@@ -115,6 +160,7 @@ class FlowConfig:
     validate_netlist: bool = True
     fix_holds: bool = True
     hold_fix_iterations: int = 3
+    incremental_eco: bool = True
     #: Detailed-placement refinement sweeps after legalisation.
     detailed_passes: int = 2
 
@@ -123,6 +169,44 @@ class FlowConfig:
         # configs must be immutable, hashable and fingerprintable.
         if not isinstance(self.exclude_nets, frozenset):
             self.exclude_nets = frozenset(self.exclude_nets)
+
+    # -- plain-data interchange -----------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready plain-data form; inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if dataclasses.is_dataclass(value):
+                value = dataclasses.asdict(value)
+            elif isinstance(value, frozenset):
+                value = sorted(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowConfig":
+        """Build a config from plain data (e.g. parsed JSON/YAML).
+
+        Nested ``atpg``/``sta`` entries may be dicts or the config
+        objects themselves.
+
+        Raises:
+            ValueError: An unknown key was given (with a did-you-mean
+                suggestion when one is close).
+        """
+        return cls(**_coerce_config_kwargs(dict(data)))
+
+    def replace(self, **changes: Any) -> "FlowConfig":
+        """A copy with ``changes`` applied; chainable.
+
+        ``config.replace(tp_percent=5.0).replace(fix_holds=False)``
+        builds run variants without mutating the original.  Accepts
+        the same keys (and nested dicts) as :meth:`from_dict`.
+
+        Raises:
+            ValueError: An unknown key was given.
+        """
+        return dataclasses.replace(self, **_coerce_config_kwargs(changes))
 
 
 @dataclass(frozen=True)
@@ -374,7 +458,17 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 6: STA (with hold-fix ECO loop) ------------------------------
     t0 = clock()
     with obs.span("sta") as sta_span:
-        result.sta = run_sta(circuit, result.parasitics, config.sta)
+        sta_state: Optional[StaState] = None
+        if config.incremental_eco:
+            result.sta, sta_state = run_sta_with_state(
+                circuit, result.parasitics, config.sta
+            )
+        else:
+            result.sta = run_sta(circuit, result.parasitics, config.sta)
+        # Everything dirtied while *building* the layout is already
+        # reflected in the full route/extract/STA above; from here the
+        # tracker censuses only the hold-fix edits.
+        circuit.reset_dirty()
         rounds = config.hold_fix_iterations if config.fix_holds else 0
         for round_no in range(1, rounds + 1):
             if not result.sta.hold_slacks:
@@ -390,13 +484,33 @@ def _layout_phase(circuit: Circuit, library: Library,
                 if fix.buffers_inserted == 0:
                     # Out of whitespace: remaining violations reported.
                     break
-                router = GlobalRouter(circuit, placement)
-                result.congestion = router.route_all()
-                result.routed = router.routed
-                result.parasitics = extract_all(circuit, placement,
-                                                result.routed)
-                result.sta = run_sta(circuit, result.parasitics,
-                                     config.sta)
+                if sta_state is not None:
+                    # Scoped ECO update: rip up / re-route / re-extract
+                    # / re-propagate only what the round touched.
+                    dirty_nets, dirty_insts = circuit.reset_dirty()
+                    result.congestion = router.reroute(dirty_nets)
+                    result.routed = router.routed
+                    result.parasitics = extract_incremental(
+                        circuit, placement, result.routed,
+                        result.parasitics, dirty_nets,
+                    )
+                    result.sta, sta_state = run_sta_incremental(
+                        circuit, result.parasitics, sta_state,
+                        dirty_nets, dirty_insts, config.sta,
+                    )
+                    sp.counter("route.rerouted_nets", len(dirty_nets))
+                    sp.gauge("sta_incr.cone_size", sta_state.cone_size)
+                    sp.gauge("sta_incr.endpoints_rechecked",
+                             sta_state.endpoints_rechecked)
+                else:
+                    circuit.reset_dirty()
+                    router = GlobalRouter(circuit, placement)
+                    result.congestion = router.route_all()
+                    result.routed = router.routed
+                    result.parasitics = extract_all(circuit, placement,
+                                                    result.routed)
+                    result.sta = run_sta(circuit, result.parasitics,
+                                         config.sta)
         sta_span.counter(
             "hold_buffers_inserted",
             sum(r.buffers_inserted for r in result.hold_fix_rounds),
@@ -443,10 +557,14 @@ def _fix_hold_violations(circuit: Circuit, library: Library,
         d_net = inst.conns.get(seq.data_pin)
         if d_net is None:
             continue
-        n_buffers = max(1, int(-slack / max(1.0, min_delay_ps)) + 1)
-        n_buffers = min(n_buffers, 6, budget - len(new_cells))
-        if n_buffers <= 0:
+        # Clamp against the budget *remaining*, never letting the bound
+        # go negative: an earlier endpoint spending the whole budget
+        # must stop the loop, not fold a negative cap into min().
+        remaining = budget - len(new_cells)
+        if remaining <= 0:
             break  # out of whitespace; remaining violations stay
+        n_buffers = max(1, int(-slack / max(1.0, min_delay_ps)) + 1)
+        n_buffers = min(n_buffers, 6, remaining)
         source = d_net
         for _ in range(n_buffers):
             new_net = circuit.split_net_before_sinks(

@@ -5,6 +5,7 @@ from repro.extraction.rc import (
     NetParasitics,
     OHM_FF_TO_PS,
     extract_all,
+    extract_incremental,
     extract_net,
 )
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.library.layers import (
     MetalLayer,
@@ -203,6 +203,52 @@ def extract_all(
     layers = {layer.index: layer for layer in stack}
     out: Dict[str, NetParasitics] = {}
     for name in circuit.nets:
+        routed = routed_nets.get(name)
+        if routed is None:
+            routed = RoutedNet(net=name)
+        out[name] = extract_net(circuit, placement, routed, layers)
+    return out
+
+
+def extract_incremental(
+    circuit: Circuit,
+    placement: Placement,
+    routed_nets: Dict[str, RoutedNet],
+    previous: Dict[str, NetParasitics],
+    dirty_nets: Iterable[str],
+    stack: Optional[List[MetalLayer]] = None,
+) -> Dict[str, NetParasitics]:
+    """Re-extract only the dirty nets, reusing prior parasitics.
+
+    The dirty-set contract: a net's reused :class:`NetParasitics` is
+    valid only if neither its route, its pin set, nor any of its pin
+    positions changed since ``previous`` was extracted — callers must
+    list every such net in ``dirty_nets``.  Nets absent from
+    ``previous`` (newly created) are always extracted; nets deleted
+    from the circuit are dropped.  Given a complete dirty set the
+    result equals :func:`extract_all` exactly, because per-net
+    extraction is independent.
+
+    Args:
+        circuit: Netlist after the edit.
+        placement: Current placement (pin positions).
+        routed_nets: Current routes for the whole design.
+        previous: Parasitics from the last full or incremental pass.
+        dirty_nets: Nets whose geometry may have changed.
+        stack: Metal stack (defaults to the 130 nm stack).
+
+    Returns:
+        Parasitics for every net of the circuit, keyed by name.
+    """
+    stack = stack or metal_stack_130nm()
+    layers = {layer.index: layer for layer in stack}
+    dirty = set(dirty_nets)
+    out: Dict[str, NetParasitics] = {}
+    for name in circuit.nets:
+        prior = previous.get(name)
+        if prior is not None and name not in dirty:
+            out[name] = prior
+            continue
         routed = routed_nets.get(name)
         if routed is None:
             routed = RoutedNet(net=name)

@@ -106,5 +106,17 @@ def eco_place(circuit: Circuit, placement: Placement,
         placed.append(name)
 
     for row_index in touched:
+        before_pack = {
+            name: placement.positions.get(name)
+            for name in placement.rows_cells[row_index]
+        }
         _pack_row(circuit, plan, placement, row_index)
+        # Cells the re-pack actually shifted have new pin positions:
+        # the incremental engine must re-route/re-extract their nets.
+        for name, old_pos in before_pack.items():
+            if placement.positions.get(name) == old_pos:
+                continue
+            inst = circuit.instances.get(name)
+            if inst is not None:
+                circuit.mark_nets_dirty(inst.conns.values())
     return placed

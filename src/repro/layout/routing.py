@@ -176,6 +176,51 @@ class GlobalRouter:
             sp.gauge("max_utilization", report.max_utilization)
             return report
 
+    def reroute(self, nets: Iterable[str],
+                rip_up_passes: int = 1) -> CongestionReport:
+        """Rip up and re-route only ``nets`` against the standing map.
+
+        Stale demand of the listed nets (and of nets that no longer
+        exist in the circuit) is released first, then each listed net
+        is re-routed in sorted order — the same deterministic order
+        :meth:`route_all` uses — against the congestion left by every
+        untouched net.  A final rip-up pass repairs any overflow the
+        new routes introduced.
+
+        Args:
+            nets: Net names to re-route (typically the circuit's dirty
+                set); unknown names are ignored.
+            rip_up_passes: Overflow-repair passes after re-routing.
+
+        Returns:
+            Congestion summary over the whole design.
+        """
+        with obs.span("global_reroute") as sp:
+            for name in [
+                n for n in self.routed if n not in self.circuit.nets
+            ]:
+                self._unroute(name)
+            todo = sorted(n for n in nets if n in self.circuit.nets)
+            for name in todo:
+                self._unroute(name)
+            for name in todo:
+                self._route_net(name)
+            sp.counter("rerouted_nets", len(todo))
+            for _ in range(rip_up_passes):
+                victims = self._overflowed_nets()
+                if not victims:
+                    break
+                sp.counter("ripup_iterations")
+                sp.counter("ripped_nets", len(victims))
+                for name in victims:
+                    self._unroute(name)
+                for name in victims:
+                    self._route_net(name)
+            report = self.report()
+            sp.gauge("overflowed_edges", report.overflowed_edges)
+            sp.gauge("max_utilization", report.max_utilization)
+            return report
+
     def _route_net(self, net_name: str) -> None:
         points = self._pin_points(net_name)
         routed = RoutedNet(net=net_name)
@@ -323,7 +368,11 @@ class GlobalRouter:
         utils = [u / self.cap_h for u in self.use_h.values()]
         utils += [u / self.cap_v for u in self.use_v.values()]
         overflow = sum(1 for u in utils if u > 1.0)
-        total = sum(r.wirelength_um for r in self.routed.values())
+        # Sum in sorted-name order so the float total is independent
+        # of dict insertion order (route_all vs. later reroute calls).
+        total = sum(
+            self.routed[name].wirelength_um for name in sorted(self.routed)
+        )
         return CongestionReport(
             max_utilization=max(utils) if utils else 0.0,
             mean_utilization=(sum(utils) / len(utils)) if utils else 0.0,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import copy
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.netlist.instance import Instance
 from repro.netlist.net import PORT, Net, PinRef
@@ -56,6 +56,59 @@ class Circuit:
         self._output_net: Dict[str, str] = {}
         self.clocks: List[ClockDomain] = []
         self._name_counter = itertools.count()
+        # Dirty-set tracker: every mutation records the nets and
+        # instances it touched, so incremental ECO passes (scoped
+        # re-route / re-extract / re-STA) know exactly what changed
+        # since the last reset_dirty() snapshot.
+        self._dirty_nets: Set[str] = set()
+        self._dirty_instances: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Dirty-set tracking (incremental ECO contract)
+    # ------------------------------------------------------------------
+    @property
+    def dirty_nets(self) -> FrozenSet[str]:
+        """Nets touched since the last :meth:`reset_dirty` snapshot.
+
+        A net is *touched* when it is created or removed, gains or
+        loses a driver or sink, or is explicitly marked via
+        :meth:`mark_nets_dirty` (e.g. because a connected instance
+        moved during ECO placement).  Names of since-deleted nets may
+        appear; consumers must tolerate them.
+        """
+        return frozenset(self._dirty_nets)
+
+    @property
+    def dirty_instances(self) -> FrozenSet[str]:
+        """Instances touched since the last :meth:`reset_dirty`.
+
+        An instance is *touched* when it is created or removed, a pin
+        is (dis)connected or rewired, or its library cell is swapped.
+        Pure placement moves do not dirty the instance (its timing
+        arcs are unchanged); they dirty its nets instead.
+        """
+        return frozenset(self._dirty_instances)
+
+    def mark_nets_dirty(self, names: Iterable[str]) -> None:
+        """Explicitly mark nets as changed (e.g. after a cell moved)."""
+        self._dirty_nets.update(names)
+
+    def mark_instances_dirty(self, names: Iterable[str]) -> None:
+        """Explicitly mark instances as changed."""
+        self._dirty_instances.update(names)
+
+    def reset_dirty(self) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Snapshot and clear the dirty sets.
+
+        Returns:
+            ``(dirty_nets, dirty_instances)`` accumulated since the
+            previous reset (or construction).
+        """
+        snapshot = (frozenset(self._dirty_nets),
+                    frozenset(self._dirty_instances))
+        self._dirty_nets.clear()
+        self._dirty_instances.clear()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Construction primitives
@@ -66,6 +119,7 @@ class Circuit:
             raise ValueError(f"net {name!r} already exists in {self.name!r}")
         net = Net(name)
         self.nets[name] = net
+        self._dirty_nets.add(name)
         return net
 
     def new_net(self, prefix: str = "n") -> Net:
@@ -125,6 +179,7 @@ class Circuit:
             raise ValueError(f"instance {name!r} already exists")
         inst = Instance(name=name, cell=cell)
         self.instances[name] = inst
+        self._dirty_instances.add(name)
         for pin, net in (conns or {}).items():
             self.connect(name, pin, net)
         return inst
@@ -138,6 +193,8 @@ class Circuit:
         if pin not in inst.cell.pins:
             raise KeyError(f"cell {inst.cell.name!r} has no pin {pin!r}")
         inst.conns[pin] = net_name
+        self._dirty_nets.add(net_name)
+        self._dirty_instances.add(inst_name)
         if inst.cell.pin_is_output(pin):
             if net.driver is not None:
                 raise ValueError(
@@ -153,6 +210,8 @@ class Circuit:
         inst = self.instances[inst_name]
         net_name = inst.conns.pop(pin)
         net = self.nets[net_name]
+        self._dirty_nets.add(net_name)
+        self._dirty_instances.add(inst_name)
         if inst.cell.pin_is_output(pin):
             net.driver = None
         else:
@@ -165,6 +224,7 @@ class Circuit:
         for pin in list(inst.conns):
             self.disconnect(name, pin)
         del self.instances[name]
+        self._dirty_instances.add(name)
 
     def remove_net(self, name: str) -> None:
         """Delete a net; it must be completely unconnected."""
@@ -172,6 +232,7 @@ class Circuit:
         if net.driver is not None or net.sinks:
             raise ValueError(f"net {name!r} is still connected")
         del self.nets[name]
+        self._dirty_nets.add(name)
 
     # ------------------------------------------------------------------
     # Netlist editing used by TPI / scan / ECO
@@ -199,6 +260,7 @@ class Circuit:
             if (inst, pin) not in net.sinks:
                 raise ValueError(f"({inst}, {pin}) is not a sink of {net_name!r}")
         new_net = self.new_net(prefix=new_prefix)
+        self._dirty_nets.add(net_name)
         for inst, pin in moved:
             net.remove_sink(inst, pin)
             if inst == PORT:
@@ -207,6 +269,7 @@ class Circuit:
             else:
                 self.instances[inst].conns[pin] = new_net.name
                 new_net.add_sink(inst, pin)
+                self._dirty_instances.add(inst)
         return new_net
 
     def swap_cell(self, inst_name: str, new_cell: "LibraryCell") -> None:
@@ -229,6 +292,8 @@ class Circuit:
                     f"and {new_cell.name!r}"
                 )
         inst.cell = new_cell
+        self._dirty_instances.add(inst_name)
+        self._dirty_nets.update(inst.conns.values())
 
     # ------------------------------------------------------------------
     # Queries
@@ -294,7 +359,11 @@ class Circuit:
         }
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
-        """Deep copy of the netlist (library cells are shared)."""
+        """Deep copy of the netlist (library cells are shared).
+
+        The clone starts with empty dirty sets: dirty tracking is a
+        per-object snapshot, not part of the netlist state.
+        """
         dup = Circuit(name or self.name)
         dup.inputs = list(self.inputs)
         dup.outputs = list(self.outputs)

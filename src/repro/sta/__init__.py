@@ -1,9 +1,22 @@
 """Static timing analysis: NLDM delays, Elmore wires, eq. (3) paths."""
 
-from repro.sta.analysis import StaConfig, StaResult, TimingPath, run_sta
+from repro.sta.analysis import (
+    StaConfig,
+    StaResult,
+    StaState,
+    TimingPath,
+    run_sta,
+    run_sta_incremental,
+    run_sta_with_state,
+)
 from repro.sta.delay import ArcDelay, evaluate_arc, wire_degraded_slew
 from repro.sta.report import format_path, format_summary, worst_paths_report
-from repro.sta.graph import TimingNode, app_mode_arcs, build_timing_nodes
+from repro.sta.graph import (
+    TimingNode,
+    app_mode_arcs,
+    build_timing_nodes,
+    nodes_for_instance,
+)
 
 __all__ = [
     "ArcDelay",

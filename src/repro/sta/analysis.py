@@ -18,12 +18,16 @@ evaluated outside their NLDM table range are collected as *slow nodes*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.extraction.rc import NetParasitics
 from repro.netlist.circuit import Circuit
+from repro.netlist.instance import Instance
 from repro.sta.delay import evaluate_arc, wire_degraded_slew
-from repro.sta.graph import TimingNode, build_timing_nodes
+from repro.sta.graph import TimingNode, build_timing_nodes, nodes_for_instance
+
+#: Key identifying one timing node across rebuilds: (instance, out pin).
+NodeKey = Tuple[str, str]
 
 
 @dataclass
@@ -35,11 +39,17 @@ class StaConfig:
         derate: Worst-case PVT multiplier on cell delays (the paper
             analyses worst-case process/temperature/voltage).
         paths_per_domain: Worst paths retained per clock domain.
+        hold_margin_ps: Extra hold slack demanded at every endpoint
+            (subtracted from the measured slack).  The paper's check
+            uses 0; a positive margin hardens the hold-fix ECO and is
+            what the incremental-engine benches use to provoke
+            multi-round repair loops.
     """
 
     input_slew_ps: float = 60.0
     derate: float = 1.25
     paths_per_domain: int = 8
+    hold_margin_ps: float = 0.0
 
 
 @dataclass
@@ -130,69 +140,120 @@ class StaResult:
         return [p for paths in self.paths.values() for p in paths]
 
 
+def _input_arrival(name: str, clock_nets: Set[str],
+                   config: StaConfig) -> _Arrival:
+    """The fixed arrival assumed at one primary input."""
+    return _Arrival(
+        time_ps=0.0,
+        slew_ps=config.input_slew_ps,
+        domain=name if name in clock_nets else None,
+    )
+
+
+def _eval_node(
+    circuit: Circuit,
+    node: TimingNode,
+    arrivals: Dict[str, _Arrival],
+    parasitics: Dict[str, NetParasitics],
+    config: StaConfig,
+    worst: bool,
+) -> Tuple[Optional[_Arrival], bool]:
+    """Evaluate one timing node from its current input arrivals.
+
+    Returns ``(best, extrapolated)``: the worst (setup) or best (hold)
+    arrival at the node's output net — None when no input has an
+    arrival — and whether any evaluated arc fell outside its NLDM
+    table range (the paper's *slow node* census).  Both the full and
+    the incremental propagation funnel through this function, so a
+    re-evaluated node with unchanged inputs reproduces its previous
+    arrival bit for bit.
+    """
+    inst = node.inst
+    load = parasitics[node.out_net].total_cap_ff
+    better = (lambda a, b: a > b) if worst else (lambda a, b: a < b)
+    best: Optional[_Arrival] = None
+    extrapolated = False
+    for arc in node.arcs:
+        from_net = inst.conns[arc.from_pin]
+        arr = arrivals.get(from_net)
+        if arr is None:
+            continue
+        elmore = parasitics[from_net].delay_to((inst.name, arc.from_pin))
+        pin_slew = wire_degraded_slew(arr.slew_ps, elmore)
+        ad = evaluate_arc(arc, pin_slew, load, config.derate)
+        if ad.extrapolated:
+            extrapolated = True
+        time = arr.time_ps + elmore + ad.delay_ps
+        if node.is_launch:
+            candidate = _Arrival(
+                time_ps=time,
+                slew_ps=ad.out_slew_ps,
+                wires_ps=0.0,
+                intrinsic_ps=ad.intrinsic_ps,
+                load_dep_ps=ad.load_dependent_ps,
+                launch_ps=arr.time_ps + elmore,
+                domain=arr.domain,
+                pred=None,
+                n_tsff=0,
+            )
+        else:
+            candidate = _Arrival(
+                time_ps=time,
+                slew_ps=ad.out_slew_ps,
+                wires_ps=arr.wires_ps + elmore,
+                intrinsic_ps=arr.intrinsic_ps + ad.intrinsic_ps,
+                load_dep_ps=arr.load_dep_ps + ad.load_dependent_ps,
+                launch_ps=arr.launch_ps,
+                domain=arr.domain,
+                pred=(from_net, node),
+                n_tsff=arr.n_tsff + (1 if inst.cell.is_tsff else 0),
+            )
+        if best is None or better(candidate.time_ps, best.time_ps):
+            best = candidate
+    return best, extrapolated
+
+
+def _same_arrival(a: Optional[_Arrival], b: Optional[_Arrival]) -> bool:
+    """Whether two arrivals are observably identical (early cutoff)."""
+    if a is None or b is None:
+        return a is b
+    if (a.pred is None) != (b.pred is None):
+        return False
+    if a.pred is not None and b.pred is not None and a.pred[0] != b.pred[0]:
+        return False
+    return (
+        a.time_ps == b.time_ps
+        and a.slew_ps == b.slew_ps
+        and a.wires_ps == b.wires_ps
+        and a.intrinsic_ps == b.intrinsic_ps
+        and a.load_dep_ps == b.load_dep_ps
+        and a.launch_ps == b.launch_ps
+        and a.domain == b.domain
+        and a.n_tsff == b.n_tsff
+    )
+
+
 def _propagate(
     circuit: Circuit,
     nodes: List[TimingNode],
     parasitics: Dict[str, NetParasitics],
     config: StaConfig,
     worst: bool,
-    slow_nodes: Optional[Set[str]] = None,
+    node_slow: Optional[Dict[NodeKey, bool]] = None,
 ) -> Dict[str, _Arrival]:
     """Arrival propagation; ``worst`` picks max (setup) vs min (hold)."""
     arrivals: Dict[str, _Arrival] = {}
     clock_nets = {dom.net for dom in circuit.clocks}
     for name in circuit.inputs:
-        arrivals[name] = _Arrival(
-            time_ps=0.0,
-            slew_ps=config.input_slew_ps,
-            domain=name if name in clock_nets else None,
-        )
-
-    better = (lambda a, b: a > b) if worst else (lambda a, b: a < b)
+        arrivals[name] = _input_arrival(name, clock_nets, config)
     for node in nodes:
-        inst = node.inst
-        out_net = node.out_net
-        load = parasitics[out_net].total_cap_ff
-        best: Optional[_Arrival] = None
-        for arc in node.arcs:
-            from_net = inst.conns[arc.from_pin]
-            arr = arrivals.get(from_net)
-            if arr is None:
-                continue
-            elmore = parasitics[from_net].delay_to((inst.name, arc.from_pin))
-            pin_slew = wire_degraded_slew(arr.slew_ps, elmore)
-            ad = evaluate_arc(arc, pin_slew, load, config.derate)
-            if slow_nodes is not None and ad.extrapolated:
-                slow_nodes.add(inst.name)
-            time = arr.time_ps + elmore + ad.delay_ps
-            if node.is_launch:
-                candidate = _Arrival(
-                    time_ps=time,
-                    slew_ps=ad.out_slew_ps,
-                    wires_ps=0.0,
-                    intrinsic_ps=ad.intrinsic_ps,
-                    load_dep_ps=ad.load_dependent_ps,
-                    launch_ps=arr.time_ps + elmore,
-                    domain=arr.domain,
-                    pred=None,
-                    n_tsff=0,
-                )
-            else:
-                candidate = _Arrival(
-                    time_ps=time,
-                    slew_ps=ad.out_slew_ps,
-                    wires_ps=arr.wires_ps + elmore,
-                    intrinsic_ps=arr.intrinsic_ps + ad.intrinsic_ps,
-                    load_dep_ps=arr.load_dep_ps + ad.load_dependent_ps,
-                    launch_ps=arr.launch_ps,
-                    domain=arr.domain,
-                    pred=(from_net, node),
-                    n_tsff=arr.n_tsff + (1 if inst.cell.is_tsff else 0),
-                )
-            if best is None or better(candidate.time_ps, best.time_ps):
-                best = candidate
+        best, extrapolated = _eval_node(
+            circuit, node, arrivals, parasitics, config, worst
+        )
+        if node_slow is not None:
+            node_slow[(node.inst.name, node.out_pin)] = extrapolated
         if best is not None:
-            arrivals[out_net] = best
+            arrivals[node.out_net] = best
     return arrivals
 
 
@@ -222,6 +283,209 @@ def _startpoint(circuit: Circuit, arrivals: Dict[str, _Arrival],
     return driver[0]
 
 
+def _endpoint_record(
+    circuit: Circuit,
+    inst: Instance,
+    arrivals: Dict[str, _Arrival],
+    min_arrivals: Dict[str, _Arrival],
+    parasitics: Dict[str, NetParasitics],
+    config: StaConfig,
+    periods: Dict[str, float],
+) -> Tuple[Optional[TimingPath], Optional[float]]:
+    """Setup path and hold slack at one capturing flip-flop.
+
+    Returns ``(path, hold_slack)``.  ``path`` is None when the
+    instance is not an application-mode endpoint (combinational cell,
+    TSFF, unclocked or cross-domain flop, or no data arrival);
+    ``hold_slack`` is None when no early-mode arrival reaches the data
+    pin.  Both the full and the incremental analysis build their
+    endpoint censuses through this function.
+    """
+    seq = inst.cell.sequential
+    if seq is None or inst.cell.is_tsff:
+        # TSFF capture paths exist only in test mode: blocked.
+        return None, None
+    d_net = inst.conns.get(seq.data_pin)
+    clk_net = inst.conns.get(seq.clock_pin)
+    if d_net is None or clk_net is None:
+        return None, None
+    arr = arrivals.get(d_net)
+    clk_arr = arrivals.get(clk_net)
+    if arr is None or clk_arr is None or clk_arr.domain is None:
+        return None, None
+    domain = clk_arr.domain
+    if arr.domain is not None and arr.domain != domain:
+        return None, None  # cross-domain: treated as false path
+    elmore_d = parasitics[d_net].delay_to((inst.name, seq.data_pin))
+    elmore_c = parasitics[clk_net].delay_to((inst.name, seq.clock_pin))
+    capture_clk = clk_arr.time_ps + elmore_c
+    setup = seq.setup_ps * config.derate
+    t_skew = arr.launch_ps - capture_clk
+    total = (
+        arr.wires_ps + elmore_d
+        + arr.intrinsic_ps + arr.load_dep_ps
+        + setup + t_skew
+    )
+    path = TimingPath(
+        domain=domain,
+        endpoint=inst.name,
+        startpoint=_startpoint(circuit, arrivals, d_net),
+        t_wires_ps=arr.wires_ps + elmore_d,
+        t_intrinsic_ps=arr.intrinsic_ps,
+        t_load_dep_ps=arr.load_dep_ps,
+        t_setup_ps=setup,
+        t_skew_ps=t_skew,
+        total_ps=total,
+        slack_ps=periods.get(domain, 0.0) - total,
+        nets=_path_nets(arrivals, d_net),
+        n_test_points=arr.n_tsff,
+    )
+    # Hold: earliest data edge must not beat the capture edge.
+    hold_slack: Optional[float] = None
+    min_arr = min_arrivals.get(d_net)
+    if min_arr is not None and (
+        min_arr.domain is None or min_arr.domain == domain
+    ):
+        early = min_arr.time_ps + elmore_d
+        hold_slack = (
+            (early - capture_clk) - seq.hold_ps - config.hold_margin_ps
+        )
+    return path, hold_slack
+
+
+@dataclass
+class StaState:
+    """Full analysis state carried between incremental STA updates.
+
+    Where :class:`StaResult` keeps only the worst few paths per
+    domain, the state retains *every* endpoint's record plus the
+    complete arrival maps and node index, so a scoped re-propagation
+    can splice updated values into otherwise-untouched results.
+
+    The dirty-set contract: :func:`run_sta_incremental` reproduces a
+    full re-analysis exactly, provided ``dirty_nets`` covers every net
+    whose parasitics object changed and ``dirty_instances`` covers
+    every instance whose pins, connections or cell changed since the
+    state was built.
+
+    Attributes:
+        config: Configuration the state was built with.
+        nodes: Timing node per :data:`NodeKey`.
+        node_inputs: Input nets per node, frozen at registration.
+        inst_nodes: Node keys contributed by each instance.
+        consumers: Node keys with an arc *from* each net.
+        driver_node: Node key driving each net.
+        arrivals: Late-mode (setup) arrival per net.
+        min_arrivals: Early-mode (hold) arrival per net.
+        node_slow: NLDM-extrapolation flag per node (slow-node census).
+        endpoint_paths: Setup path per endpoint instance (all of them).
+        endpoint_holds: Hold slack per endpoint instance (all of them).
+        periods: Clock period per domain.
+        cone_size: Nodes re-evaluated by the last incremental update.
+        endpoints_rechecked: Endpoints re-examined by the last update.
+    """
+
+    config: StaConfig
+    nodes: Dict[NodeKey, TimingNode] = field(default_factory=dict)
+    node_inputs: Dict[NodeKey, frozenset] = field(default_factory=dict)
+    inst_nodes: Dict[str, List[NodeKey]] = field(default_factory=dict)
+    consumers: Dict[str, Set[NodeKey]] = field(default_factory=dict)
+    driver_node: Dict[str, NodeKey] = field(default_factory=dict)
+    arrivals: Dict[str, _Arrival] = field(default_factory=dict)
+    min_arrivals: Dict[str, _Arrival] = field(default_factory=dict)
+    node_slow: Dict[NodeKey, bool] = field(default_factory=dict)
+    endpoint_paths: Dict[str, TimingPath] = field(default_factory=dict)
+    endpoint_holds: Dict[str, float] = field(default_factory=dict)
+    periods: Dict[str, float] = field(default_factory=dict)
+    cone_size: int = 0
+    endpoints_rechecked: int = 0
+
+
+def _register_node(state: StaState, node: TimingNode) -> NodeKey:
+    """Index one timing node into the state's lookup maps."""
+    key = (node.inst.name, node.out_pin)
+    state.nodes[key] = node
+    inputs = frozenset(node.inst.conns[a.from_pin] for a in node.arcs)
+    state.node_inputs[key] = inputs
+    for net in inputs:
+        state.consumers.setdefault(net, set()).add(key)
+    state.driver_node[node.out_net] = key
+    state.inst_nodes.setdefault(node.inst.name, []).append(key)
+    return key
+
+
+def _unregister_instance(state: StaState, name: str) -> None:
+    """Drop every node an instance contributed to the state."""
+    for key in state.inst_nodes.pop(name, []):
+        node = state.nodes.pop(key, None)
+        if node is None:
+            continue
+        for net in state.node_inputs.pop(key, ()):
+            group = state.consumers.get(net)
+            if group is not None:
+                group.discard(key)
+        if state.driver_node.get(node.out_net) == key:
+            del state.driver_node[node.out_net]
+        state.node_slow.pop(key, None)
+
+
+def _assemble(circuit: Circuit, state: StaState) -> StaResult:
+    """Build the public :class:`StaResult` view of the state."""
+    config = state.config
+    result = StaResult()
+    result.slow_nodes = {
+        inst for (inst, _pin), flag in state.node_slow.items() if flag
+    }
+    candidates: Dict[str, List[TimingPath]] = {d: [] for d in state.periods}
+    for name in circuit.instances:
+        path = state.endpoint_paths.get(name)
+        if path is not None:
+            candidates.setdefault(path.domain, []).append(path)
+        hold = state.endpoint_holds.get(name)
+        if hold is not None and hold < 0:
+            result.hold_violations += 1
+            result.hold_slacks[name] = hold
+    for domain, paths in candidates.items():
+        paths.sort(key=lambda p: p.slack_ps)
+        result.paths[domain] = paths[:config.paths_per_domain]
+    return result
+
+
+def run_sta_with_state(
+    circuit: Circuit,
+    parasitics: Dict[str, NetParasitics],
+    config: Optional[StaConfig] = None,
+) -> Tuple[StaResult, StaState]:
+    """Full analysis that also returns the reusable :class:`StaState`.
+
+    The returned state seeds :func:`run_sta_incremental`; the result
+    is identical to :func:`run_sta`'s.
+    """
+    config = config or StaConfig()
+    state = StaState(config=config)
+    nodes = build_timing_nodes(circuit)
+    for node in nodes:
+        _register_node(state, node)
+    state.arrivals = _propagate(
+        circuit, nodes, parasitics, config, worst=True,
+        node_slow=state.node_slow,
+    )
+    state.min_arrivals = _propagate(
+        circuit, nodes, parasitics, config, worst=False
+    )
+    state.periods = {dom.net: dom.period_ps for dom in circuit.clocks}
+    for name, inst in circuit.instances.items():
+        path, hold = _endpoint_record(
+            circuit, inst, state.arrivals, state.min_arrivals,
+            parasitics, config, state.periods,
+        )
+        if path is not None:
+            state.endpoint_paths[name] = path
+        if hold is not None:
+            state.endpoint_holds[name] = hold
+    return _assemble(circuit, state), state
+
+
 def run_sta(
     circuit: Circuit,
     parasitics: Dict[str, NetParasitics],
@@ -238,77 +502,186 @@ def run_sta(
         Per-domain worst paths with eq. (3) decompositions, slow nodes
         and the hold-violation count.
     """
-    config = config or StaConfig()
-    result = StaResult()
-    nodes = build_timing_nodes(circuit)
-    arrivals = _propagate(
-        circuit, nodes, parasitics, config, worst=True,
-        slow_nodes=result.slow_nodes,
-    )
-    min_arrivals = _propagate(
-        circuit, nodes, parasitics, config, worst=False
-    )
-    periods = {dom.net: dom.period_ps for dom in circuit.clocks}
-
-    candidates: Dict[str, List[TimingPath]] = {d: [] for d in periods}
-    for inst in circuit.instances.values():
-        seq = inst.cell.sequential
-        if seq is None or inst.cell.is_tsff:
-            # TSFF capture paths exist only in test mode: blocked.
-            continue
-        d_net = inst.conns.get(seq.data_pin)
-        clk_net = inst.conns.get(seq.clock_pin)
-        if d_net is None or clk_net is None:
-            continue
-        arr = arrivals.get(d_net)
-        clk_arr = arrivals.get(clk_net)
-        if arr is None or clk_arr is None or clk_arr.domain is None:
-            continue
-        domain = clk_arr.domain
-        if arr.domain is not None and arr.domain != domain:
-            continue  # cross-domain: treated as false path
-        elmore_d = parasitics[d_net].delay_to((inst.name, seq.data_pin))
-        elmore_c = parasitics[clk_net].delay_to((inst.name, seq.clock_pin))
-        capture_clk = clk_arr.time_ps + elmore_c
-        setup = seq.setup_ps * config.derate
-        t_skew = arr.launch_ps - capture_clk
-        total = (
-            arr.wires_ps + elmore_d
-            + arr.intrinsic_ps + arr.load_dep_ps
-            + setup + t_skew
-        )
-        path = TimingPath(
-            domain=domain,
-            endpoint=inst.name,
-            startpoint=_startpoint(circuit, arrivals, d_net),
-            t_wires_ps=arr.wires_ps + elmore_d,
-            t_intrinsic_ps=arr.intrinsic_ps,
-            t_load_dep_ps=arr.load_dep_ps,
-            t_setup_ps=setup,
-            t_skew_ps=t_skew,
-            total_ps=total,
-            slack_ps=periods.get(domain, 0.0) - total,
-            nets=_path_nets(arrivals, d_net),
-            n_test_points=arr.n_tsff,
-        )
-        candidates.setdefault(domain, []).append(path)
-
-        # Hold: earliest data edge must not beat the capture edge.
-        min_arr = min_arrivals.get(d_net)
-        if min_arr is not None and (
-            min_arr.domain is None or min_arr.domain == domain
-        ):
-            hold = seq.hold_ps
-            early = (
-                min_arr.time_ps
-                + parasitics[d_net].delay_to((inst.name, seq.data_pin))
-            )
-            slack = (early - capture_clk) - hold
-            if slack < 0:
-                result.hold_violations += 1
-                result.hold_slacks[inst.name] = slack
-
-    for domain, paths in candidates.items():
-        paths.sort(key=lambda p: p.slack_ps)
-        result.paths[domain] = paths[:config.paths_per_domain]
+    result, _state = run_sta_with_state(circuit, parasitics, config)
     return result
+
+
+def run_sta_incremental(
+    circuit: Circuit,
+    parasitics: Dict[str, NetParasitics],
+    state: StaState,
+    dirty_nets: Iterable[str],
+    dirty_instances: Iterable[str] = (),
+    config: Optional[StaConfig] = None,
+) -> Tuple[StaResult, StaState]:
+    """Update a previous analysis after a scoped netlist/layout edit.
+
+    Arrivals are re-propagated only through the forward cone of the
+    dirty nets, with early cutoff where a re-evaluated node reproduces
+    its stored arrival; endpoints are re-examined only where an input
+    arrival or parasitic changed.  Given complete dirty sets (see
+    :class:`StaState`), the result equals a full re-analysis.
+
+    Args:
+        circuit: The netlist after the edit.
+        parasitics: Current parasitics for *every* net (only the dirty
+            entries may differ from the previous extraction).
+        state: State from :func:`run_sta_with_state` or a previous
+            incremental update; mutated in place and returned.
+        dirty_nets: Nets whose parasitics (pin positions, routes or
+            sink sets) changed.
+        dirty_instances: Instances whose connectivity or cell changed.
+        config: Analysis configuration (defaults to the state's).
+
+    Returns:
+        ``(result, state)``; ``state.cone_size`` and
+        ``state.endpoints_rechecked`` census the work done.
+    """
+    config = config or state.config
+    state.config = config
+    dirty_nets = set(dirty_nets)
+    dirty_instances = set(dirty_instances)
+
+    # 1. Rebuild the nodes of netlist-dirty instances.
+    changed_keys: Set[NodeKey] = set()
+    for name in dirty_instances:
+        _unregister_instance(state, name)
+        inst = circuit.instances.get(name)
+        if inst is None:
+            state.endpoint_paths.pop(name, None)
+            state.endpoint_holds.pop(name, None)
+            continue
+        for node in nodes_for_instance(inst):
+            changed_keys.add(_register_node(state, node))
+
+    # Drop arrivals of deleted nets; refresh primary-input arrivals.
+    clock_nets = {dom.net for dom in circuit.clocks}
+    for net in list(dirty_nets):
+        if net not in circuit.nets:
+            state.arrivals.pop(net, None)
+            state.min_arrivals.pop(net, None)
+            state.consumers.pop(net, None)
+    for name in circuit.inputs:
+        if name not in state.arrivals:
+            state.arrivals[name] = _input_arrival(name, clock_nets, config)
+            state.min_arrivals[name] = _input_arrival(
+                name, clock_nets, config
+            )
+            dirty_nets.add(name)
+
+    # 2. Seed nodes: consumers of dirty nets see changed input elmore
+    # and slew; drivers of dirty nets see a changed output load.
+    seeds: Set[NodeKey] = set(changed_keys)
+    for net in dirty_nets:
+        seeds.update(state.consumers.get(net, ()))
+        driver = state.driver_node.get(net)
+        if driver is not None:
+            seeds.add(driver)
+    seeds = {key for key in seeds if key in state.nodes}
+
+    # 3. Forward closure of the seeds over the consumer graph.
+    cone: Set[NodeKey] = set(seeds)
+    frontier = [state.nodes[key].out_net for key in seeds]
+    seen_nets: Set[str] = set()
+    while frontier:
+        net = frontier.pop()
+        if net in seen_nets:
+            continue
+        seen_nets.add(net)
+        for key in state.consumers.get(net, ()):
+            if key not in cone:
+                cone.add(key)
+                frontier.append(state.nodes[key].out_net)
+
+    # 4. Topological order *within* the cone (inputs from outside the
+    # cone are final stored arrivals, so only intra-cone edges order).
+    indegree: Dict[NodeKey, int] = {}
+    dependents: Dict[NodeKey, List[NodeKey]] = {}
+    for key in cone:
+        count = 0
+        for net in state.node_inputs[key]:
+            up = state.driver_node.get(net)
+            if up is not None and up != key and up in cone:
+                count += 1
+                dependents.setdefault(up, []).append(key)
+        indegree[key] = count
+    ready = [key for key in cone if indegree[key] == 0]
+    ordered: List[NodeKey] = []
+    while ready:
+        key = ready.pop()
+        ordered.append(key)
+        for dep in dependents.get(key, ()):
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                ready.append(dep)
+    if len(ordered) != len(cone):  # pragma: no cover - malformed edit
+        raise ValueError("incremental STA: cycle in the affected cone")
+
+    # 5. Re-evaluate, cutting off where stored arrivals reproduce.
+    # ``touched`` holds every net whose arrival or parasitics changed.
+    touched: Set[str] = set(dirty_nets)
+    cone_size = 0
+    for key in ordered:
+        node = state.nodes[key]
+        out = node.out_net
+        if (
+            key not in changed_keys
+            and out not in dirty_nets
+            and not (state.node_inputs[key] & touched)
+        ):
+            continue
+        cone_size += 1
+        best, extrapolated = _eval_node(
+            circuit, node, state.arrivals, parasitics, config, worst=True
+        )
+        min_best, _ = _eval_node(
+            circuit, node, state.min_arrivals, parasitics, config,
+            worst=False,
+        )
+        state.node_slow[key] = extrapolated
+        old = state.arrivals.get(out)
+        old_min = state.min_arrivals.get(out)
+        if best is None:
+            state.arrivals.pop(out, None)
+        else:
+            state.arrivals[out] = best
+        if min_best is None:
+            state.min_arrivals.pop(out, None)
+        else:
+            state.min_arrivals[out] = min_best
+        if not (_same_arrival(old, best)
+                and _same_arrival(old_min, min_best)):
+            touched.add(out)
+
+    # 6. Re-examine endpoints seeing a touched net (or edited flop).
+    state.periods = {dom.net: dom.period_ps for dom in circuit.clocks}
+    rechecked = 0
+    for name, inst in circuit.instances.items():
+        seq = inst.cell.sequential
+        if seq is None:
+            continue
+        if name not in dirty_instances:
+            d_net = inst.conns.get(seq.data_pin)
+            clk_net = inst.conns.get(seq.clock_pin)
+            if not (
+                (d_net is not None and d_net in touched)
+                or (clk_net is not None and clk_net in touched)
+            ):
+                continue
+        rechecked += 1
+        path, hold = _endpoint_record(
+            circuit, inst, state.arrivals, state.min_arrivals,
+            parasitics, config, state.periods,
+        )
+        if path is None:
+            state.endpoint_paths.pop(name, None)
+        else:
+            state.endpoint_paths[name] = path
+        if hold is None:
+            state.endpoint_holds.pop(name, None)
+        else:
+            state.endpoint_holds[name] = hold
+
+    state.cone_size = cone_size
+    state.endpoints_rechecked = rechecked
+    return _assemble(circuit, state), state

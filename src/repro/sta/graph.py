@@ -57,6 +57,36 @@ def app_mode_arcs(cell: LibraryCell) -> List[TimingArc]:
     return [a for a in cell.arcs if a.from_pin == seq.clock_pin]
 
 
+def nodes_for_instance(inst: Instance) -> List[TimingNode]:
+    """Application-mode timing nodes contributed by one instance.
+
+    One node per driven output pin carrying at least one connected
+    app-mode arc; fillers and arc-less cells contribute nothing.  This
+    is the per-instance unit the incremental STA engine uses to
+    rebuild exactly the nodes of netlist-dirty instances.
+    """
+    cell = inst.cell
+    if cell.is_filler:
+        return []
+    arcs = app_mode_arcs(cell)
+    if not arcs:
+        return []
+    by_out: Dict[str, List[TimingArc]] = {}
+    for arc in arcs:
+        if arc.from_pin in inst.conns and arc.to_pin in inst.conns:
+            by_out.setdefault(arc.to_pin, []).append(arc)
+    return [
+        TimingNode(
+            inst=inst,
+            out_pin=out_pin,
+            out_net=inst.conns[out_pin],
+            arcs=out_arcs,
+            is_launch=(cell.is_sequential and not cell.is_tsff),
+        )
+        for out_pin, out_arcs in by_out.items()
+    ]
+
+
 def build_timing_nodes(circuit: Circuit) -> List[TimingNode]:
     """Topologically ordered timing nodes of the application view.
 
@@ -66,26 +96,7 @@ def build_timing_nodes(circuit: Circuit) -> List[TimingNode]:
     """
     pending: List[TimingNode] = []
     for inst in circuit.instances.values():
-        cell = inst.cell
-        if cell.is_filler:
-            continue
-        arcs = app_mode_arcs(cell)
-        if not arcs:
-            continue
-        by_out: Dict[str, List[TimingArc]] = {}
-        for arc in arcs:
-            if arc.from_pin in inst.conns and arc.to_pin in inst.conns:
-                by_out.setdefault(arc.to_pin, []).append(arc)
-        for out_pin, out_arcs in by_out.items():
-            pending.append(TimingNode(
-                inst=inst,
-                out_pin=out_pin,
-                out_net=inst.conns[out_pin],
-                arcs=out_arcs,
-                is_launch=(
-                    cell.is_sequential and not cell.is_tsff
-                ),
-            ))
+        pending.extend(nodes_for_instance(inst))
 
     # Kahn sort on net dependencies.
     known = set(circuit.inputs)

@@ -180,6 +180,7 @@ def test_hold_fix_loop_breaks_on_exhausted_budget(monkeypatch):
         )
 
     real_run_sta = flow_mod.run_sta
+    real_run_sta_with_state = flow_mod.run_sta_with_state
 
     def sta_with_violation(circuit, parasitics, config):
         res = real_run_sta(circuit, parasitics, config)
@@ -187,8 +188,16 @@ def test_hold_fix_loop_breaks_on_exhausted_budget(monkeypatch):
         res.hold_violations = 1
         return res
 
+    def sta_state_with_violation(circuit, parasitics, config):
+        res, state = real_run_sta_with_state(circuit, parasitics, config)
+        res.hold_slacks = {"fake_ff": -10.0}
+        res.hold_violations = 1
+        return res, state
+
     monkeypatch.setattr(flow_mod, "_fix_hold_violations", exhausted_fix)
     monkeypatch.setattr(flow_mod, "run_sta", sta_with_violation)
+    monkeypatch.setattr(flow_mod, "run_sta_with_state",
+                        sta_state_with_violation)
     result = run_flow(s38417_like(scale=0.015), cmos130(),
                       FlowConfig(tp_percent=0.0, run_atpg_phase=False))
     assert calls == [1]  # the loop broke after the exhausted round
