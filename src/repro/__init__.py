@@ -39,6 +39,7 @@ __all__ = [
     "load_circuit",
     "run",
     "sweep",
+    "sweep_report",
     "__version__",
 ]
 
@@ -50,13 +51,14 @@ _EXPORTS = {
     "load_circuit": "repro.api",
     "run": "repro.api",
     "sweep": "repro.api",
+    "sweep_report": "repro.api",
     "FlowConfig": "repro.core.flow",
     "FlowResult": "repro.core.flow",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only eager imports
     from repro import api
-    from repro.api import CIRCUITS, load_circuit, run, sweep
+    from repro.api import CIRCUITS, load_circuit, run, sweep, sweep_report
     from repro.core.flow import FlowConfig, FlowResult
 
 

@@ -22,18 +22,25 @@ did-you-mean error.
 
 from __future__ import annotations
 
+import difflib
 import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
+from repro.chaos import FaultPlan
 from repro.circuits import control_core, dsp_core_p26909, s38417_like
-from repro.core.executor import ExecutorConfig, run_sweep as _run_sweep
+from repro.core.executor import (
+    ExecutorConfig,
+    run_sweep as _run_sweep,
+    run_sweeps_report as _run_sweeps_report,
+)
 from repro.core.experiment import (
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
 )
 from repro.core.flow import FlowConfig, FlowResult, run_flow
+from repro.core.resilience import SweepReport
 from repro.library.cell import Library
 from repro.library.cmos130 import cmos130
 from repro.netlist.circuit import Circuit
@@ -44,7 +51,19 @@ __all__ = [
     "load_circuit",
     "run",
     "sweep",
+    "sweep_report",
 ]
+
+
+def _unknown_circuit_error(name: str) -> KeyError:
+    """A did-you-mean KeyError for an unregistered circuit name."""
+    choices = sorted(CIRCUITS)
+    close = difflib.get_close_matches(str(name), choices, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    return KeyError(
+        f"unknown circuit {name!r}{hint}; choose from "
+        + ", ".join(choices)
+    )
 
 
 @dataclass(frozen=True)
@@ -91,14 +110,12 @@ def load_circuit(name: str, scale: float = 0.05) -> Circuit:
         The pre-DFT netlist.
 
     Raises:
-        KeyError: Unknown circuit name (message lists the choices).
+        KeyError: Unknown circuit name (message lists the choices and
+            suggests the closest registered name).
     """
     spec = CIRCUITS.get(name)
     if spec is None:
-        raise KeyError(
-            f"unknown circuit {name!r}; choose from "
-            + ", ".join(sorted(CIRCUITS))
-        )
+        raise _unknown_circuit_error(name)
     return spec.factory(scale=scale)
 
 
@@ -154,6 +171,59 @@ def run(
     return run_flow(circuit, library or cmos130(), flow_config)
 
 
+def _build_experiment(
+    circuit: Union[str, Callable[[], Circuit]],
+    library: Optional[Library],
+    config: Union[FlowConfig, Mapping[str, Any], None],
+    scale: float,
+    tp_percents: Optional[Sequence[float]],
+    name: Optional[str],
+    options: Dict[str, Any],
+) -> ExperimentConfig:
+    """Resolve a sweep's circuit/config into an ExperimentConfig."""
+    circuit_name = circuit if isinstance(circuit, str) else None
+    if isinstance(circuit, str):
+        spec = CIRCUITS.get(circuit)
+        if spec is None:
+            raise _unknown_circuit_error(circuit)
+        # functools.partial (not a lambda): the sweep executor pickles
+        # the factory into worker processes when jobs > 1.
+        factory = functools.partial(spec.factory, scale=scale)
+    else:
+        factory = circuit
+    flow_config = _resolve_config(circuit_name, config, options)
+    return ExperimentConfig(
+        name=name or circuit_name or "sweep",
+        circuit_factory=factory,
+        flow=flow_config,
+        library=library,
+        **({"tp_percents": tuple(tp_percents)} if tp_percents else {}),
+    )
+
+
+def _build_executor(
+    jobs: int,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    trace: bool,
+    retries: int,
+    task_timeout_s: Optional[float],
+    resume: bool,
+    fail_fast: bool,
+    chaos: Optional[FaultPlan],
+) -> ExecutorConfig:
+    if resume and not cache_dir:
+        raise ValueError(
+            "resume=True needs a cache_dir: resume skips completed "
+            "cells via the cache and the journal stored next to it"
+        )
+    return ExecutorConfig(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, trace=trace,
+        retries=retries, task_timeout_s=task_timeout_s, resume=resume,
+        fail_fast=fail_fast, chaos=chaos,
+    )
+
+
 def sweep(
     circuit: Union[str, Callable[[], Circuit]],
     library: Optional[Library] = None,
@@ -166,6 +236,11 @@ def sweep(
     use_cache: bool = True,
     trace: bool = False,
     name: Optional[str] = None,
+    retries: int = 2,
+    task_timeout_s: Optional[float] = None,
+    resume: bool = False,
+    fail_fast: bool = False,
+    chaos: Optional[FaultPlan] = None,
     **options: Any,
 ) -> ExperimentResult:
     """Run the paper's TP sweep (Tables 1-3) over one circuit.
@@ -182,40 +257,78 @@ def sweep(
         jobs: Worker processes; >1 routes through the parallel
             executor, which is bit-identical to the serial path.
         cache_dir: Content-addressed result cache directory; also
-            routes through the executor.
+            routes through the executor (and hosts the sweep journal).
         use_cache: Read/write the cache (``False`` forces fresh runs).
         trace: Ask executor workers to record per-run span traces
             (serial runs inherit any ambient :func:`repro.obs.tracing`
             context instead).
         name: Experiment name (defaults to the circuit name).
+        retries: Retry budget per (circuit, tp%) task for *retryable*
+            failures (crashes, timeouts, transient I/O).
+        task_timeout_s: Watchdog per-task timeout; a task past it is
+            killed (pool replaced) and charged a retry.  Parallel
+            sweeps only.
+        resume: Continue a previous sweep: completed cells are served
+            from the cache/journal, only the rest run.  Needs
+            ``cache_dir``.
+        fail_fast: Abort remaining cells after the first permanent
+            failure instead of degrading gracefully.
+        chaos: A :class:`repro.chaos.FaultPlan` of scripted failures
+            (testing/CI; production sweeps leave it None).
         **options: :class:`FlowConfig` overrides, as in :func:`run`.
 
     Returns:
         The :class:`ExperimentResult` with the Table 1/2/3 rows.
+
+    Raises:
+        SweepExecutionError: A cell stayed failed after its retries.
+            Use :func:`sweep_report` instead to get partial results
+            plus structured failures without an exception.
     """
-    circuit_name = circuit if isinstance(circuit, str) else None
-    if isinstance(circuit, str):
-        spec = CIRCUITS.get(circuit)
-        if spec is None:
-            raise KeyError(
-                f"unknown circuit {circuit!r}; choose from "
-                + ", ".join(sorted(CIRCUITS))
-            )
-        # functools.partial (not a lambda): the sweep executor pickles
-        # the factory into worker processes when jobs > 1.
-        factory = functools.partial(spec.factory, scale=scale)
-    else:
-        factory = circuit
-    flow_config = _resolve_config(circuit_name, config, options)
-    experiment = ExperimentConfig(
-        name=name or circuit_name or "sweep",
-        circuit_factory=factory,
-        flow=flow_config,
-        library=library,
-        **({"tp_percents": tuple(tp_percents)} if tp_percents else {}),
-    )
-    if jobs > 1 or cache_dir:
-        executor = ExecutorConfig(jobs=jobs, cache_dir=cache_dir,
-                                  use_cache=use_cache, trace=trace)
+    experiment = _build_experiment(circuit, library, config, scale,
+                                   tp_percents, name, options)
+    resilient = (retries != 2 or task_timeout_s is not None or resume
+                 or fail_fast or chaos is not None)
+    if jobs > 1 or cache_dir or resilient:
+        executor = _build_executor(jobs, cache_dir, use_cache, trace,
+                                   retries, task_timeout_s, resume,
+                                   fail_fast, chaos)
         return _run_sweep(experiment, executor)
     return run_experiment(experiment)
+
+
+def sweep_report(
+    circuit: Union[str, Callable[[], Circuit]],
+    library: Optional[Library] = None,
+    config: Union[FlowConfig, Mapping[str, Any], None] = None,
+    *,
+    scale: float = 0.05,
+    tp_percents: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    trace: bool = False,
+    name: Optional[str] = None,
+    retries: int = 2,
+    task_timeout_s: Optional[float] = None,
+    resume: bool = False,
+    fail_fast: bool = False,
+    chaos: Optional[FaultPlan] = None,
+    **options: Any,
+) -> SweepReport:
+    """Run the TP sweep with graceful degradation; never raises on
+    cell failure.
+
+    Same arguments as :func:`sweep`; the difference is the return
+    contract.  The :class:`repro.core.resilience.SweepReport` carries
+    every successful cell's summary under ``report.results`` plus one
+    structured :class:`~repro.core.resilience.TaskFailure` per
+    permanently failed cell — Tables 1/2/3 render with explicit holes
+    instead of the sweep aborting.
+    """
+    experiment = _build_experiment(circuit, library, config, scale,
+                                   tp_percents, name, options)
+    executor = _build_executor(jobs, cache_dir, use_cache, trace,
+                               retries, task_timeout_s, resume,
+                               fail_fast, chaos)
+    return _run_sweeps_report([experiment], executor)

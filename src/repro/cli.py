@@ -16,12 +16,15 @@ published circuit sizes; 1.0 reproduces the paper's dimensions.
 from __future__ import annotations
 
 import argparse
+import difflib
 import os
 import sys
 
 from repro import api, obs
 from repro.api import CIRCUITS
+from repro.chaos import FaultPlan
 from repro.core import (
+    format_failures,
     format_stage_seconds,
     format_table1,
     format_table2,
@@ -35,10 +38,31 @@ from repro.tpi import TpiConfig, insert_test_points
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--circuit", choices=sorted(CIRCUITS),
-                        default="s38417")
+    parser.add_argument("--circuit", default="s38417",
+                        metavar="NAME",
+                        help="registered benchmark circuit "
+                             f"({', '.join(sorted(CIRCUITS))})")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="fraction of the published circuit size")
+
+
+def _validate_circuit(parser: argparse.ArgumentParser, args) -> None:
+    """Reject an unknown circuit with a did-you-mean, exit code 2.
+
+    Centralised (instead of argparse ``choices=``) so the message can
+    suggest the closest registered name, mirroring
+    :meth:`FlowConfig.from_dict`'s behaviour for unknown keys, and so
+    the failure is a clean usage error rather than a ``KeyError``
+    traceback from deep inside the API.
+    """
+    name = getattr(args, "circuit", None)
+    if name is None or name in CIRCUITS:
+        return
+    choices = sorted(CIRCUITS)
+    close = difflib.get_close_matches(name, choices, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    parser.error(f"unknown circuit {name!r}{hint}; choose from "
+                 + ", ".join(choices))
 
 
 def _tp_percents(text: str) -> tuple:
@@ -118,7 +142,9 @@ def cmd_sweep(args) -> int:
 
     The serial path (``--jobs 1``, no cache) is the reference
     semantics; ``--jobs N`` and ``--cache-dir`` route the sweep
-    through the parallel executor, which is bit-identical to it.
+    through the fault-tolerant executor, which is bit-identical to it.
+    A degraded sweep (some cells permanently failed) still prints the
+    tables — with holes — plus a failure report, and exits 3.
     """
     sweep_kwargs = dict(
         scale=args.scale,
@@ -126,28 +152,52 @@ def cmd_sweep(args) -> int:
         **_flow_overrides(args),
     )
     cache_dir = None if args.no_cache else args.cache_dir
+    chaos_plan = FaultPlan.load(args.chaos) if args.chaos else None
+    resilient = (args.retries != 2 or args.task_timeout is not None
+                 or args.resume or args.fail_fast
+                 or chaos_plan is not None)
     traces = []
-    if args.jobs > 1 or cache_dir:
+    report = None
+    if args.jobs > 1 or cache_dir or resilient:
         sweep_kwargs.update(jobs=args.jobs, cache_dir=cache_dir,
                             use_cache=not args.no_cache,
-                            trace=bool(args.trace))
+                            trace=bool(args.trace),
+                            retries=args.retries,
+                            task_timeout_s=args.task_timeout,
+                            resume=args.resume,
+                            fail_fast=args.fail_fast,
+                            chaos=chaos_plan)
         print(f"[executor] jobs={args.jobs} "
-              f"cache={cache_dir or 'off'}")
+              f"cache={cache_dir or 'off'} retries={args.retries}"
+              + (f" timeout={args.task_timeout:g}s"
+                 if args.task_timeout else "")
+              + (" resume" if args.resume else "")
+              + (" fail-fast" if args.fail_fast else "")
+              + (f" chaos={args.chaos}" if args.chaos else ""))
         if args.trace:
             with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
-                result = api.sweep(args.circuit, **sweep_kwargs)
+                report = api.sweep_report(args.circuit, **sweep_kwargs)
+            result = report.results[args.circuit]
             # Worker flow traces plus the parent's scheduling trace
             # (queue waits, cache counters) merge into one timeline.
-            traces = [run.trace for run in result.runs.values()]
+            traces = [run.trace for run in result.runs.values()
+                      if run.trace is not None]
             traces.append(tracer.trace())
         else:
-            result = api.sweep(args.circuit, **sweep_kwargs)
+            report = api.sweep_report(args.circuit, **sweep_kwargs)
+            result = report.results[args.circuit]
         cached = sorted(
             pct for pct, run in result.runs.items() if run.from_cache
         )
         if cached:
             print("[executor] served from cache: "
                   + ", ".join(f"{pct:g}%" for pct in cached))
+        if report.retries or report.timeouts or report.worker_crashes:
+            print(f"[executor] retries={report.retries} "
+                  f"timeouts={report.timeouts} "
+                  f"worker-crashes={report.worker_crashes}")
+        if report.journal_path:
+            print(f"[executor] journal: {report.journal_path}")
     elif args.trace:
         # Serial path: one tracer spans the whole sweep, so its trace
         # already holds every level's stage spans.
@@ -167,6 +217,11 @@ def cmd_sweep(args) -> int:
     if args.trace:
         obs.write_chrome_trace(args.trace, traces)
         print(f"\nwrote trace to {args.trace}")
+    if report is not None and report.failures:
+        print(f"\nFAILED cells ({len(report.failures)}; tables above "
+              "have holes at these levels)")
+        print(format_failures(report.failures))
+        return 3
     return 0
 
 
@@ -247,6 +302,21 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--no-incremental", action="store_true",
                          help="recompute route/extraction/STA from "
                               "scratch every hold-fix round")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="retry budget per (circuit, tp%%) task "
+                              "for retryable failures (default 2)")
+    p_sweep.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="watchdog per-task timeout; a hung task "
+                              "is killed (pool replaced) and retried")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="continue a previous sweep from its "
+                              "cache + journal (needs --cache-dir)")
+    p_sweep.add_argument("--fail-fast", action="store_true",
+                         help="abort remaining cells after the first "
+                              "permanent failure")
+    p_sweep.add_argument("--chaos", default=None, metavar="PLAN.json",
+                         help="fault-injection plan file (testing/CI)")
     p_sweep.add_argument("--trace", default=None, metavar="PATH",
                          help="write a merged Chrome trace-event JSON "
                               "of all levels (and the executor's "
@@ -266,6 +336,12 @@ def main(argv=None) -> int:
     p_render.set_defaults(func=cmd_render)
 
     args = parser.parse_args(argv)
+    _validate_circuit(parser, args)
+    if getattr(args, "resume", False) and not (
+            args.cache_dir and not args.no_cache):
+        parser.error("--resume needs --cache-dir (and not --no-cache): "
+                     "resume skips completed cells via the cache and "
+                     "its journal")
     return args.func(args)
 
 

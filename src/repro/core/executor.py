@@ -50,16 +50,35 @@ import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import repro
-from repro import obs
+from repro import chaos, obs
+from repro.chaos import FaultPlan
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.core.flow import FlowConfig, FlowResult, run_flow
 from repro.core.metrics import TestDataMetrics
+from repro.core.resilience import (
+    RetryPolicy,
+    SweepJournal,
+    SweepReport,
+    TaskFailure,
+    TaskTimeoutError,
+    WorkerCrashError,
+    completed_keys,
+    format_exception_for_journal,
+    is_retryable,
+    read_journal,
+)
 from repro.library.cell import Library
 from repro.library.cmos130 import cmos130
 from repro.netlist.circuit import Circuit
@@ -339,9 +358,21 @@ def flow_cache_key(circuit: Circuit, config: FlowConfig,
     return hashlib.sha256(parts.encode("utf-8")).hexdigest()
 
 
-def derive_seed(cache_key: str) -> int:
-    """Deterministic 63-bit ATPG seed derived from a cache key."""
-    return int(cache_key[:16], 16) & 0x7FFFFFFFFFFFFFFF
+def derive_seed(cache_key: str, attempt: int = 0) -> int:
+    """Deterministic 63-bit ATPG seed derived from a cache key.
+
+    ``attempt`` folds the retry number into the seed (attempt 0
+    reproduces the historical value exactly): under
+    ``ExecutorConfig.derive_seeds`` a retried task explores a fresh
+    but fully reproducible search path, which un-sticks seed-sensitive
+    heuristics without sacrificing replayability.
+    """
+    if attempt <= 0:
+        return int(cache_key[:16], 16) & 0x7FFFFFFFFFFFFFFF
+    salted = hashlib.sha256(
+        f"{cache_key}:attempt={attempt}".encode("utf-8")
+    ).hexdigest()
+    return int(salted[:16], 16) & 0x7FFFFFFFFFFFFFFF
 
 
 # ----------------------------------------------------------------------
@@ -353,9 +384,14 @@ class ResultCache:
     Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
     directories small on big sweeps).  Writes go through a temp file
     and ``os.replace`` so concurrent writers and crashes can never
-    leave a torn entry; unreadable entries read as misses and are
-    deleted.
+    leave a torn entry.  Unreadable/truncated entries read as misses
+    and are **quarantined** (renamed to ``<entry>.pkl.corrupt``) rather
+    than deleted — the bytes stay available for post-mortems while the
+    live path frees up for the recompute.
     """
+
+    #: Suffix appended to quarantined (unreadable) entries.
+    QUARANTINE_SUFFIX = ".corrupt"
 
     def __init__(self, root):
         self.root = Path(root)
@@ -367,6 +403,21 @@ class ResultCache:
         """Entry path for ``key``."""
         return self.root / key[:2] / f"{key}.pkl"
 
+    def quarantine_path(self, key: str) -> Path:
+        """Where an unreadable entry for ``key`` is parked."""
+        path = self.path(key)
+        return path.with_name(path.name + self.QUARANTINE_SUFFIX)
+
+    def _quarantine(self, key: str) -> None:
+        """Move a torn/foreign entry aside (atomic, last-one-wins)."""
+        try:
+            os.replace(self.path(key), self.quarantine_path(key))
+        except OSError:
+            pass
+        self.misses += 1
+        self.corrupt += 1
+        obs.counter("cache.quarantined")
+
     def get(self, key: str) -> Optional[FlowSummary]:
         """Load the summary stored under ``key``, or None."""
         path = self.path(key)
@@ -377,17 +428,11 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Torn/stale entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            self.misses += 1
-            self.corrupt += 1
+            # Torn/stale entry: park it for inspection, recompute.
+            self._quarantine(key)
             return None
         if not isinstance(summary, FlowSummary):
-            self.misses += 1
-            self.corrupt += 1
+            self._quarantine(key)
             return None
         self.hits += 1
         return summary
@@ -434,6 +479,31 @@ class ExecutorConfig:
             on the active tracer.  Observability only: it never enters
             the cache key, so traced and untraced sweeps share cache
             entries and results stay bit-identical either way.
+        retries: Retries per task after its first attempt.  Only
+            *retryable* failures (worker crashes, broken pools,
+            timeouts, transient I/O — see
+            :func:`repro.core.resilience.is_retryable`) consume the
+            budget; config/validation errors fail immediately.
+        task_timeout_s: Watchdog per-task timeout.  A task running
+            longer is presumed hung: the worker pool is replaced (the
+            hung worker killed), the task's attempt is charged, and
+            innocent in-flight tasks are requeued without penalty.
+            None disables the watchdog; it is only enforceable with
+            ``jobs > 1`` (an inline run cannot preempt itself).
+        backoff_base_s: First-retry backoff; doubles per further retry
+            (deterministic, no jitter), capped at ``backoff_max_s``.
+        backoff_max_s: Backoff ceiling.
+        fail_fast: Stop scheduling new tasks after the first permanent
+            cell failure; unstarted cells are reported as aborted.
+            Off (the default), the sweep degrades gracefully and
+            returns every cell it could compute.
+        resume: Append to (rather than truncate) the sweep journal and
+            log cells served from the cache as resumed.  Completed
+            cells are recognised by their content-hash keys, so a
+            killed sweep continues where it stopped.
+        chaos: Deterministic fault-injection plan (tests/CI only); the
+            ``REPRO_CHAOS`` environment variable is the CLI-side way
+            to set it.  Never part of the cache key.
     """
 
     jobs: int = 1
@@ -442,12 +512,35 @@ class ExecutorConfig:
     derive_seeds: bool = False
     mp_context: Optional[str] = None
     trace: bool = False
+    retries: int = 2
+    task_timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.1
+    backoff_max_s: float = 30.0
+    fail_fast: bool = False
+    resume: bool = False
+    chaos: Optional[FaultPlan] = None
 
     @property
     def cache(self) -> Optional[ResultCache]:
         """The configured cache, or None when caching is off."""
         if self.cache_dir and self.use_cache:
             return ResultCache(self.cache_dir)
+        return None
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The deterministic backoff schedule these knobs define."""
+        return RetryPolicy(
+            max_retries=max(0, self.retries),
+            backoff_base_s=self.backoff_base_s,
+            backoff_max_s=self.backoff_max_s,
+        )
+
+    def journal_path(self) -> Optional[Path]:
+        """Where this sweep journals, or None (journal rides the
+        cache directory — no cache, no resume state to track)."""
+        if self.cache_dir and self.use_cache:
+            return Path(self.cache_dir) / "journal.jsonl"
         return None
 
 
@@ -463,6 +556,10 @@ class _LevelTask:
     cache_key: str
     #: Record a span tree in the worker (never part of the cache key).
     trace: bool = False
+    #: Retry attempt this submission represents (0 = first try).
+    attempt: int = 0
+    #: Scripted faults to inject in the worker (tests/CI only).
+    chaos: Optional[FaultPlan] = None
 
     @property
     def label(self) -> str:
@@ -499,16 +596,41 @@ def _run_level(task: _LevelTask) -> FlowSummary:
     root spans are exactly the run's stage spans; the resulting
     :class:`~repro.obs.tracer.Trace` rides back on the summary.
     Tracing is scoped, so an inline (``jobs=1``) run leaves the
-    parent's tracer untouched.
+    parent's tracer untouched.  A chaos plan (task-carried, or from
+    the ``REPRO_CHAOS`` environment) is activated around the flow so
+    scripted stage faults fire for exactly this cell and attempt.
     """
-    circuit = task.circuit_factory()
-    library = task.library if task.library is not None else cmos130()
-    if task.trace:
-        with obs.tracing(label=task.label):
+    plan = task.chaos if task.chaos is not None else chaos.plan_from_env()
+    with chaos.active(plan, task.name, task.tp_percent, task.attempt):
+        circuit = task.circuit_factory()
+        library = task.library if task.library is not None else cmos130()
+        if task.trace:
+            with obs.tracing(label=task.label):
+                result = run_flow(circuit, library, task.flow)
+        else:
             result = run_flow(circuit, library, task.flow)
-    else:
-        result = run_flow(circuit, library, task.flow)
     return summarize(result, cache_key=task.cache_key)
+
+
+def _prepare_attempt(task: _LevelTask, attempt: int,
+                     derive_seeds: bool) -> _LevelTask:
+    """The task spec to submit for ``attempt``.
+
+    Attempt 0 is the task as planned.  Retries re-stamp the attempt
+    number (faults and journals key on it) and, under
+    ``derive_seeds``, re-derive the ATPG seed from
+    ``derive_seed(cache_key, attempt)`` so a seed-sensitive failure is
+    not replayed verbatim.  Without ``derive_seeds`` the configured
+    seed is kept: retried cells stay bit-identical to a clean serial
+    run, which the resume/golden guarantees depend on.
+    """
+    if attempt == 0:
+        return task
+    flow = task.flow
+    if derive_seeds:
+        flow = replace(flow, atpg=replace(
+            flow.atpg, seed=derive_seed(task.cache_key, attempt)))
+    return replace(task, attempt=attempt, flow=flow)
 
 
 def _check_picklable(task: _LevelTask) -> None:
@@ -525,13 +647,17 @@ def _check_picklable(task: _LevelTask) -> None:
 
 
 def _plan_levels(config: ExperimentConfig,
-                 executor: ExecutorConfig) -> List[_LevelTask]:
+                 executor: ExecutorConfig,
+                 plan: Optional[FaultPlan] = None) -> List[_LevelTask]:
     """Expand one experiment into per-level tasks with cache keys.
 
     The circuit is built once per level *in the parent* purely to
     compute its structural hash (factories are deterministic, so the
     worker's fresh build hashes identically); the built netlist is
-    dropped, never pickled.
+    dropped, never pickled.  The chaos plan (if any) rides on the task
+    spec but never enters the cache key: a chaos run and a clean run
+    of the same configs share keys, which is what lets ``--resume``
+    with the plan disabled complete a chaos-holed sweep.
     """
     library = config.library or cmos130()
     tasks = []
@@ -553,6 +679,7 @@ def _plan_levels(config: ExperimentConfig,
             library=config.library,
             cache_key=key,
             trace=executor.trace,
+            chaos=plan,
         ))
     return tasks
 
@@ -598,6 +725,456 @@ def _record_level(tracer, task: _LevelTask, summary: FlowSummary,
         tracer.record_span("worker_run", run_start, run_end, parent=parent)
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly hung or broken) pool down without blocking.
+
+    ``shutdown(wait=False, cancel_futures=True)`` alone leaves a hung
+    worker running forever, so the worker processes are terminated
+    explicitly and briefly joined to reap them.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def _tear_cache_entry(cache: ResultCache, key: str) -> None:
+    """Chaos helper: truncate a cache entry mid-bytes (a torn write)."""
+    path = cache.path(key)
+    try:
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    except OSError:
+        pass
+
+
+class _Scheduler:
+    """Fault-tolerant execution of a sweep's pending level tasks.
+
+    Owns the retry budget, the backoff clock, the watchdog, the pool
+    lifecycle and the journal trail.  Two execution modes share the
+    same retry/failure bookkeeping:
+
+    * **Serial** (``jobs <= 1``): tasks run inline; retries back off
+      with ``time.sleep``.  No watchdog — an inline run cannot preempt
+      itself.
+    * **Parallel**: tasks fan out over a :class:`ProcessPoolExecutor`.
+      A watchdog times out hung tasks by replacing the whole pool (a
+      hung worker cannot be cancelled), charging only the overdue
+      task's budget.  When a worker dies outright the pool breaks for
+      every in-flight future without naming a culprit, so the
+      implicated tasks are re-run **solo**: a task that breaks the
+      pool while running alone is the crasher beyond doubt and is the
+      only one charged; innocents pass through isolation unbilled.
+    """
+
+    def __init__(self, pending: List[_LevelTask], executor: ExecutorConfig,
+                 cache: Optional[ResultCache], tracer,
+                 journal: Optional[SweepJournal],
+                 plan: Optional[FaultPlan]):
+        self.pending = pending
+        self.executor = executor
+        self.cache = cache
+        self.tracer = tracer
+        self.journal = journal
+        self.plan = plan
+        self.policy = executor.retry_policy
+        self.summaries: Dict[Tuple[str, float], FlowSummary] = {}
+        self.failures: List[TaskFailure] = []
+        self.retries = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.aborted = False
+
+    # -- bookkeeping ----------------------------------------------------
+    def _journal_event(self, event: str, task: _LevelTask,
+                       **data) -> None:
+        if self.journal is not None:
+            self.journal.record(event, key=task.cache_key, name=task.name,
+                                tp_percent=task.tp_percent, **data)
+
+    def _success(self, task: _LevelTask, attempt: int,
+                 summary: FlowSummary, t_submit: float,
+                 t_done: float) -> None:
+        _record_level(self.tracer, task, summary, t_submit, t_done)
+        self.summaries[(task.name, task.tp_percent)] = summary
+        if self.cache:
+            self.cache.put(task.cache_key, summary)
+            if self.plan is not None and self.plan.corrupts_cache(
+                    task.name, task.tp_percent):
+                _tear_cache_entry(self.cache, task.cache_key)
+        self._journal_event("task_done", task, attempt=attempt)
+
+    def _on_task_error(self, task: _LevelTask, attempt: int,
+                       exc: BaseException) -> Optional[float]:
+        """Charge one attempt; backoff delay when a retry is due,
+        None when the cell is now permanently failed."""
+        info = format_exception_for_journal(exc)
+        will_retry = (is_retryable(exc)
+                      and attempt < self.policy.max_retries
+                      and not self.aborted)
+        self._journal_event("task_failed", task, attempt=attempt,
+                            will_retry=will_retry, **info)
+        if will_retry:
+            self.retries += 1
+            self.tracer.counter("task.retries")
+            return self.policy.delay_s(attempt + 1)
+        self.failures.append(TaskFailure.from_exception(
+            task.name, task.tp_percent, attempt + 1, exc,
+            cache_key=task.cache_key,
+        ))
+        self.tracer.counter("sweep.failed_cells")
+        self._journal_event("task_exhausted", task, attempts=attempt + 1,
+                            error_type=info["error_type"])
+        if self.executor.fail_fast:
+            self.aborted = True
+        return None
+
+    def _abort_cell(self, task: _LevelTask) -> None:
+        """Record a cell the fail-fast abort prevented from running."""
+        self.failures.append(TaskFailure(
+            name=task.name,
+            tp_percent=task.tp_percent,
+            attempts=0,
+            error_type="SweepAborted",
+            error_message="sweep aborted (fail-fast) before this cell ran",
+            cache_key=task.cache_key,
+        ))
+        self.tracer.counter("sweep.failed_cells")
+        self._journal_event("task_aborted", task)
+
+    # -- serial mode ----------------------------------------------------
+    def run_serial(self) -> None:
+        """Inline execution with retry/backoff (no watchdog)."""
+        for task in self.pending:
+            if self.aborted:
+                self._abort_cell(task)
+                continue
+            attempt = 0
+            while True:
+                prepared = _prepare_attempt(task, attempt,
+                                            self.executor.derive_seeds)
+                self._journal_event("task_start", task, attempt=attempt)
+                t_submit = time.time()
+                try:
+                    summary = _run_level(prepared)
+                except Exception as exc:
+                    delay = self._on_task_error(task, attempt, exc)
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                self._success(task, attempt, summary, t_submit, time.time())
+                break
+
+    # -- parallel mode --------------------------------------------------
+    def _new_pool(self, ctx) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=ctx)
+
+    def _submit(self, pool: ProcessPoolExecutor, in_flight: Dict,
+                task: _LevelTask, attempt: int, solo: bool) -> None:
+        prepared = _prepare_attempt(task, attempt,
+                                    self.executor.derive_seeds)
+        self._journal_event("task_start", task, attempt=attempt,
+                            solo=solo)
+        future = pool.submit(_run_level, prepared)
+        in_flight[future] = (task, attempt, time.time(),
+                             time.monotonic(), solo)
+
+    def run_parallel(self) -> None:
+        """Pool execution with retries, watchdog, and crash isolation."""
+        for task in self.pending:
+            _check_picklable(task)
+        import multiprocessing
+
+        ctx = (multiprocessing.get_context(self.executor.mp_context)
+               if self.executor.mp_context else None)
+        self.workers = min(self.executor.jobs, len(self.pending))
+        timeout = self.executor.task_timeout_s
+        queue: deque = deque((task, 0) for task in self.pending)
+        isolate: deque = deque()  # suspects to re-run solo
+        waiting: List[Tuple[float, _LevelTask, int, bool]] = []
+        in_flight: Dict = {}
+        pool = self._new_pool(ctx)
+        try:
+            while queue or isolate or waiting or in_flight:
+                now = time.monotonic()
+                # Promote retries whose backoff has elapsed.
+                still: List[Tuple[float, _LevelTask, int, bool]] = []
+                for ready, task, attempt, solo in waiting:
+                    if ready <= now:
+                        (isolate if solo else queue).append((task, attempt))
+                    else:
+                        still.append((ready, task, attempt, solo))
+                waiting = still
+
+                if self.aborted:
+                    for task, _attempt in list(queue) + list(isolate):
+                        self._abort_cell(task)
+                    queue.clear()
+                    isolate.clear()
+                    for _ready, task, _attempt, _solo in waiting:
+                        self._abort_cell(task)
+                    waiting = []
+                    if not in_flight:
+                        break
+
+                # Submissions.  Isolation runs strictly solo: wait for
+                # the pool to go quiet, then one suspect at a time.
+                solo_active = any(rec[4] for rec in in_flight.values())
+                pool_broken = False
+                broken_tasks: List[Tuple[_LevelTask, int, bool]] = []
+                try:
+                    if isolate and not in_flight:
+                        task, attempt = isolate.popleft()
+                        self._submit(pool, in_flight, task, attempt,
+                                     solo=True)
+                    elif (not isolate and not solo_active
+                          and not self.aborted):
+                        while queue and len(in_flight) < self.workers:
+                            task, attempt = queue.popleft()
+                            self._submit(pool, in_flight, task, attempt,
+                                         solo=False)
+                except BrokenProcessPool:
+                    # Pool died under a submit; the popped task is in
+                    # in_flight only if submit succeeded, so requeue it
+                    # and recycle via the breakage path below.
+                    queue.appendleft((task, attempt))
+                    pool_broken = True
+
+                if not in_flight and not pool_broken:
+                    if waiting:
+                        next_ready = min(w[0] for w in waiting)
+                        time.sleep(max(0.0, min(
+                            next_ready - time.monotonic(), 0.5)))
+                    continue
+
+                if in_flight and not pool_broken:
+                    wait_timeout = None
+                    candidates = []
+                    if timeout is not None:
+                        candidates.extend(
+                            rec[3] + timeout - now
+                            for rec in in_flight.values()
+                        )
+                    if waiting:
+                        candidates.extend(w[0] - now for w in waiting)
+                    if candidates:
+                        wait_timeout = max(0.01, min(candidates) + 0.01)
+                    done, _ = futures_wait(set(in_flight),
+                                           timeout=wait_timeout,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task, attempt, t_wall, _t_mono, solo = \
+                            in_flight.pop(future)
+                        try:
+                            summary = future.result()
+                        except BrokenProcessPool:
+                            pool_broken = True
+                            broken_tasks.append((task, attempt, solo))
+                        except Exception as exc:
+                            delay = self._on_task_error(task, attempt, exc)
+                            if delay is not None:
+                                waiting.append((time.monotonic() + delay,
+                                                task, attempt + 1, solo))
+                        else:
+                            self._success(task, attempt, summary,
+                                          t_wall, time.time())
+
+                if pool_broken:
+                    # A dead worker poisons every in-flight future.
+                    self.crashes += 1
+                    self.tracer.counter("sweep.worker_crashes")
+                    for future, (task, attempt, _tw, _tm, solo) in \
+                            list(in_flight.items()):
+                        broken_tasks.append((task, attempt, solo))
+                    in_flight.clear()
+                    _terminate_pool(pool)
+                    pool = self._new_pool(ctx)
+                    for task, attempt, solo in broken_tasks:
+                        if solo:
+                            # Ran alone when the pool broke: guilty.
+                            exc = WorkerCrashError(
+                                f"worker process died while running "
+                                f"{task.label} (attempt {attempt})"
+                            )
+                            delay = self._on_task_error(task, attempt, exc)
+                            if delay is not None:
+                                waiting.append((time.monotonic() + delay,
+                                                task, attempt + 1, True))
+                        else:
+                            # Culprit unknown: re-run each implicated
+                            # task solo; innocents pay no retry budget.
+                            self._journal_event("task_isolated", task,
+                                                attempt=attempt)
+                            isolate.append((task, attempt))
+                    continue
+
+                # Watchdog: a task past its deadline is presumed hung.
+                # Pools cannot cancel a running future, so the pool is
+                # replaced; only the overdue task is charged.
+                if timeout is not None and in_flight:
+                    now = time.monotonic()
+                    overdue = {
+                        future
+                        for future, rec in in_flight.items()
+                        if now - rec[3] > timeout
+                    }
+                    if overdue:
+                        victims = list(in_flight.items())
+                        in_flight.clear()
+                        _terminate_pool(pool)
+                        pool = self._new_pool(ctx)
+                        for future, (task, attempt, _tw, _tm, solo) in \
+                                victims:
+                            if future in overdue:
+                                self.timeouts += 1
+                                self.tracer.counter("task.timeouts")
+                                exc = TaskTimeoutError(
+                                    f"{task.label} exceeded the "
+                                    f"{timeout:g}s task timeout "
+                                    f"(attempt {attempt})"
+                                )
+                                delay = self._on_task_error(
+                                    task, attempt, exc)
+                                if delay is not None:
+                                    waiting.append(
+                                        (time.monotonic() + delay,
+                                         task, attempt + 1, solo))
+                            else:
+                                # Innocent bystander of the pool swap.
+                                self._journal_event("task_requeued", task,
+                                                    attempt=attempt)
+                                (isolate if solo else queue).append(
+                                    (task, attempt))
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+
+def run_sweeps_report(
+    configs: Sequence[ExperimentConfig],
+    executor: Optional[ExecutorConfig] = None,
+) -> SweepReport:
+    """Run several circuits' sweeps fault-tolerantly; never lose cells.
+
+    The graceful-degradation twin of :func:`run_sweeps`: every
+    (circuit, level) task is retried per the executor's policy,
+    watched by the per-task timeout, and journalled; cells that stay
+    failed become structured
+    :class:`~repro.core.resilience.TaskFailure` records on the
+    returned :class:`~repro.core.resilience.SweepReport` while every
+    successful cell's :class:`FlowSummary` lands in
+    ``report.results`` — Tables 1/2/3 render with explicit holes
+    instead of the sweep aborting.
+
+    With a cache directory configured, a ``journal.jsonl`` is written
+    next to the cache entries; ``executor.resume`` appends to it and
+    serves previously completed cells (matched by content-hash key)
+    from the cache, so a killed sweep continues where it stopped.
+    """
+    executor = executor or ExecutorConfig()
+    cache = executor.cache
+    tracer = obs.get_tracer()
+    plan = (executor.chaos if executor.chaos is not None
+            else chaos.plan_from_env())
+    tasks: List[_LevelTask] = []
+    for config in configs:
+        tasks.extend(_plan_levels(config, executor, plan))
+
+    journal: Optional[SweepJournal] = None
+    resumed: Set[str] = set()
+    jpath = executor.journal_path()
+    if jpath is not None:
+        if executor.resume:
+            resumed = completed_keys(read_journal(jpath))
+        journal = SweepJournal(jpath, resume=executor.resume)
+        journal.record(
+            "sweep_start",
+            resume=executor.resume,
+            jobs=executor.jobs,
+            retries=executor.retries,
+            task_timeout_s=executor.task_timeout_s,
+            chaos=plan is not None,
+            cells=[
+                {"name": t.name, "tp_percent": t.tp_percent,
+                 "key": t.cache_key}
+                for t in tasks
+            ],
+        )
+
+    summaries: Dict[Tuple[str, float], FlowSummary] = {}
+    pending: List[_LevelTask] = []
+    for task in tasks:
+        stored = cache.get(task.cache_key) if cache else None
+        if stored is not None:
+            summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
+            now = tracer.now()
+            tracer.record_span(f"cache_hit:{task.label}", now, now)
+            if journal is not None and task.cache_key in resumed:
+                journal.record("task_resumed", key=task.cache_key,
+                               name=task.name, tp_percent=task.tp_percent)
+        else:
+            pending.append(task)
+    if cache is not None:
+        tracer.counter("cache_hits", cache.hits)
+        tracer.counter("cache_misses", cache.misses)
+        tracer.counter("cache_corrupt", cache.corrupt)
+
+    scheduler = _Scheduler(pending, executor, cache, tracer, journal, plan)
+    if pending:
+        if executor.jobs <= 1:
+            scheduler.run_serial()
+        else:
+            scheduler.run_parallel()
+    summaries.update(scheduler.summaries)
+    failures = sorted(scheduler.failures,
+                      key=lambda f: (f.name, f.tp_percent))
+
+    if journal is not None:
+        journal.record(
+            "sweep_end",
+            ok=not failures,
+            failed=[f.label for f in failures],
+            retries=scheduler.retries,
+            timeouts=scheduler.timeouts,
+            worker_crashes=scheduler.crashes,
+        )
+        journal.close()
+
+    results: Dict[str, ExperimentResult] = {}
+    for config in configs:
+        runs = {
+            pct: summaries[(config.name, pct)]
+            for pct in config.tp_percents
+            if (config.name, pct) in summaries
+        }
+        results[config.name] = ExperimentResult(name=config.name, runs=runs)
+    return SweepReport(
+        results=results,
+        failures=tuple(failures),
+        retries=scheduler.retries,
+        timeouts=scheduler.timeouts,
+        worker_crashes=scheduler.crashes,
+        journal_path=str(jpath) if jpath is not None else None,
+    )
+
+
 def run_sweeps(
     configs: Sequence[ExperimentConfig],
     executor: Optional[ExecutorConfig] = None,
@@ -611,6 +1188,13 @@ def run_sweeps(
     hold :class:`FlowSummary` values — the Table 1/2/3 builders work
     unchanged.
 
+    Execution is fault-tolerant (see :func:`run_sweeps_report`, which
+    this wraps): tasks are retried with deterministic backoff, hung
+    workers are timed out and their pool replaced, and completed cells
+    are cached/journalled as they finish.  The difference is the
+    failure contract — this function raises when any cell stays
+    failed, for callers that need all-or-nothing semantics.
+
     With ``executor.trace`` set, every worker's flow trace rides back
     on its summary, and the sweep's own scheduling (per-level
     queue-wait/run spans, cache hit/miss/corrupt counters) is recorded
@@ -618,87 +1202,18 @@ def run_sweeps(
     call with :func:`repro.obs.tracing` to collect it.
 
     Raises:
-        SweepExecutionError: When any level fails.  Levels that
-            finished first were already cached, so a re-run resumes.
+        SweepExecutionError: When any level stays failed after its
+            retries.  Levels that finished were already cached, so a
+            re-run resumes from the failures only.
     """
-    executor = executor or ExecutorConfig()
-    cache = executor.cache
-    tracer = obs.get_tracer()
-    tasks: List[_LevelTask] = []
-    for config in configs:
-        tasks.extend(_plan_levels(config, executor))
-
-    summaries: Dict[Tuple[str, float], FlowSummary] = {}
-    pending: List[_LevelTask] = []
-    for task in tasks:
-        stored = cache.get(task.cache_key) if cache else None
-        if stored is not None:
-            summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
-            now = tracer.now()
-            tracer.record_span(f"cache_hit:{task.label}", now, now)
-        else:
-            pending.append(task)
-    if cache is not None:
-        tracer.counter("cache_hits", cache.hits)
-        tracer.counter("cache_misses", cache.misses)
-        tracer.counter("cache_corrupt", cache.corrupt)
-
-    failures: List[Tuple[str, float, BaseException]] = []
-    if pending:
-        if executor.jobs <= 1:
-            for task in pending:
-                t_submit = time.time()
-                try:
-                    summary = _run_level(task)
-                except Exception as exc:
-                    failures.append((task.name, task.tp_percent, exc))
-                    continue
-                _record_level(tracer, task, summary, t_submit, time.time())
-                summaries[(task.name, task.tp_percent)] = summary
-                if cache:
-                    cache.put(task.cache_key, summary)
-        else:
-            for task in pending:
-                _check_picklable(task)
-            import multiprocessing
-
-            ctx = (multiprocessing.get_context(executor.mp_context)
-                   if executor.mp_context else None)
-            workers = min(executor.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=ctx) as pool:
-                futures = {
-                    pool.submit(_run_level, task): (task, time.time())
-                    for task in pending
-                }
-                # Let every level run to completion even when one fails:
-                # each finished level is cached immediately, so a re-run
-                # resumes from the failures alone.
-                for future in as_completed(futures):
-                    task, t_submit = futures[future]
-                    try:
-                        summary = future.result()
-                    except Exception as exc:
-                        failures.append((task.name, task.tp_percent, exc))
-                        continue
-                    _record_level(tracer, task, summary, t_submit,
-                                  time.time())
-                    summaries[(task.name, task.tp_percent)] = summary
-                    if cache:
-                        cache.put(task.cache_key, summary)
-
-    if failures:
-        failures.sort(key=lambda f: (f[0], f[1]))
-        raise SweepExecutionError(failures)
-
-    results: Dict[str, ExperimentResult] = {}
-    for config in configs:
-        runs = {
-            pct: summaries[(config.name, pct)]
-            for pct in config.tp_percents
-        }
-        results[config.name] = ExperimentResult(name=config.name, runs=runs)
-    return results
+    report = run_sweeps_report(configs, executor)
+    if report.failures:
+        raise SweepExecutionError([
+            (f.name, f.tp_percent,
+             f.exception or RuntimeError(f.error_message))
+            for f in report.failures
+        ])
+    return report.results
 
 
 def run_sweep(

@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
-from repro import obs
+from repro import chaos, obs
 from repro.atpg.engine import AtpgConfig, AtpgResult, run_atpg
 from repro.core.metrics import TestDataMetrics
 from repro.obs.tracer import Trace
@@ -332,6 +332,7 @@ def run_flow(circuit: Circuit, library: Library,
     # -- Step 1: TPI & scan insertion -----------------------------------
     t0 = clock()
     with obs.span("tpi_scan") as sp:
+        chaos.checkpoint("tpi_scan")
         n_ff_before = circuit.num_flip_flops
         n_tp = round(config.tp_percent / 100.0 * n_ff_before)
         result.n_test_points = n_tp
@@ -362,6 +363,7 @@ def run_flow(circuit: Circuit, library: Library,
     if config.run_atpg_phase:
         t0 = clock()
         with obs.span("atpg") as sp:
+            chaos.checkpoint("atpg")
             result.atpg = run_atpg(circuit, config=config.atpg)
             sp.counter("patterns", result.atpg.n_patterns)
             sp.counter("aborted_faults", result.atpg.aborted)
@@ -379,6 +381,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 2: floorplanning & placement -------------------------------
     t0 = clock()
     with obs.span("floorplan_place") as sp:
+        chaos.checkpoint("floorplan_place")
         # Reserve whitespace for the cells later ECO steps insert: clock
         # buffers (about 1.5x the leaf-cluster count) plus a hold/scan
         # buffer allowance.  Without the reserve, a 97%-utilisation
@@ -404,6 +407,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 3: layout-driven scan-chain reordering ----------------------
     t0 = clock()
     with obs.span("scan_reorder") as sp:
+        chaos.checkpoint("scan_reorder")
         chains = result.chains
         assert chains is not None
         ff_positions = {
@@ -427,6 +431,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 4: ECO, clock trees, fillers, routing -----------------------
     t0 = clock()
     with obs.span("eco_cts_route") as sp:
+        chaos.checkpoint("eco_cts_route")
         if te_buffers:
             eco_place(circuit, placement, te_buffers)
         trees = synthesize_all_clock_trees(
@@ -451,6 +456,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 5: extraction ----------------------------------------------
     t0 = clock()
     with obs.span("extraction") as sp:
+        chaos.checkpoint("extraction")
         result.parasitics = extract_all(circuit, placement, result.routed)
         sp.counter("nets_extracted", len(result.parasitics))
     result.stage_seconds["extraction"] = clock() - t0
@@ -458,6 +464,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     # -- Step 6: STA (with hold-fix ECO loop) ------------------------------
     t0 = clock()
     with obs.span("sta") as sta_span:
+        chaos.checkpoint("sta")
         sta_state: Optional[StaState] = None
         if config.incremental_eco:
             result.sta, sta_state = run_sta_with_state(

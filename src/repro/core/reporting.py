@@ -72,6 +72,32 @@ def format_stage_seconds(result) -> str:
     return _format(rows, tuple(columns))
 
 
+def format_failures(failures: Iterable) -> str:
+    """Render a sweep's :class:`~repro.core.resilience.TaskFailure`
+    records as the tables' companion "holes" listing.
+
+    One row per permanently failed (circuit, tp%) cell, with the
+    attempt count and the final error — what the CLI prints under the
+    Table 1/2/3 output when a degraded sweep completes.
+    """
+    rows: List[Dict[str, object]] = []
+    for failure in failures:
+        rows.append({
+            "circuit": failure.name,
+            "tp_percent": failure.tp_percent,
+            "attempts": failure.attempts,
+            "error_type": failure.error_type,
+            "error": failure.error_message[:60],
+        })
+    return _format(rows, (
+        ("circuit", "circuit", "s"),
+        ("tp_percent", "#TP(%)", "g"),
+        ("attempts", "attempts", "d"),
+        ("error_type", "error type", "s"),
+        ("error", "error", "s"),
+    ))
+
+
 def format_table1(rows: Iterable[_Row]) -> str:
     """Table 1: Impact of TPI on test data."""
     return _format(rows, (

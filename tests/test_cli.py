@@ -39,6 +39,70 @@ def test_unknown_circuit_rejected():
         main(["flow", "--circuit", "nope"])
 
 
+def test_unknown_circuit_exits_2_with_did_you_mean(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["sweep", "--circuit", "s38416"])
+    assert err.value.code == 2  # usage error, not a KeyError traceback
+    stderr = capsys.readouterr().err
+    assert "unknown circuit 's38416'" in stderr
+    assert "did you mean 's38417'?" in stderr
+    assert "control_core" in stderr  # the full choices list prints too
+
+
+def test_resume_without_cache_dir_rejected(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["sweep", "--resume"])
+    assert err.value.code == 2
+    assert "--resume needs --cache-dir" in capsys.readouterr().err
+
+
+def test_resume_with_no_cache_rejected(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["sweep", "--resume", "--cache-dir", "/tmp/x", "--no-cache"])
+    assert err.value.code == 2
+
+
+def test_degraded_sweep_prints_failures_and_exits_3(tmp_path, capsys):
+    from repro.chaos import FaultPlan, FaultSpec
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(faults=(
+        FaultSpec(kind="raise", circuit="s38417", tp_percent=2.0,
+                  stage="tpi_scan", times=-1),
+    )).save(plan_path)
+    rc = main(["sweep", "--circuit", "s38417", "--scale", "0.01",
+               "--tp-percents", "0,2", "--retries", "0",
+               "--cache-dir", str(tmp_path / "cache"),
+               "--chaos", str(plan_path)])
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert "Table 1" in out  # tables render despite the hole
+    assert "FAILED cells (1" in out
+    assert "InjectedFault" in out
+    assert "journal" in out
+
+
+def test_sweep_resume_completes_after_chaos(tmp_path, capsys):
+    from repro.chaos import FaultPlan, FaultSpec
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(faults=(
+        FaultSpec(kind="raise", circuit="s38417", tp_percent=2.0,
+                  stage="tpi_scan", times=-1),
+    )).save(plan_path)
+    cache = str(tmp_path / "cache")
+    assert main(["sweep", "--circuit", "s38417", "--scale", "0.01",
+                 "--tp-percents", "0,2", "--retries", "0",
+                 "--cache-dir", cache, "--chaos", str(plan_path)]) == 3
+    capsys.readouterr()
+    rc = main(["sweep", "--circuit", "s38417", "--scale", "0.01",
+               "--tp-percents", "0,2", "--cache-dir", cache, "--resume"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "served from cache: 0%" in out
+    assert "FAILED" not in out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])

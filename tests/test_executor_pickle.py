@@ -116,3 +116,71 @@ def test_experiment_config_with_partial_is_poolable():
     )
     clone = roundtrip(config)
     assert clone.tp_percents == config.tp_percents
+
+
+# ----------------------------------------------------------------------
+# Back-compat: pickles written before the resilience layer still load
+# ----------------------------------------------------------------------
+def strip_fields(obj, *names):
+    """Clone ``obj`` as an older pickle would deserialise it: without
+    the named (newer) instance attributes, so loading must fall back
+    to the dataclass's class-level defaults."""
+    import copy
+
+    clone = copy.copy(obj)
+    for name in names:
+        clone.__dict__.pop(name, None)
+    return clone
+
+
+def test_old_flow_summary_pickle_without_trace_still_loads():
+    # PR 2 added ``trace``; cache entries written before it lack the
+    # attribute entirely.  They must load and read the default.
+    old = roundtrip(strip_fields(make_summary(), "trace"))
+    assert old.trace is None
+    assert old.cache_key == "ab" * 32
+    assert old.effective_stage_seconds()  # methods still work
+
+
+def test_old_executor_config_pickle_without_resilience_knobs():
+    from repro.core.resilience import RetryPolicy
+
+    config = ExecutorConfig(jobs=4, cache_dir="/tmp/x")
+    old = roundtrip(strip_fields(
+        config, "retries", "task_timeout_s", "backoff_base_s",
+        "backoff_max_s", "fail_fast", "resume", "chaos",
+    ))
+    assert old.retries == 2
+    assert old.task_timeout_s is None
+    assert old.fail_fast is False and old.resume is False
+    assert old.chaos is None
+    assert isinstance(old.retry_policy, RetryPolicy)
+
+
+def test_task_failure_and_sweep_report_roundtrip():
+    from repro.core.resilience import SweepReport, TaskFailure
+
+    failure = TaskFailure.from_exception(
+        "s38417", 2.0, attempts=3, exc=OSError("disk hiccup"),
+        cache_key="ab" * 32,
+    )
+    clone = roundtrip(failure)
+    assert clone == failure  # exception excluded from equality
+    assert clone.chain == ("OSError: disk hiccup",)
+    report = SweepReport(failures=(failure,), retries=1, timeouts=2)
+    clone = roundtrip(report)
+    assert clone.failures == (failure,)
+    assert (clone.retries, clone.timeouts) == (1, 2)
+
+
+def test_old_task_failure_pickle_without_newer_fields():
+    from repro.core.resilience import SweepReport, TaskFailure
+
+    failure = TaskFailure("s38417", 2.0, 1, "OSError", "boom")
+    old = roundtrip(strip_fields(failure, "chain", "cache_key",
+                                 "retryable", "exception"))
+    assert old.chain == () and old.cache_key == ""
+    assert old.retryable is False and old.exception is None
+    report = roundtrip(strip_fields(SweepReport(), "journal_path",
+                                    "worker_crashes"))
+    assert report.journal_path is None and report.worker_crashes == 0
