@@ -43,11 +43,13 @@ from repro.core.flow import FlowConfig, FlowResult, run_flow
 from repro.core.resilience import SweepReport
 from repro.library.cell import Library
 from repro.library.cmos130 import cmos130
+from repro.lint.core import LintReport
 from repro.netlist.circuit import Circuit
 
 __all__ = [
     "CIRCUITS",
     "CircuitSpec",
+    "lint_netlist",
     "load_circuit",
     "run",
     "sweep",
@@ -169,6 +171,84 @@ def run(
         circuit = load_circuit(circuit, scale=scale)
     flow_config = _resolve_config(name, config, options)
     return run_flow(circuit, library or cmos130(), flow_config)
+
+
+def lint_netlist(
+    circuit: Union[Circuit, str],
+    library: Optional[Library] = None,
+    config: Union[FlowConfig, Mapping[str, Any], None] = None,
+    *,
+    scale: float = 0.05,
+    tp_percent: float = 0.0,
+    chains: Any = None,
+    **options: Any,
+) -> LintReport:
+    """Audit a netlist with the netlist/DFT rule pack; never raises.
+
+    Two modes, matching :func:`run`'s circuit argument:
+
+    * A registered benchmark *name*: a fresh netlist is built and taken
+      through the flow's stage-0 DFT prep (TPI at ``tp_percent``, scan
+      insertion, electrical fix-up) under the registry's paper-accurate
+      defaults, then linted — the same view the ``FlowConfig.lint``
+      stage-0 gate sees.
+    * A :class:`Circuit` object: linted exactly as given (no insertion);
+      pass ``chains`` to enable the scan-chain rules.
+
+    Args:
+        circuit: Benchmark name or pre-built netlist.
+        library: Standard-cell library; defaults to the 130 nm one.
+        config: Base :class:`FlowConfig` (object or dict); for named
+            circuits the registry defaults seed it when omitted.
+        scale: Circuit size fraction (named circuits only).
+        tp_percent: TP level for the stage-0 prep (named circuits
+            only).
+        chains: :class:`repro.scan.insertion.ScanChains` of an
+            already-prepared circuit object.
+        **options: :class:`FlowConfig` overrides, as in :func:`run`.
+
+    Returns:
+        The :class:`repro.lint.LintReport`; inspect ``report.ok`` /
+        ``report.diagnostics`` or call ``report.raise_on_error()``.
+    """
+    from repro.lint.netlist_rules import lint_netlist as _lint
+
+    lib = library or cmos130()
+    if isinstance(circuit, str):
+        name = circuit
+        flow_config = _resolve_config(
+            name, config, dict(options, tp_percent=tp_percent)
+        )
+        netlist = load_circuit(name, scale=scale)
+        n_tp = round(
+            flow_config.tp_percent / 100.0 * netlist.num_flip_flops
+        )
+        if n_tp > 0:
+            from repro.tpi.insertion import TpiConfig, insert_test_points
+
+            insert_test_points(netlist, lib, TpiConfig(
+                n_test_points=n_tp,
+                pd_threshold=flow_config.pd_threshold,
+                exclude_nets=set(flow_config.exclude_nets),
+            ))
+        from repro.netlist.fanout import fix_electrical
+        from repro.scan.insertion import insert_scan
+
+        chains = insert_scan(
+            netlist, lib,
+            max_chain_length=flow_config.max_chain_length,
+            n_chains=flow_config.n_chains,
+        )
+        fix_electrical(netlist, lib)
+        circuit = netlist
+    else:
+        flow_config = _resolve_config(None, config, dict(options))
+    return _lint(
+        circuit,
+        chains=chains,
+        max_chain_length=flow_config.max_chain_length,
+        n_chains=flow_config.n_chains,
+    )
 
 
 def _build_experiment(

@@ -5,18 +5,23 @@ Subcommands::
     python -m repro flow  --circuit s38417 --scale 0.06 --tp 2
     python -m repro sweep --circuit p26909 --scale 0.05
     python -m repro sweep --circuit s38417 --jobs 4 --cache-dir .sweeps
+    python -m repro lint  s38417 --scale 0.05 --tp-percents 0,2,5
     python -m repro lbist --circuit s38417 --scale 0.05 --patterns 4096
     python -m repro render --circuit s38417 --scale 0.05 --out gallery/
 
 Every subcommand prints the corresponding paper quantities (Table 1/2/3
 rows, coverage curves, or Figure 3 files).  Scales are fractions of the
 published circuit sizes; 1.0 reproduces the paper's dimensions.
+
+Exit codes: 0 success, 2 usage error, 3 degraded sweep (failed cells),
+4 lint findings (``lint`` subcommand, or a ``--lint`` flow gate).
 """
 
 from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import os
 import sys
 
@@ -24,6 +29,7 @@ from repro import api, obs
 from repro.api import CIRCUITS
 from repro.chaos import FaultPlan
 from repro.core import (
+    PAPER_TP_PERCENTS,
     format_failures,
     format_stage_seconds,
     format_table1,
@@ -33,8 +39,12 @@ from repro.core import (
 )
 from repro.lbist import LbistConfig, coverage_at, run_lbist
 from repro.library import cmos130
+from repro.lint import LintError
 from repro.scan import insert_scan
 from repro.tpi import TpiConfig, insert_test_points
+
+#: Exit code for lint findings — matches ``python -m repro.lint.self``.
+EXIT_LINT = 4
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -100,19 +110,31 @@ def _flow_overrides(args) -> dict:
     overrides = {}
     if getattr(args, "no_incremental", False):
         overrides["incremental_eco"] = False
+    if getattr(args, "lint", False):
+        overrides["lint"] = True
     return overrides
+
+
+def _report_lint_abort(err: LintError) -> int:
+    """Print a lint-gate failure's full report; exit code 4."""
+    print(err.report.format_text())
+    print(f"\naborted: {err}")
+    return EXIT_LINT
 
 
 def cmd_flow(args) -> int:
     """One full Figure 2 flow at a single TP percentage."""
     options = _flow_overrides(args)
-    if args.trace:
-        with obs.tracing(label=f"{args.circuit}@{args.tp:g}%"):
+    try:
+        if args.trace:
+            with obs.tracing(label=f"{args.circuit}@{args.tp:g}%"):
+                result = api.run(args.circuit, scale=args.scale,
+                                 tp_percent=args.tp, **options)
+        else:
             result = api.run(args.circuit, scale=args.scale,
                              tp_percent=args.tp, **options)
-    else:
-        result = api.run(args.circuit, scale=args.scale,
-                         tp_percent=args.tp, **options)
+    except LintError as err:
+        return _report_lint_abort(err)
     m = result.test_metrics()
     print(f"circuit {args.circuit} scale {args.scale} "
           f"TP {args.tp}% ({m.n_test_points} TSFFs)")
@@ -201,11 +223,17 @@ def cmd_sweep(args) -> int:
     elif args.trace:
         # Serial path: one tracer spans the whole sweep, so its trace
         # already holds every level's stage spans.
-        with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
-            result = api.sweep(args.circuit, **sweep_kwargs)
+        try:
+            with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
+                result = api.sweep(args.circuit, **sweep_kwargs)
+        except LintError as err:
+            return _report_lint_abort(err)
         traces = [tracer.trace()]
     else:
-        result = api.sweep(args.circuit, **sweep_kwargs)
+        try:
+            result = api.sweep(args.circuit, **sweep_kwargs)
+        except LintError as err:
+            return _report_lint_abort(err)
     print("Table 1: Impact of TPI on test data")
     print(format_table1(result.table1_rows()))
     print("\nTable 2: Impact of TPI on silicon area")
@@ -223,6 +251,44 @@ def cmd_sweep(args) -> int:
         print(format_failures(report.failures))
         return 3
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Static netlist/DFT audit of a benchmark across TP levels.
+
+    Builds the circuit at each requested TP percentage, runs the
+    flow's stage-0 DFT prep, then the full netlist rule pack.  Errors
+    print with their rule IDs and exit 4; warnings print (with
+    ``--verbose``) but do not fail the audit.
+    """
+    levels = args.tp_percents or PAPER_TP_PERCENTS
+    by_level = {}
+    failed = False
+    for tp in levels:
+        report = api.lint_netlist(args.circuit, scale=args.scale,
+                                  tp_percent=tp)
+        by_level[f"{tp:g}"] = report.to_json()
+        counts = report.counts()
+        status = "ok" if report.ok else "FAIL"
+        print(f"tp {tp:g}%: {counts['error']} error(s), "
+              f"{counts['warning']} warning(s) [{status}]")
+        shown = (report.diagnostics if args.verbose
+                 else report.error_diagnostics)
+        for diag in shown:
+            print(f"  {diag.format()}")
+        failed = failed or not report.ok
+    if args.json:
+        payload = {
+            "version": 1,
+            "circuit": args.circuit,
+            "scale": args.scale,
+            "levels": by_level,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return EXIT_LINT if failed else 0
 
 
 def cmd_lbist(args) -> int:
@@ -283,6 +349,10 @@ def main(argv=None) -> int:
                         help="recompute route/extraction/STA from "
                              "scratch every hold-fix round (escape "
                              "hatch for the incremental ECO engine)")
+    p_flow.add_argument("--lint", action="store_true",
+                        help="run the netlist/DFT lint pack as flow "
+                             "gates (stage 0, pre-route, each ECO "
+                             "round); lint errors abort with exit 4")
     p_flow.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace-event JSON of the "
                              "flow's stages to PATH")
@@ -302,6 +372,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--no-incremental", action="store_true",
                          help="recompute route/extraction/STA from "
                               "scratch every hold-fix round")
+    p_sweep.add_argument("--lint", action="store_true",
+                         help="run the netlist/DFT lint gates inside "
+                              "every level's flow; lint errors abort "
+                              "the serial sweep with exit 4")
     p_sweep.add_argument("--retries", type=int, default=2,
                          help="retry budget per (circuit, tp%%) task "
                               "for retryable failures (default 2)")
@@ -322,6 +396,24 @@ def main(argv=None) -> int:
                               "of all levels (and the executor's "
                               "scheduling) to PATH")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="static netlist/DFT audit (no layout)"
+    )
+    p_lint.add_argument("circuit", nargs="?", default="s38417",
+                        metavar="CIRCUIT",
+                        help="registered benchmark circuit "
+                             f"({', '.join(sorted(CIRCUITS))})")
+    p_lint.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the published circuit size")
+    p_lint.add_argument("--tp-percents", type=_tp_percents, default=None,
+                        help="comma-separated TP levels to audit "
+                             "(default: the paper's 0-5%% ladder)")
+    p_lint.add_argument("--json", default=None, metavar="PATH",
+                        help="write the per-level JSON reports to PATH")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also print warning/info findings")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_lbist = sub.add_parser("lbist", help="LBIST coverage curves")
     _add_common(p_lbist)

@@ -40,6 +40,8 @@ from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.placement import Placement, global_place
 from repro.layout.routing import CongestionReport, GlobalRouter, RoutedNet
 from repro.library.cell import Library
+from repro.lint.core import LintReport
+from repro.lint.netlist_rules import lint_netlist
 from repro.netlist.circuit import Circuit
 from repro.netlist.fanout import DrcReport, fix_electrical
 from repro.netlist.validate import validate
@@ -129,6 +131,14 @@ class FlowConfig:
             do not).
         run_layout_phase: Run placement/route/extraction/STA.
         validate_netlist: Audit the netlist between steps.
+        lint: Run the full netlist/DFT lint pack as flow gates: once
+            after DFT insertion (stage 0), once before routing, and —
+            scoped to the dirty set — after every hold-fix ECO round.
+            Widens ``validate_netlist`` (structural checks only) with
+            combinational-loop, scan-chain and clock-domain audits;
+            any error aborts the run with
+            :class:`repro.lint.LintError`.  Reports land in
+            :attr:`FlowResult.lint_reports`.
         fix_holds: Repair hold violations with delay-buffer ECOs and
             re-analyse (the paper "verified that no hold ... violations
             occur"); up to ``hold_fix_iterations`` rounds.
@@ -158,6 +168,7 @@ class FlowConfig:
     run_atpg_phase: bool = True
     run_layout_phase: bool = True
     validate_netlist: bool = True
+    lint: bool = False
     fix_holds: bool = True
     hold_fix_iterations: int = 3
     incremental_eco: bool = True
@@ -269,6 +280,9 @@ class FlowResult:
     sta: Optional[StaResult] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     hold_fix_rounds: List[HoldFixRound] = field(default_factory=list)
+    #: Lint-gate reports by stage (``"stage0"``, ``"pre_route"``,
+    #: ``"eco_round_<n>"``); populated only when ``config.lint`` is on.
+    lint_reports: Dict[str, LintReport] = field(default_factory=dict)
     trace: Optional[Trace] = None
 
     # -- Table 1 --------------------------------------------------------
@@ -308,6 +322,26 @@ class FlowResult:
             "chip_area_um2": self.plan.chip_area_um2,
             "wirelength_um": self.congestion.total_wirelength_um,
         }
+
+
+def _lint_gate(circuit: Circuit, config: FlowConfig, result: FlowResult,
+               stage: str, nets=None) -> None:
+    """Run the netlist/DFT pack as a flow gate; abort on errors.
+
+    ``nets`` scopes the audit to a dirty set (ECO rounds); the full
+    design is checked when it is None.  The report is kept in
+    ``result.lint_reports[stage]`` either way, so warnings stay
+    inspectable even on clean runs.
+    """
+    report = lint_netlist(
+        circuit,
+        chains=result.chains,
+        max_chain_length=config.max_chain_length,
+        n_chains=config.n_chains,
+        nets=nets,
+    )
+    result.lint_reports[stage] = report
+    report.raise_on_error(context=f"lint gate {stage!r}")
 
 
 def run_flow(circuit: Circuit, library: Library,
@@ -355,6 +389,11 @@ def run_flow(circuit: Circuit, library: Library,
     result.stage_seconds["tpi_scan"] = clock() - t0
     if config.validate_netlist:
         validate(circuit).raise_on_error()
+    if config.lint:
+        # Stage-0 gate: the freshly DFT-prepared netlist must pass the
+        # full pack (loops, chain continuity/balance, clock domains)
+        # before any layout effort is spent on it.
+        _lint_gate(circuit, config, result, "stage0")
 
     if config.run_layout_phase:
         _layout_phase(circuit, library, config, result)
@@ -448,6 +487,11 @@ def _layout_phase(circuit: Circuit, library: Library,
         sp.counter("clock_buffers", len(new_buffers))
         if config.validate_netlist:
             validate(circuit).raise_on_error()
+        if config.lint:
+            # Pre-route gate: last full-pack audit before routing, so a
+            # netlist corrupted by the ECO / CTS edits above is caught
+            # before the (expensive) route + extraction + STA chain.
+            _lint_gate(circuit, config, result, "pre_route")
         router = GlobalRouter(circuit, placement)
         result.congestion = router.route_all()
         result.routed = router.routed
@@ -495,6 +539,12 @@ def _layout_phase(circuit: Circuit, library: Library,
                     # Scoped ECO update: rip up / re-route / re-extract
                     # / re-propagate only what the round touched.
                     dirty_nets, dirty_insts = circuit.reset_dirty()
+                    if config.lint:
+                        # Cheap dirty-set re-lint: audit only the nets
+                        # this round touched before re-routing them.
+                        _lint_gate(circuit, config, result,
+                                   f"eco_round_{round_no}",
+                                   nets=dirty_nets)
                     result.congestion = router.reroute(dirty_nets)
                     result.routed = router.routed
                     result.parasitics = extract_incremental(
@@ -510,7 +560,11 @@ def _layout_phase(circuit: Circuit, library: Library,
                     sp.gauge("sta_incr.endpoints_rechecked",
                              sta_state.endpoints_rechecked)
                 else:
-                    circuit.reset_dirty()
+                    dirty_nets, _ = circuit.reset_dirty()
+                    if config.lint:
+                        _lint_gate(circuit, config, result,
+                                   f"eco_round_{round_no}",
+                                   nets=dirty_nets)
                     router = GlobalRouter(circuit, placement)
                     result.congestion = router.route_all()
                     result.routed = router.routed

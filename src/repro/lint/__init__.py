@@ -1,0 +1,72 @@
+"""repro.lint: the rule-based static-analysis engine.
+
+Two rule packs share one engine and one diagnostics vocabulary:
+
+* the **netlist/DFT pack** (:mod:`repro.lint.netlist_rules`) audits a
+  design — structural integrity, combinational loops, scan-chain
+  continuity, test-point clocking — and gates the flow when
+  ``FlowConfig.lint`` is on (CLI: ``repro lint <circuit>``);
+* the **determinism self-lint** (:mod:`repro.lint.selfrules`) audits
+  the ``repro`` sources themselves for iteration-order, wall-clock and
+  RNG hazards that would break the content-hash cache
+  (CI: ``python -m repro.lint.self``).
+
+This package initialiser stays import-light on purpose: the legacy
+:mod:`repro.netlist.validate` module imports :mod:`repro.lint.core`
+while the ``repro.netlist`` package is still initialising, so nothing
+here may import back into the netlist/scan/tpi layers.  The rule-pack
+modules are exposed lazily via PEP 562.
+"""
+
+from repro.lint.core import (
+    Baseline,
+    Diagnostic,
+    ERROR,
+    INFO,
+    LintError,
+    LintReport,
+    Rule,
+    SEVERITIES,
+    WARNING,
+    pack_rules,
+    run_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "SEVERITIES",
+    "WARNING",
+    "lint_netlist",
+    "lint_sources",
+    "pack_rules",
+    "run_rules",
+]
+
+#: Lazily-resolved exports: name -> home module.  Keeps this package
+#: importable from repro.netlist.validate without a circular import.
+_EXPORTS = {
+    "lint_netlist": "repro.lint.netlist_rules",
+    "lint_sources": "repro.lint.selfrules",
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy resolution of the rule-pack entry points."""
+    import importlib
+
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

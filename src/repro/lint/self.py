@@ -1,0 +1,96 @@
+"""CI entry point of the determinism self-lint.
+
+Usage::
+
+    python -m repro.lint.self                 # gate against the baseline
+    python -m repro.lint.self --json out.json # also write the report
+    python -m repro.lint.self --update-baseline
+
+Exit codes: 0 — no findings outside the committed baseline; 4 — new
+findings (any severity); 2 — usage error.  The baseline lives at the
+repository root as ``lint-baseline.json``: it grandfathers the
+violations that existed when a rule landed, so CI blocks only *new*
+nondeterminism.  Shrink it over time by fixing entries and re-running
+with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.core import Baseline
+from repro.lint.selfrules import default_source_root, lint_sources
+
+#: Exit code when new (non-baselined) findings are present; distinct
+#: from argparse's usage errors (2) and the sweep's degraded exit (3).
+EXIT_LINT_FAILED = 4
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` at the repository root.
+
+    Resolved relative to the installed package (``src/repro`` ->
+    repository root) so the command works from any working directory
+    of a source checkout.
+    """
+    return default_source_root().parent.parent / "lint-baseline.json"
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Run the self-lint, apply the baseline, report and gate."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint.self",
+        description="determinism self-lint over the repro sources",
+    )
+    parser.add_argument("--src", default=None, metavar="DIR",
+                        help="source root to audit (default: the "
+                             "installed repro package)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             "(default: lint-baseline.json at the repo "
+                             "root)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full JSON report to PATH")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings instead of gating on them")
+    args = parser.parse_args(argv)
+
+    root = Path(args.src) if args.src else default_source_root()
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path())
+
+    report = lint_sources(root)
+
+    if args.update_baseline:
+        Baseline.from_report(report).save(baseline_path)
+        print(f"wrote {len(report.diagnostics)} fingerprint(s) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    report.apply_baseline(baseline)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if report.diagnostics:
+        print(report.format_text())
+        print(f"\nself-lint: {len(report.diagnostics)} new finding(s) "
+              f"not covered by {baseline_path.name}; fix them or "
+              f"re-baseline with --update-baseline")
+        return EXIT_LINT_FAILED
+    print(f"self-lint OK: 0 new findings "
+          f"({len(report.suppressed)} baselined, "
+          f"{len(baseline)} baseline entries)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -207,7 +207,12 @@ def _topo_sort(pending: List[CombNode], view: CombView) -> List[CombNode]:
     by_input: Dict[str, List[CombNode]] = {}
     missing: Dict[int, int] = {}
     for idx, node in enumerate(pending):
-        needed = [n for n in set(node.pin_nets.values()) if n not in known]
+        # First-seen-order dedupe (dict.fromkeys), NOT set(): set
+        # iteration order depends on the process hash seed, and the
+        # order here decides the ready-queue order and therefore the
+        # within-level node order every downstream consumer sees.
+        needed = [n for n in dict.fromkeys(node.pin_nets.values())
+                  if n not in known]
         missing[idx] = len(needed)
         for net in needed:
             by_input.setdefault(net, []).append(node)

@@ -3,6 +3,15 @@
 Rewriting passes (TPI, scan stitching, ECO) edit the netlist in place;
 :func:`validate` is the cheap structural audit that catches a bad edit
 before it turns into a mysterious downstream failure.
+
+Since the introduction of :mod:`repro.lint`, the checks themselves live
+in the netlist rule pack (:mod:`repro.lint.netlist_rules`, the rules
+marked *structural*) and this module is a thin façade: it runs that
+subset through the shared engine and wraps the result in the
+historical :class:`ValidationReport` shape, whose ``errors`` /
+``warnings`` string lists many call sites still read.  New code should
+prefer the :class:`repro.lint.Diagnostic` view (:attr:`diagnostics`),
+which carries rule IDs, severities and fix hints.
 """
 
 from __future__ import annotations
@@ -10,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.lint.core import ERROR, LintReport, WARNING, Diagnostic
 from repro.netlist.circuit import Circuit
-from repro.netlist.net import PORT
 
 
 @dataclass
@@ -19,95 +28,63 @@ class ValidationReport:
     """Outcome of a netlist validation pass.
 
     Attributes:
-        errors: Structural violations that make the netlist unusable.
-        warnings: Suspicious but legal constructs (dangling outputs...).
+        report: The underlying engine report with full
+            :class:`~repro.lint.Diagnostic` findings.
     """
 
-    errors: List[str] = field(default_factory=list)
-    warnings: List[str] = field(default_factory=list)
+    report: LintReport = field(default_factory=LintReport)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All findings, most severe first."""
+        return self.report.diagnostics
+
+    @property
+    def errors(self) -> List[str]:
+        """Error messages (back-compat string view).
+
+        The full structured findings — rule IDs, objects, hints — stay
+        available via :attr:`diagnostics`.
+        """
+        return [d.message for d in self.report.error_diagnostics]
+
+    @property
+    def warnings(self) -> List[str]:
+        """Warning messages (back-compat string view)."""
+        return [d.message for d in self.report.warning_diagnostics]
 
     @property
     def ok(self) -> bool:
         """True when no errors were found."""
-        return not self.errors
+        return self.report.ok
 
     def raise_on_error(self) -> None:
-        """Raise ``ValueError`` listing the first few errors, if any."""
-        if self.errors:
-            shown = "; ".join(self.errors[:5])
-            more = f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
-            raise ValueError(f"netlist validation failed: {shown}{more}")
+        """Raise :class:`repro.lint.LintError` when errors are present.
+
+        The exception message lists the first few findings *with their
+        rule IDs*; the complete list stays reachable through the
+        exception's ``report`` / ``diagnostics`` attributes (and via
+        this report), so nothing is lost to message truncation.
+        """
+        self.report.raise_on_error(context="netlist validation")
 
 
 def validate(circuit: Circuit) -> ValidationReport:
-    """Run all structural checks on ``circuit``.
+    """Run the structural checks on ``circuit``.
 
-    Checks: every net driven, every non-filler instance pin connected,
-    sink/driver back-references consistent, clock pins tied to declared
-    clock domains, ports consistent.
+    Checks (rule IDs from the netlist pack): every net driven exactly
+    once (NL001/NL002), dangling nets (NL003), every non-filler
+    instance pin connected (NL004), sink/driver back-references
+    consistent (NL005), ports consistent (NL006), and clock pins tied
+    to declared clock domains or clock-tree nets (DFT002).
+
+    The full DFT audit — combinational loops, scan-chain continuity,
+    chain balance, test-enable fanout, test-point clock domains — is
+    the wider pack behind :func:`repro.lint.lint_netlist` and the
+    ``FlowConfig.lint`` gate.
     """
-    report = ValidationReport()
-    clock_nets = {dom.net for dom in circuit.clocks}
+    from repro.lint.netlist_rules import lint_netlist
 
-    for name, net in circuit.nets.items():
-        if net.driver is None:
-            report.errors.append(f"net {name!r} has no driver")
-        elif net.driver[0] != PORT:
-            inst_name, pin = net.driver
-            inst = circuit.instances.get(inst_name)
-            if inst is None:
-                report.errors.append(
-                    f"net {name!r} driven by missing instance {inst_name!r}"
-                )
-            elif inst.conns.get(pin) != name:
-                report.errors.append(
-                    f"driver back-reference of net {name!r} is stale"
-                )
-        if not net.sinks:
-            report.warnings.append(f"net {name!r} has no sinks (dangling)")
-        for inst_name, pin in net.sinks:
-            if inst_name == PORT:
-                continue
-            inst = circuit.instances.get(inst_name)
-            if inst is None:
-                report.errors.append(
-                    f"net {name!r} read by missing instance {inst_name!r}"
-                )
-            elif inst.conns.get(pin) != name:
-                report.errors.append(
-                    f"sink back-reference ({inst_name}.{pin}) of net "
-                    f"{name!r} is stale"
-                )
-
-    for name, inst in circuit.instances.items():
-        if inst.cell.is_filler:
-            continue
-        for pin_name, pin in inst.cell.pins.items():
-            if pin_name not in inst.conns:
-                report.errors.append(
-                    f"pin {name}.{pin_name} ({inst.cell.name}) unconnected"
-                )
-            elif pin.is_clock and inst.conns[pin_name] not in clock_nets:
-                # Clock pins may legally hang off clock-tree buffers, so
-                # accept nets driven by clock buffers too.
-                driver = circuit.driver_instance(inst.conns[pin_name])
-                if driver is None or not driver.cell.is_clock_buffer:
-                    report.errors.append(
-                        f"clock pin {name}.{pin_name} tied to "
-                        f"{inst.conns[pin_name]!r}, not a clock domain "
-                        f"or clock-tree net"
-                    )
-
-    for port in circuit.outputs:
-        net = circuit.output_net(port)
-        if net not in circuit.nets:
-            report.errors.append(f"output port {port!r} reads missing net")
-        elif (PORT, port) not in circuit.nets[net].sinks:
-            report.errors.append(f"output port {port!r} not a sink of {net!r}")
-    for port in circuit.inputs:
-        if port not in circuit.nets:
-            report.errors.append(f"input port {port!r} has no net")
-        elif circuit.nets[port].driver != (PORT, port):
-            report.errors.append(f"input net {port!r} not driven by its port")
-
-    return report
+    return ValidationReport(
+        report=lint_netlist(circuit, structural_only=True)
+    )

@@ -27,6 +27,7 @@ from repro.obs.tracer import (
     counter,
     gauge,
     get_tracer,
+    in_span,
     install,
     span,
     tracing,
@@ -44,6 +45,7 @@ __all__ = [
     "format_trace_summary",
     "gauge",
     "get_tracer",
+    "in_span",
     "install",
     "span",
     "tracing",

@@ -400,6 +400,16 @@ def span(name: str):
     return _current.span(name)
 
 
+def in_span() -> bool:
+    """True when the active tracer currently has an open span.
+
+    Lets cross-cutting helpers (e.g. the lint engine) attach their
+    spans only *inside* an existing stage span: trace consumers rely
+    on the top level being exactly the flow's stage keys.
+    """
+    return bool(getattr(_current, "_stack", ()))
+
+
 def counter(name: str, delta: float = 1.0) -> None:
     """Bump a counter on the active tracer's innermost span."""
     _current.counter(name, delta)

@@ -84,3 +84,35 @@ def test_dft_insertion_preserves_view_consistency(lib,
     assert "scan_enable" in view.constants
     assert "tp_enable" in view.constants
     assert "scan_enable" not in view.input_nets
+
+
+def test_node_order_stable_across_hash_seeds():
+    """Regression: _topo_sort's ready-queue order must not depend on
+    the process hash seed (the historical set()-dedupe bug).
+
+    The within-level node order feeds every downstream consumer
+    (simulation, testability, ATPG), so two processes with different
+    PYTHONHASHSEED values must levelise identically.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = (
+        "from repro.circuits import s38417_like\n"
+        "from repro.netlist import extract_comb_view\n"
+        "view = extract_comb_view(s38417_like(scale=0.02), 'test')\n"
+        "print(';'.join(n.inst.name for n in view.nodes))\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    orders = []
+    for seed in ("0", "4242"):
+        env = dict(os.environ, PYTHONPATH=str(src), PYTHONHASHSEED=seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        orders.append(proc.stdout.strip())
+    assert orders[0] == orders[1]
+    assert orders[0].count(";") > 10  # a non-trivial node list
