@@ -291,6 +291,7 @@ def _build_executor(
     resume: bool,
     fail_fast: bool,
     chaos: Optional[FaultPlan],
+    cache_max_bytes: Optional[int] = None,
 ) -> ExecutorConfig:
     if resume and not cache_dir:
         raise ValueError(
@@ -300,7 +301,7 @@ def _build_executor(
     return ExecutorConfig(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, trace=trace,
         retries=retries, task_timeout_s=task_timeout_s, resume=resume,
-        fail_fast=fail_fast, chaos=chaos,
+        fail_fast=fail_fast, chaos=chaos, cache_max_bytes=cache_max_bytes,
     )
 
 
@@ -314,6 +315,7 @@ def sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    cache_max_bytes: Optional[int] = None,
     trace: bool = False,
     name: Optional[str] = None,
     retries: int = 2,
@@ -339,6 +341,9 @@ def sweep(
         cache_dir: Content-addressed result cache directory; also
             routes through the executor (and hosts the sweep journal).
         use_cache: Read/write the cache (``False`` forces fresh runs).
+        cache_max_bytes: Size cap of the result cache; when the cached
+            artifacts exceed it, least-recently-used entries are
+            evicted (None = unbounded, the historical behaviour).
         trace: Ask executor workers to record per-run span traces
             (serial runs inherit any ambient :func:`repro.obs.tracing`
             context instead).
@@ -372,7 +377,7 @@ def sweep(
     if jobs > 1 or cache_dir or resilient:
         executor = _build_executor(jobs, cache_dir, use_cache, trace,
                                    retries, task_timeout_s, resume,
-                                   fail_fast, chaos)
+                                   fail_fast, chaos, cache_max_bytes)
         return _run_sweep(experiment, executor)
     return run_experiment(experiment)
 
@@ -387,6 +392,7 @@ def sweep_report(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    cache_max_bytes: Optional[int] = None,
     trace: bool = False,
     name: Optional[str] = None,
     retries: int = 2,
@@ -410,5 +416,5 @@ def sweep_report(
                                    tp_percents, name, options)
     executor = _build_executor(jobs, cache_dir, use_cache, trace,
                                retries, task_timeout_s, resume,
-                               fail_fast, chaos)
+                               fail_fast, chaos, cache_max_bytes)
     return _run_sweeps_report([experiment], executor)

@@ -9,12 +9,24 @@ Subcommands::
     python -m repro lbist --circuit s38417 --scale 0.05 --patterns 4096
     python -m repro render --circuit s38417 --scale 0.05 --out gallery/
 
+    python -m repro serve  --port 8737 --cache-dir .sweep-service
+    python -m repro submit --circuit s38417 --scale 0.05 --wait
+    python -m repro status j0123abcd4567
+    python -m repro result j0123abcd4567
+    python -m repro cancel j0123abcd4567
+
 Every subcommand prints the corresponding paper quantities (Table 1/2/3
 rows, coverage curves, or Figure 3 files).  Scales are fractions of the
 published circuit sizes; 1.0 reproduces the paper's dimensions.
 
-Exit codes: 0 success, 2 usage error, 3 degraded sweep (failed cells),
-4 lint findings (``lint`` subcommand, or a ``--lint`` flow gate).
+The second block talks to the sweep-serving daemon (``serve`` runs it;
+the other four are thin :class:`repro.service.client.ServiceClient`
+wrappers).  ``submit --wait`` and ``result`` print the same tables as
+``sweep`` — the daemon's results are byte-identical to in-process ones.
+
+Exit codes: 0 success, 2 usage error, 3 degraded sweep (failed cells;
+also from ``result``/``submit --wait``), 4 lint findings (``lint``
+subcommand, or a ``--lint`` flow gate).
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from repro.lbist import LbistConfig, coverage_at, run_lbist
 from repro.library import cmos130
 from repro.lint import LintError
 from repro.scan import insert_scan
+from repro.service.client import ServiceError
 from repro.tpi import TpiConfig, insert_test_points
 
 #: Exit code for lint findings — matches ``python -m repro.lint.self``.
@@ -115,6 +128,23 @@ def _flow_overrides(args) -> dict:
     return overrides
 
 
+def _print_tables(result) -> None:
+    """Print one circuit's Tables 1-3 and stage runtimes.
+
+    Shared by the in-process ``sweep`` subcommand and the service-side
+    ``result``/``submit --wait`` ones, so a sweep's rendering is the
+    same no matter which path computed it.
+    """
+    print("Table 1: Impact of TPI on test data")
+    print(format_table1(result.table1_rows()))
+    print("\nTable 2: Impact of TPI on silicon area")
+    print(format_table2(result.table2_rows()))
+    print("\nTable 3: Impact of TPI on timing")
+    print(format_table3(result.table3_rows()))
+    print("\nStage runtimes (seconds)")
+    print(format_stage_seconds(result))
+
+
 def _report_lint_abort(err: LintError) -> int:
     """Print a lint-gate failure's full report; exit code 4."""
     print(err.report.format_text())
@@ -183,6 +213,7 @@ def cmd_sweep(args) -> int:
     if args.jobs > 1 or cache_dir or resilient:
         sweep_kwargs.update(jobs=args.jobs, cache_dir=cache_dir,
                             use_cache=not args.no_cache,
+                            cache_max_bytes=args.cache_max_bytes,
                             trace=bool(args.trace),
                             retries=args.retries,
                             task_timeout_s=args.task_timeout,
@@ -234,14 +265,7 @@ def cmd_sweep(args) -> int:
             result = api.sweep(args.circuit, **sweep_kwargs)
         except LintError as err:
             return _report_lint_abort(err)
-    print("Table 1: Impact of TPI on test data")
-    print(format_table1(result.table1_rows()))
-    print("\nTable 2: Impact of TPI on silicon area")
-    print(format_table2(result.table2_rows()))
-    print("\nTable 3: Impact of TPI on timing")
-    print(format_table3(result.table3_rows()))
-    print("\nStage runtimes (seconds)")
-    print(format_stage_seconds(result))
+    _print_tables(result)
     if args.trace:
         obs.write_chrome_trace(args.trace, traces)
         print(f"\nwrote trace to {args.trace}")
@@ -334,6 +358,134 @@ def cmd_render(args) -> int:
     return 0
 
 
+def _service_progress_line(progress: dict) -> str:
+    """One-line cell progress, e.g. ``cells 3/6 (1 running, 0 failed)``."""
+    return (f"cells {progress['done']}/{progress['total']} "
+            f"({progress['running']} running, "
+            f"{progress['failed']} failed)")
+
+
+def _print_service_report(report) -> int:
+    """Print a daemon report's tables (all circuits) and failures.
+
+    Returns the subcommand's exit code: 3 for a degraded sweep,
+    matching the in-process ``sweep`` contract, else 0.
+    """
+    for name in sorted(report.results):
+        result = report.results[name]
+        if len(report.results) > 1:
+            print(f"== {name} ==")
+        _print_tables(result)
+    if report.cache_hits or report.cache_misses:
+        print(f"\n[service] cache hits={report.cache_hits} "
+              f"misses={report.cache_misses} "
+              f"evictions={report.cache_evictions}")
+    if report.failures:
+        print(f"\nFAILED cells ({len(report.failures)}; tables above "
+              "have holes at these levels)")
+        print(format_failures(report.failures))
+        return 3
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the sweep-serving daemon in the foreground."""
+    from repro.service import ServiceConfig, run_daemon
+
+    run_daemon(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        job_workers=args.job_workers,
+        cache_max_bytes=args.cache_max_bytes,
+        use_cache=not args.no_cache,
+    ))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a sweep to a running daemon (optionally wait for it)."""
+    from repro.service import ServiceClient, SweepRequest
+
+    chaos_plan = FaultPlan.load(args.chaos) if args.chaos else None
+    client = ServiceClient(args.url)
+    record = client.submit(SweepRequest(
+        circuit=args.circuit,
+        scale=args.scale,
+        tp_percents=args.tp_percents,
+        options=_flow_overrides(args),
+        jobs=args.jobs,
+        retries=args.retries,
+        task_timeout_s=args.task_timeout,
+        name=args.name,
+        chaos=chaos_plan,
+    ))
+    print(f"job {record.id} {record.state} on {client.base_url}")
+    if record.coalesced_with:
+        print(f"  coalesced with identical in-flight job "
+              f"{record.coalesced_with} (shared artifact cache)")
+    if not args.wait:
+        print(f"  poll:  python -m repro status {record.id} "
+              f"--url {client.base_url}")
+        print(f"  fetch: python -m repro result {record.id} "
+              f"--url {client.base_url}")
+        return 0
+    final = client.wait(record.id, timeout_s=args.timeout)
+    state = final["state"]
+    print(f"job {record.id} {state} — "
+          + _service_progress_line(final["progress"]))
+    if state == "failed":
+        print(f"error: {final.get('error')}")
+        return 1
+    if state == "cancelled":
+        return 3
+    return _print_service_report(client.result(record.id))
+
+
+def cmd_status(args) -> int:
+    """Show one job's lifecycle state and per-cell progress."""
+    from repro.service import ServiceClient
+
+    payload = ServiceClient(args.url).status(args.job_id)
+    progress = payload["progress"]
+    print(f"job {payload['id']}: {payload['state']} — "
+          + _service_progress_line(progress))
+    if payload.get("error"):
+        print(f"error: {payload['error']}")
+    for cell in progress["cells"]:
+        attempts = (f" (attempt {cell['attempts']})"
+                    if cell["attempts"] > 1 else "")
+        print(f"  {cell['name']} @ {cell['tp_percent']:g}%: "
+              f"{cell['state']}{attempts}")
+    return 0
+
+
+def cmd_result(args) -> int:
+    """Fetch a finished job's tables; exit 3 on a degraded sweep."""
+    from repro.service import ServiceClient
+
+    return _print_service_report(
+        ServiceClient(args.url).result(args.job_id))
+
+
+def cmd_cancel(args) -> int:
+    """Cancel a queued or running job."""
+    from repro.service import ServiceClient
+
+    record = ServiceClient(args.url).cancel(args.job_id)
+    print(f"job {record.id}: {record.state}")
+    if record.state == "running":
+        print("  cancellation is cooperative: no new cells will "
+              "start; in-flight cells finish into the shared cache")
+    return 0
+
+
+def _add_service_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default="http://127.0.0.1:8737",
+                        help="base URL of the sweep daemon "
+                             "(default: %(default)s)")
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -369,6 +521,11 @@ def main(argv=None) -> int:
                          help="content-addressed result cache directory")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (force fresh runs)")
+    p_sweep.add_argument("--cache-max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="size cap of the result cache; above it "
+                              "least-recently-used entries are evicted "
+                              "(default: unbounded)")
     p_sweep.add_argument("--no-incremental", action="store_true",
                          help="recompute route/extraction/STA from "
                               "scratch every hold-fix round")
@@ -427,6 +584,87 @@ def main(argv=None) -> int:
     p_render.add_argument("--out", default="layout_views")
     p_render.set_defaults(func=cmd_render)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the sweep-serving daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: %(default)s; the "
+                              "daemon has no auth — keep it on "
+                              "loopback or a trusted network)")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="TCP port; 0 binds an ephemeral port")
+    p_serve.add_argument("--cache-dir", default=".sweep-service",
+                         help="shared artifact cache directory "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="jobs run concurrently (default: 2); "
+                              "each job's own --jobs knob governs its "
+                              "process pool")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="LRU size cap of the shared cache "
+                              "(default: unbounded)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the shared artifact cache")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep to a running daemon"
+    )
+    _add_common(p_submit)
+    _add_service_url(p_submit)
+    p_submit.add_argument("--tp-percents", type=_tp_percents,
+                          default=None,
+                          help="comma-separated TP levels to sweep "
+                               "(default: the paper's 0-5%% ladder)")
+    p_submit.add_argument("--jobs", type=int, default=1,
+                          help="worker processes within the job")
+    p_submit.add_argument("--retries", type=int, default=2,
+                          help="retry budget per cell (default 2)")
+    p_submit.add_argument("--task-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="watchdog per-cell timeout (needs "
+                               "--jobs > 1)")
+    p_submit.add_argument("--name", default=None,
+                          help="experiment label (default: circuit)")
+    p_submit.add_argument("--chaos", default=None, metavar="PLAN.json",
+                          help="fault-injection plan file (testing/CI; "
+                               "kill/hang faults need --jobs > 1)")
+    p_submit.add_argument("--no-incremental", action="store_true",
+                          help="recompute route/extraction/STA from "
+                               "scratch every hold-fix round")
+    p_submit.add_argument("--lint", action="store_true",
+                          help="run the netlist/DFT lint gates inside "
+                               "every level's flow")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes, then "
+                               "print its tables (exit 3 if degraded)")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="--wait deadline (default: %(default)s)")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="show a daemon job's progress"
+    )
+    p_status.add_argument("job_id", metavar="JOB_ID")
+    _add_service_url(p_status)
+    p_status.set_defaults(func=cmd_status)
+
+    p_result = sub.add_parser(
+        "result", help="fetch a finished daemon job's tables"
+    )
+    p_result.add_argument("job_id", metavar="JOB_ID")
+    _add_service_url(p_result)
+    p_result.set_defaults(func=cmd_result)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running daemon job"
+    )
+    p_cancel.add_argument("job_id", metavar="JOB_ID")
+    _add_service_url(p_cancel)
+    p_cancel.set_defaults(func=cmd_cancel)
+
     args = parser.parse_args(argv)
     _validate_circuit(parser, args)
     if getattr(args, "resume", False) and not (
@@ -434,7 +672,14 @@ def main(argv=None) -> int:
         parser.error("--resume needs --cache-dir (and not --no-cache): "
                      "resume skips completed cells via the cache and "
                      "its journal")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServiceError as err:
+        print(f"service error: {err}", file=sys.stderr)
+        return 1
+    except TimeoutError as err:
+        print(f"timed out: {err}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -388,16 +388,27 @@ class ResultCache:
     and are **quarantined** (renamed to ``<entry>.pkl.corrupt``) rather
     than deleted — the bytes stay available for post-mortems while the
     live path frees up for the recompute.
+
+    With ``max_bytes`` set the store is a size-capped LRU: every
+    ``put`` that pushes the total entry size over the cap evicts
+    least-recently-used entries (oldest mtime first; a hit refreshes
+    the entry's mtime) until the total fits again.  The entry just
+    written is never evicted, so a single oversized result degrades to
+    "cache of one" rather than thrashing.  A long-running daemon can
+    therefore treat one cache directory as a shared artifact store
+    without ever filling the disk.
     """
 
     #: Suffix appended to quarantined (unreadable) entries.
     QUARANTINE_SUFFIX = ".corrupt"
 
-    def __init__(self, root):
+    def __init__(self, root, max_bytes: Optional[int] = None):
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.evictions = 0
 
     def path(self, key: str) -> Path:
         """Entry path for ``key``."""
@@ -435,10 +446,18 @@ class ResultCache:
             self._quarantine(key)
             return None
         self.hits += 1
+        try:
+            # LRU touch: a hit makes the entry recently-used, so the
+            # size-cap evictor (oldest mtime first) spares it.
+            os.utime(path)
+        except OSError:
+            pass
         return summary
 
     def put(self, key: str, summary: FlowSummary) -> None:
-        """Atomically store ``summary`` under ``key``."""
+        """Atomically store ``summary`` under ``key``; then enforce
+        the ``max_bytes`` budget (evicting LRU entries, never this
+        one)."""
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
@@ -452,6 +471,50 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._enforce_budget(keep=path)
+
+    def total_bytes(self) -> int:
+        """Current size of all live entries (quarantine excluded)."""
+        total = 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _enforce_budget(self, keep: Path) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (the entry just written) is exempt.  Races are benign:
+        an entry another process already removed is simply skipped, and
+        concurrent writers each converge the directory toward the cap.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, str(entry), entry, stat.st_size))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _mtime, _name, entry, size in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            obs.counter("cache.evictions")
 
 
 # ----------------------------------------------------------------------
@@ -504,6 +567,20 @@ class ExecutorConfig:
         chaos: Deterministic fault-injection plan (tests/CI only); the
             ``REPRO_CHAOS`` environment variable is the CLI-side way
             to set it.  Never part of the cache key.
+        cache_max_bytes: Size cap of the result cache; over it, the
+            least-recently-used entries are evicted on write (see
+            :class:`ResultCache`).  None means unbounded (the classic
+            one-shot-sweep behaviour).
+        journal: Explicit journal file path.  Unset, the journal rides
+            the cache directory (``<cache_dir>/journal.jsonl``); the
+            sweep service sets it so concurrent jobs sharing one cache
+            each keep their own task-lifecycle journal.
+        cancel_check: Polled between task submissions; returning True
+            cancels the sweep cooperatively — no new cells start,
+            queued/waiting cells are recorded as ``SweepCancelled``
+            failures, and in-flight cells run to completion (their
+            results still land in the cache).  None (default) means
+            the sweep is uncancellable, as before.
     """
 
     jobs: int = 1
@@ -519,12 +596,16 @@ class ExecutorConfig:
     fail_fast: bool = False
     resume: bool = False
     chaos: Optional[FaultPlan] = None
+    cache_max_bytes: Optional[int] = None
+    journal: Optional[str] = None
+    cancel_check: Optional[Callable[[], bool]] = None
 
     @property
     def cache(self) -> Optional[ResultCache]:
         """The configured cache, or None when caching is off."""
         if self.cache_dir and self.use_cache:
-            return ResultCache(self.cache_dir)
+            return ResultCache(self.cache_dir,
+                               max_bytes=self.cache_max_bytes)
         return None
 
     @property
@@ -537,8 +618,11 @@ class ExecutorConfig:
         )
 
     def journal_path(self) -> Optional[Path]:
-        """Where this sweep journals, or None (journal rides the
-        cache directory — no cache, no resume state to track)."""
+        """Where this sweep journals: the explicit ``journal`` path
+        when set, else alongside the cache (no cache, no resume state
+        to track)."""
+        if self.journal:
+            return Path(self.journal)
         if self.cache_dir and self.use_cache:
             return Path(self.cache_dir) / "journal.jsonl"
         return None
@@ -796,6 +880,16 @@ class _Scheduler:
         self.timeouts = 0
         self.crashes = 0
         self.aborted = False
+        self.cancelled = False
+
+    def _check_cancel(self) -> None:
+        """Fold an external cancellation request into the abort path."""
+        check = self.executor.cancel_check
+        if check is None or self.cancelled:
+            return
+        if check():
+            self.cancelled = True
+            self.aborted = True
 
     # -- bookkeeping ----------------------------------------------------
     def _journal_event(self, event: str, task: _LevelTask,
@@ -842,22 +936,47 @@ class _Scheduler:
         return None
 
     def _abort_cell(self, task: _LevelTask) -> None:
-        """Record a cell the fail-fast abort prevented from running."""
+        """Record a cell an abort (fail-fast or cancel) kept from
+        running.  Cancelled cells are distinguishable in the report and
+        the journal so a service can tell "tenant hung up" from "sweep
+        degraded"."""
+        if self.cancelled:
+            error_type = "SweepCancelled"
+            message = "sweep cancelled before this cell ran"
+        else:
+            error_type = "SweepAborted"
+            message = "sweep aborted (fail-fast) before this cell ran"
         self.failures.append(TaskFailure(
             name=task.name,
             tp_percent=task.tp_percent,
             attempts=0,
-            error_type="SweepAborted",
-            error_message="sweep aborted (fail-fast) before this cell ran",
+            error_type=error_type,
+            error_message=message,
             cache_key=task.cache_key,
         ))
         self.tracer.counter("sweep.failed_cells")
-        self._journal_event("task_aborted", task)
+        self._journal_event("task_aborted", task,
+                            cancelled=self.cancelled)
 
     # -- serial mode ----------------------------------------------------
+    def _backoff_sleep(self, delay: float) -> None:
+        """Sleep a retry backoff, polling for cancellation so a
+        cancelled sweep does not sit out a 30 s backoff first."""
+        if self.executor.cancel_check is None:
+            time.sleep(delay)
+            return
+        deadline = time.monotonic() + delay
+        while time.monotonic() < deadline:
+            self._check_cancel()
+            if self.cancelled:
+                return
+            time.sleep(min(0.05, max(0.0,
+                                     deadline - time.monotonic())))
+
     def run_serial(self) -> None:
         """Inline execution with retry/backoff (no watchdog)."""
         for task in self.pending:
+            self._check_cancel()
             if self.aborted:
                 self._abort_cell(task)
                 continue
@@ -873,7 +992,11 @@ class _Scheduler:
                     delay = self._on_task_error(task, attempt, exc)
                     if delay is None:
                         break
-                    time.sleep(delay)
+                    self._backoff_sleep(delay)
+                    self._check_cancel()
+                    if self.aborted:
+                        self._abort_cell(task)
+                        break
                     attempt += 1
                     continue
                 self._success(task, attempt, summary, t_submit, time.time())
@@ -911,6 +1034,7 @@ class _Scheduler:
         pool = self._new_pool(ctx)
         try:
             while queue or isolate or waiting or in_flight:
+                self._check_cancel()
                 now = time.monotonic()
                 # Promote retries whose backoff has elapsed.
                 still: List[Tuple[float, _LevelTask, int, bool]] = []
@@ -1126,8 +1250,10 @@ def run_sweeps_report(
             summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
             now = tracer.now()
             tracer.record_span(f"cache_hit:{task.label}", now, now)
-            if journal is not None and task.cache_key in resumed:
-                journal.record("task_resumed", key=task.cache_key,
+            if journal is not None:
+                event = ("task_resumed" if task.cache_key in resumed
+                         else "task_cached")
+                journal.record(event, key=task.cache_key,
                                name=task.name, tp_percent=task.tp_percent)
         else:
             pending.append(task)
@@ -1154,6 +1280,7 @@ def run_sweeps_report(
             retries=scheduler.retries,
             timeouts=scheduler.timeouts,
             worker_crashes=scheduler.crashes,
+            cancelled=scheduler.cancelled,
         )
         journal.close()
 
@@ -1172,6 +1299,10 @@ def run_sweeps_report(
         timeouts=scheduler.timeouts,
         worker_crashes=scheduler.crashes,
         journal_path=str(jpath) if jpath is not None else None,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        cache_evictions=cache.evictions if cache is not None else 0,
+        cancelled=scheduler.cancelled,
     )
 
 

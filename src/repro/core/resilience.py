@@ -228,6 +228,14 @@ class SweepReport:
         worker_crashes: Pool breakages attributed to dying workers.
         journal_path: The sweep journal written (None when journalling
             was off).
+        cache_hits: Cells served from the result cache without
+            recomputation (0 when caching was off).
+        cache_misses: Cache lookups that fell through to a flow run.
+        cache_evictions: Entries the size-capped cache evicted while
+            this sweep wrote results.
+        cancelled: True when the sweep's ``cancel_check`` fired and
+            unstarted cells were abandoned (they appear in
+            ``failures`` as ``SweepCancelled``).
     """
 
     results: Dict[str, Any] = field(default_factory=dict)
@@ -236,6 +244,10 @@ class SweepReport:
     timeouts: int = 0
     worker_crashes: int = 0
     journal_path: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -275,6 +287,13 @@ class SweepJournal:
         The cell is permanently failed (budget spent or fatal error).
     ``task_resumed``
         A completed cell served from the cache on a resumed sweep.
+    ``task_cached``
+        A cell served from the result cache outside resume (warm
+        cache, or another tenant of a shared service cache computed
+        it first).
+    ``task_aborted``
+        The cell never ran: the sweep aborted (fail-fast) or was
+        cancelled before scheduling it.
     ``sweep_end``
         Final tally.
     """
@@ -307,28 +326,43 @@ class SweepJournal:
         self.close()
 
 
-def read_journal(path) -> List[Dict[str, Any]]:
-    """Parse a journal; a torn trailing line (crash) is tolerated.
+def parse_journal_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse journal lines; a torn trailing frame is tolerated.
 
-    Returns an empty list when the file does not exist.  A malformed
-    line *ends* the parse (everything before it is intact by the
-    append-only discipline); only the events up to the tear are
-    returned.
+    A malformed line *ends* the parse (everything before it is intact
+    by the append-only discipline); only the events up to the tear are
+    returned.  Non-object frames (a bare JSON number, say) also end
+    the parse — an event is always a JSON object.  This is the one
+    journal decoder: the sweep service's progress endpoint and
+    ``--resume`` both read through it, so a truncated frame can only
+    ever surface as "cell still in progress", never as a crash.
+    """
+    events: List[Dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if not isinstance(event, dict):
+            break
+        events.append(event)
+    return events
+
+
+def read_journal(path) -> List[Dict[str, Any]]:
+    """Parse a journal file; a torn trailing line (crash) is tolerated.
+
+    Returns an empty list when the file does not exist; otherwise
+    defers to :func:`parse_journal_lines`.
     """
     path = Path(path)
     if not path.exists():
         return []
-    events: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
-                break
-    return events
+        return parse_journal_lines(handle)
 
 
 def completed_keys(events: Iterable[Dict[str, Any]]) -> Set[str]:

@@ -45,14 +45,16 @@ from repro.lint.core import (
 PACK = "self"
 
 #: Modules allowed to read the wall clock: observability timestamps,
-#: journal records, executor scheduling and the CLI/chaos layers sit
-#: outside the cached computation by design.
+#: journal records, executor scheduling, the service daemon's job
+#: clocks and the CLI/chaos layers sit outside the cached computation
+#: by design.
 WALLCLOCK_ALLOWED = (
     "obs/",
     "core/resilience.py",
     "core/executor.py",
     "chaos.py",
     "cli.py",
+    "service/",
 )
 
 #: Functions that compute (or feed) content-hash cache keys; their

@@ -1,0 +1,220 @@
+"""HTTP client for the sweep service.
+
+:class:`ServiceClient` is the only piece of code (besides the daemon)
+that touches sockets — the CLI subcommands and the e2e tests all route
+through it.  One ``http.client.HTTPConnection`` per request, matching
+the server's ``Connection: close`` discipline; no sessions, no
+keep-alive, no dependencies.
+
+The headline API is :meth:`ServiceClient.sweep`: it mirrors the
+contract of :func:`repro.api.sweep` — submit, wait, fetch, raise
+:class:`~repro.core.executor.SweepExecutionError` if any cell stayed
+failed, return the circuit's :class:`~repro.core.experiment.ExperimentResult`
+— which is what makes the daemon and the in-process API verifiably
+interchangeable (the service test suite asserts their canonical result
+bytes are equal).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.core.executor import SweepExecutionError
+from repro.core.experiment import ExperimentResult
+from repro.core.resilience import SweepReport
+from repro.service.protocol import (
+    JOB_CANCELLED,
+    JOB_FAILED,
+    TERMINAL_STATES,
+    JobRecord,
+    SweepRequest,
+    report_from_wire,
+)
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (HTTP status >= 400).
+
+    Attributes:
+        status: The HTTP status code (0 when the connection itself
+            failed before a status arrived).
+        payload: The decoded JSON error body (``{"error": ...}``).
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any],
+                 context: str):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error", payload)
+        super().__init__(f"{context}: HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talk to a running sweep daemon.
+
+    Args:
+        base_url: Root URL, e.g. ``http://127.0.0.1:8737``.
+        timeout_s: Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got "
+                f"{base_url!r}"
+            )
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout_s = timeout_s
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- raw transport ---------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 ) -> Tuple[int, Dict[str, Any]]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json",
+                       "Connection": "close"}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceError(
+                    response.status,
+                    {"error": f"non-JSON response body: {exc}"},
+                    f"{method} {path}",
+                )
+            return response.status, decoded
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                0, {"error": str(exc)},
+                f"{method} {self.base_url}{path}") from exc
+        finally:
+            conn.close()
+
+    def _expect(self, method: str, path: str,
+                ok: Tuple[int, ...] = (200,),
+                body: Optional[Dict[str, Any]] = None,
+                ) -> Dict[str, Any]:
+        status, payload = self._request(method, path, body)
+        if status not in ok:
+            raise ServiceError(status, payload, f"{method} {path}")
+        return payload
+
+    # -- endpoints -------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """Daemon liveness payload (version, uptime, workers)."""
+        return self._expect("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Queue/worker/cache metrics snapshot."""
+        return self._expect("GET", "/metrics")
+
+    def submit(self, request: SweepRequest) -> JobRecord:
+        """Submit a sweep; returns the queued job's record."""
+        payload = self._expect("POST", "/sweeps", ok=(202,),
+                               body=request.to_wire())
+        return JobRecord.from_wire(payload)
+
+    def jobs(self) -> List[JobRecord]:
+        """All jobs the daemon knows, oldest first."""
+        payload = self._expect("GET", "/sweeps")
+        return [JobRecord.from_wire(r) for r in payload.get("jobs", ())]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Job record plus journal-streamed per-cell progress."""
+        return self._expect("GET", f"/sweeps/{job_id}")
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job (immediate while queued, cooperative while
+        running)."""
+        payload = self._expect("DELETE", f"/sweeps/{job_id}")
+        return JobRecord.from_wire(payload)
+
+    def result(self, job_id: str) -> SweepReport:
+        """Fetch a finished job's sweep report.
+
+        Raises:
+            ServiceError: 409 while the job is still queued/running
+                (or was cancelled before producing anything), 500 when
+                the job failed at the engine level.
+        """
+        payload = self._expect("GET", f"/sweeps/{job_id}/result")
+        payload.pop("id", None)
+        payload.pop("state", None)
+        return report_from_wire(payload)
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final status payload (record + progress).
+
+        Raises:
+            TimeoutError: Still running after ``timeout_s``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.status(job_id)
+            if payload.get("state") in TERMINAL_STATES:
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload.get('state')!r} "
+                    f"after {timeout_s:g} s"
+                )
+            time.sleep(poll_s)
+
+    # -- api.sweep parity ------------------------------------------------
+    def sweep(self, circuit: str, *, scale: float = 0.05,
+              tp_percents: Optional[Tuple[float, ...]] = None,
+              options: Optional[Dict[str, Any]] = None,
+              jobs: int = 1, retries: int = 2,
+              task_timeout_s: Optional[float] = None,
+              name: Optional[str] = None,
+              timeout_s: float = 600.0,
+              poll_s: float = 0.2) -> ExperimentResult:
+        """Run a sweep on the daemon with ``api.sweep`` semantics.
+
+        Submits, waits, fetches, and applies the same failure
+        contract: any cell that stayed failed raises
+        :class:`SweepExecutionError`; otherwise the circuit's
+        :class:`ExperimentResult` comes back, table builders intact.
+        """
+        record = self.submit(SweepRequest(
+            circuit=circuit, scale=scale, tp_percents=tp_percents,
+            options=dict(options or {}), jobs=jobs, retries=retries,
+            task_timeout_s=task_timeout_s, name=name,
+        ))
+        final = self.wait(record.id, timeout_s=timeout_s, poll_s=poll_s)
+        state = final.get("state")
+        if state == JOB_FAILED:
+            raise ServiceError(500, {"error": final.get("error")},
+                               f"job {record.id}")
+        if state == JOB_CANCELLED:
+            raise ServiceError(409, {"error": "job was cancelled"},
+                               f"job {record.id}")
+        report = self.result(record.id)
+        if report.failures:
+            raise SweepExecutionError([
+                (f.name, f.tp_percent,
+                 f.exception or RuntimeError(f.error_message))
+                for f in report.failures
+            ])
+        key = name if name is not None else circuit
+        return report.results[key]

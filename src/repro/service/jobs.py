@@ -1,0 +1,404 @@
+"""Job queue and execution engine of the sweep service.
+
+The daemon's HTTP layer is a thin skin over this module: a
+:class:`JobManager` owns a FIFO queue of submitted
+:class:`~repro.service.protocol.SweepRequest` jobs and a small pool of
+worker *threads*.  Each worker runs one job at a time through the
+existing fault-tolerant sweep engine
+(:func:`repro.core.executor.run_sweeps_report`) — retries, watchdog,
+crash isolation, chaos checkpoints and journalling all apply
+unchanged, because the service adds queueing *around* the engine, not
+a second engine.
+
+Why threads, not asyncio tasks: a sweep is CPU-bound blocking work
+that itself fans out over a ``ProcessPoolExecutor``; the asyncio loop
+must stay free to answer health checks while sweeps grind.  Worker
+threads spend their lives blocked in the engine, so the GIL is not
+the bottleneck — the process pool under each job is.
+
+**Shared artifact cache.**  Every job writes into one
+content-addressed :class:`~repro.core.executor.ResultCache`, so
+concurrent tenants deduplicate identical (circuit, tp%, config)
+cells: the first job to compute a cell pays for it, later jobs hit.
+Two protections make the sharing safe:
+
+* *Coalescing* — two in-flight jobs with the same
+  :meth:`~repro.service.protocol.SweepRequest.spec_key` are
+  serialised (the second waits for the first, then runs against the
+  warm cache), so identical concurrent submissions cost one
+  computation plus N-1 cache reads instead of N computations.
+* *Eviction* — the cache runs size-capped
+  (``ServiceConfig.cache_max_bytes``) with LRU eviction, so a
+  long-lived daemon cannot fill the disk.
+
+Each job keeps its **own journal** (``ExecutorConfig.journal``), so
+per-cell progress streams per tenant even though artifacts are
+shared.  Cancellation is cooperative via
+``ExecutorConfig.cancel_check``: a cancelled job stops scheduling
+cells; completed cells stay cached for the next tenant.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.chaos import plan_from_env
+from repro.core.executor import ExecutorConfig, run_sweeps_report
+from repro.core.resilience import SweepReport, read_journal
+from repro.service.protocol import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+    SweepRequest,
+    WireError,
+    progress_from_journal,
+)
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id exists on this daemon."""
+
+
+class _Job:
+    """Mutable server-side job state (JobRecord is its snapshot)."""
+
+    def __init__(self, job_id: str, request: SweepRequest,
+                 journal: Path, coalesced_with: Optional[str]):
+        self.id = job_id
+        self.request = request
+        self.spec = request.spec_key()
+        self.journal = journal
+        self.state = JOB_QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.coalesced_with = coalesced_with
+        self.report: Optional[SweepReport] = None
+        self.cancel_event = threading.Event()
+
+    def record(self) -> JobRecord:
+        return JobRecord(
+            id=self.id,
+            state=self.state,
+            request=self.request,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            error=self.error,
+            coalesced_with=self.coalesced_with,
+        )
+
+
+class JobManager:
+    """Asynchronous job queue over the fault-tolerant sweep engine.
+
+    Args:
+        cache_dir: Shared artifact cache directory (created on
+            demand).  Journals live under ``<cache_dir>/journals/``.
+        job_workers: Concurrent jobs (worker threads).  Within each
+            job the request's own ``jobs`` knob governs its process
+            pool.
+        cache_max_bytes: LRU size cap of the shared cache (None =
+            unbounded).
+        use_cache: Master cache switch (tests force fresh runs with
+            False).
+        build_experiment: Injection point mapping a request to an
+            :class:`~repro.core.experiment.ExperimentConfig`; defaults
+            to the exact resolution :func:`repro.api.sweep` uses, which
+            is what makes daemon results byte-identical to in-process
+            ones.
+    """
+
+    def __init__(self, cache_dir, job_workers: int = 2,
+                 cache_max_bytes: Optional[int] = None,
+                 use_cache: bool = True,
+                 build_experiment=None):
+        self.cache_dir = Path(cache_dir)
+        self.journal_dir = self.cache_dir / "journals"
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.job_workers = max(1, job_workers)
+        self.cache_max_bytes = cache_max_bytes
+        self.use_cache = use_cache
+        self._build_experiment = (build_experiment
+                                  or _default_build_experiment)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._spec_locks: Dict[str, List[Any]] = {}
+        self._running: Dict[str, _Job] = {}
+        self._counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_coalesced": 0,
+            "cells_done": 0,
+            "cells_failed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+        }
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"sweep-worker-{i}")
+            for i in range(self.job_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+    def _validate(self, request: SweepRequest) -> None:
+        from repro.api import CIRCUITS, _unknown_circuit_error
+
+        if request.circuit not in CIRCUITS:
+            raise WireError(str(_unknown_circuit_error(request.circuit)))
+        plan = (request.chaos if request.chaos is not None
+                else plan_from_env())
+        if plan is not None and request.jobs <= 1 and any(
+                spec.kind in ("kill", "hang") for spec in plan.faults):
+            raise WireError(
+                "kill/hang chaos faults need jobs > 1: with jobs=1 the "
+                "cell runs inline in the daemon's worker thread, so a "
+                "kill would take the daemon down and a hang has no "
+                "watchdog to rescue it"
+            )
+
+    def submit(self, request: SweepRequest) -> JobRecord:
+        """Accept a sweep job; returns its queued record.
+
+        Raises:
+            WireError: The request is invalid (unknown circuit,
+                unsafe chaos plan) — the server answers HTTP 400.
+        """
+        self._validate(request)
+        job_id = f"j{uuid.uuid4().hex[:12]}"
+        journal = self.journal_dir / f"{job_id}.jsonl"
+        with self._lock:
+            spec = request.spec_key()
+            twin = next(
+                (j for jid in self._order
+                 for j in [self._jobs[jid]]
+                 if j.spec == spec and j.state not in TERMINAL_STATES),
+                None,
+            )
+            job = _Job(job_id, request, journal,
+                       coalesced_with=twin.id if twin else None)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._counters["jobs_submitted"] += 1
+            if twin is not None:
+                self._counters["jobs_coalesced"] += 1
+        obs.counter("service.jobs_submitted")
+        self._queue.put(job)
+        return job.record()
+
+    # -- lookup ----------------------------------------------------------
+    def _get(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def record(self, job_id: str) -> JobRecord:
+        """Current lifecycle snapshot of one job."""
+        with self._lock:
+            return self._get(job_id).record()
+
+    def records(self) -> List[JobRecord]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return [self._jobs[jid].record() for jid in self._order]
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        """Per-cell progress of one job, streamed from its journal.
+
+        Safe against torn/partial journal frames by construction (the
+        journal reader stops at the first bad line): a cell whose
+        completion frame has not landed reads as still in progress.
+        """
+        job = self._get(job_id)
+        return progress_from_journal(read_journal(job.journal))
+
+    def report(self, job_id: str) -> Optional[SweepReport]:
+        """The finished job's sweep report, or None while running."""
+        return self._get(job_id).report
+
+    # -- cancellation ----------------------------------------------------
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: immediate while queued, cooperative while
+        running (no new cells start; in-flight cells finish into the
+        shared cache), a no-op once terminal."""
+        with self._lock:
+            job = self._get(job_id)
+            if job.state == JOB_QUEUED:
+                job.cancel_event.set()
+                job.state = JOB_CANCELLED
+                job.finished_at = time.time()
+                self._counters["jobs_cancelled"] += 1
+            elif job.state == JOB_RUNNING:
+                job.cancel_event.set()
+            return job.record()
+        # The worker notices the event via ExecutorConfig.cancel_check
+        # and finalises the running job as cancelled itself.
+
+    # -- execution -------------------------------------------------------
+    def _acquire_spec(self, spec: str) -> List[Any]:
+        with self._lock:
+            entry = self._spec_locks.get(spec)
+            if entry is None:
+                entry = self._spec_locks[spec] = [threading.Lock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+        return entry
+
+    def _release_spec(self, spec: str, entry: List[Any]) -> None:
+        entry[0].release()
+        with self._lock:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._spec_locks.pop(spec, None)
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.cancel_event.is_set():
+                # Cancelled while queued; already finalised.
+                continue
+            # Coalescing: identical specs run one at a time, so the
+            # second tenant's job finds every cell warm in the cache.
+            entry = self._acquire_spec(job.spec)
+            try:
+                self._run_job(job)
+            finally:
+                self._release_spec(job.spec, entry)
+
+    def _executor_config(self, job: _Job) -> ExecutorConfig:
+        request = job.request
+        return ExecutorConfig(
+            jobs=request.jobs,
+            cache_dir=str(self.cache_dir),
+            use_cache=self.use_cache,
+            cache_max_bytes=self.cache_max_bytes,
+            retries=request.retries,
+            task_timeout_s=request.task_timeout_s,
+            chaos=request.chaos,
+            journal=str(job.journal),
+            cancel_check=job.cancel_event.is_set,
+        )
+
+    def _run_job(self, job: _Job) -> None:
+        with self._lock:
+            if job.cancel_event.is_set():
+                if job.state != JOB_CANCELLED:
+                    job.state = JOB_CANCELLED
+                    job.finished_at = time.time()
+                    self._counters["jobs_cancelled"] += 1
+                return
+            job.state = JOB_RUNNING
+            job.started_at = time.time()
+            self._running[job.id] = job
+        obs.counter("service.jobs_started")
+        try:
+            experiment = self._build_experiment(job.request)
+            report = run_sweeps_report([experiment],
+                                       self._executor_config(job))
+        except Exception as exc:  # engine-level crash, not a cell hole
+            with self._lock:
+                self._running.pop(job.id, None)
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = JOB_FAILED
+                job.finished_at = time.time()
+                self._counters["jobs_failed"] += 1
+            obs.counter("service.jobs_failed")
+            return
+        with self._lock:
+            self._running.pop(job.id, None)
+            job.report = report
+            job.finished_at = time.time()
+            if report.cancelled or job.cancel_event.is_set():
+                job.state = JOB_CANCELLED
+                self._counters["jobs_cancelled"] += 1
+            else:
+                job.state = JOB_DONE
+                self._counters["jobs_completed"] += 1
+            self._counters["cells_done"] += report.successful_cells()
+            self._counters["cells_failed"] += len(report.failures)
+            self._counters["retries"] += report.retries
+            self._counters["timeouts"] += report.timeouts
+            self._counters["worker_crashes"] += report.worker_crashes
+            self._counters["cache_hits"] += report.cache_hits
+            self._counters["cache_misses"] += report.cache_misses
+            self._counters["cache_evictions"] += report.cache_evictions
+        obs.counter("service.jobs_finished")
+
+    # -- observability ---------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Counters and gauges for the ``/metrics`` endpoint."""
+        with self._lock:
+            counters = dict(self._counters)
+            running = len(self._running)
+            states: Dict[str, int] = {}
+            for jid in self._order:
+                state = self._jobs[jid].state
+                states[state] = states.get(state, 0) + 1
+        lookups = counters["cache_hits"] + counters["cache_misses"]
+        return {
+            **counters,
+            "queue_depth": self._queue.qsize(),
+            "running_jobs": running,
+            "job_workers": self.job_workers,
+            "worker_utilization": running / self.job_workers,
+            "cache_hit_rate": (counters["cache_hits"] / lookups
+                               if lookups else 0.0),
+            "jobs_by_state": states,
+        }
+
+    # -- shutdown --------------------------------------------------------
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Stop the worker threads (idempotent).
+
+        Queued jobs stay queued forever after this; the daemon calls
+        it only on its way down.
+        """
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+
+
+def _default_build_experiment(request: SweepRequest):
+    """Resolve a request exactly as :func:`repro.api.sweep` would.
+
+    Deliberately routes through the api module's own resolution helper
+    so registry defaults, option coercion and did-you-mean rejection
+    are *the same code path* — the foundation of the "daemon results
+    are byte-identical to ``api.sweep``" guarantee.
+    """
+    from repro.api import _build_experiment
+
+    return _build_experiment(
+        request.circuit,
+        None,
+        None,
+        request.scale,
+        request.tp_percents,
+        request.name,
+        dict(request.options),
+    )

@@ -1,0 +1,386 @@
+"""The sweep-serving daemon: a stdlib-only asyncio HTTP/1.1 server.
+
+``repro serve`` binds this server in front of a
+:class:`~repro.service.jobs.JobManager`.  No web framework — requests
+are parsed with ``asyncio`` stream primitives and answered with JSON,
+which keeps the daemon importable anywhere the toolkit is (the whole
+point of a stdlib-only reproduction).
+
+Endpoints (all JSON; the wire formats live in
+:mod:`repro.service.protocol`):
+
+========  =====================  =======================================
+method    path                   meaning
+========  =====================  =======================================
+GET       ``/healthz``           liveness: version, uptime, worker count
+GET       ``/metrics``           queue depth, worker utilization, cache
+                                 hit rate, eviction/retry/crash counters
+POST      ``/sweeps``            submit a sweep; 202 + job record
+GET       ``/sweeps``            list job records, oldest first
+GET       ``/sweeps/<id>``       job record + journal-streamed per-cell
+                                 progress
+GET       ``/sweeps/<id>/result``  the finished job's sweep report;
+                                 409 while queued/running
+DELETE    ``/sweeps/<id>``       cancel (immediate while queued,
+                                 cooperative while running)
+========  =====================  =======================================
+
+Error contract: 400 malformed/invalid payloads
+(:class:`~repro.service.protocol.WireError`), 404 unknown job or
+route, 405 wrong method, 409 result requested before the job finished,
+500 only for daemon bugs.  Every error body is
+``{"error": "<message>"}``.
+
+Connections are handled one request each (``Connection: close``) — a
+submit-poll-fetch client opens a handful of sockets per sweep, and the
+simplicity keeps the parser honest.  The event loop never blocks on
+sweep work: jobs grind in the manager's worker threads while the loop
+answers status polls.
+
+:class:`ServiceThread` runs the daemon inside a host process (the e2e
+test suite and notebook users); ``repro serve`` runs it in the
+foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import repro
+from repro import obs
+from repro.service.jobs import JobManager, UnknownJobError
+from repro.service.protocol import (
+    JOB_FAILED,
+    TERMINAL_STATES,
+    SweepRequest,
+    WireError,
+    report_to_wire,
+)
+
+#: Default TCP port of ``repro serve`` (0 = ephemeral, tests).
+DEFAULT_PORT = 8737
+
+#: Largest accepted request head/body, in bytes.  A submit payload is
+#: a few hundred bytes; anything near this limit is not a client.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon configuration.
+
+    Attributes:
+        host: Bind address (loopback by default; this daemon has no
+            auth story and must not face the open internet as-is).
+        port: TCP port; 0 binds an ephemeral port (tests).
+        cache_dir: Shared artifact-cache directory; also hosts the
+            per-job journals.
+        job_workers: Concurrent jobs (see :class:`JobManager`).
+        cache_max_bytes: LRU size cap of the shared cache.
+        use_cache: Master cache switch.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    cache_dir: str = ".sweep-service"
+    job_workers: int = 2
+    cache_max_bytes: Optional[int] = None
+    use_cache: bool = True
+
+
+class SweepService:
+    """The daemon: routing plus a :class:`JobManager`."""
+
+    def __init__(self, config: ServiceConfig,
+                 manager: Optional[JobManager] = None):
+        self.config = config
+        self.manager = manager or JobManager(
+            config.cache_dir,
+            job_workers=config.job_workers,
+            cache_max_bytes=config.cache_max_bytes,
+            use_cache=config.use_cache,
+        )
+        self.started_at = time.time()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (resolves an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``repro serve`` foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections (worker threads stop via
+        ``manager.shutdown`` — the caller owns that, since queued jobs
+        may be worth draining first)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def base_url(self) -> str:
+        """The root URL clients should talk to."""
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- HTTP plumbing ---------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # daemon bug: surface, don't hang up
+            status, payload = 500, {"error":
+                                    f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client hung up mid-reply; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, {"error": "malformed HTTP request head"}
+        if len(head) > MAX_HEAD_BYTES:
+            return 400, {"error": "request head too large"}
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {lines[0]!r}"}
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        if length < 0 or length > MAX_BODY_BYTES:
+            return 400, {"error": "request body too large"}
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return 400, {"error": "request body truncated"}
+        path = target.split("?", 1)[0]
+        obs.counter("service.requests")
+        try:
+            return self._route(method.upper(), path, body)
+        except WireError as exc:
+            return 400, {"error": str(exc)}
+        except UnknownJobError as exc:
+            return 404, {"error": f"unknown job {exc.args[0]!r}"}
+
+    # -- routing ---------------------------------------------------------
+    def _route(self, method: str, path: str, body: bytes
+               ) -> Tuple[int, Dict[str, Any]]:
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self._healthz()
+        if parts == ["metrics"]:
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, self._metrics()
+        if not parts or parts[0] != "sweeps" or len(parts) > 3:
+            return 404, {"error": f"no such route: {path}"}
+        if len(parts) == 1:
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return 200, {"jobs": [r.to_wire()
+                                      for r in self.manager.records()]}
+            return 405, {"error": "sweeps accepts POST and GET"}
+        job_id = parts[1]
+        if len(parts) == 3:
+            if parts[2] != "result":
+                return 404, {"error": f"no such route: {path}"}
+            if method != "GET":
+                return 405, {"error": "result is GET-only"}
+            return self._result(job_id)
+        if method == "GET":
+            return self._status(job_id)
+        if method == "DELETE":
+            return 200, self.manager.cancel(job_id).to_wire()
+        return 405, {"error": "job accepts GET and DELETE"}
+
+    # -- handlers --------------------------------------------------------
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"request body is not JSON: {exc}") from exc
+        record = self.manager.submit(SweepRequest.from_wire(data))
+        return 202, record.to_wire()
+
+    def _status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.manager.record(job_id)
+        payload = record.to_wire()
+        payload["progress"] = self.manager.progress(job_id)
+        return 200, payload
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.manager.record(job_id)
+        if record.state not in TERMINAL_STATES:
+            return 409, {
+                "error": f"job {job_id} is {record.state}; the result "
+                         "exists only once the job is done",
+                "state": record.state,
+            }
+        if record.state == JOB_FAILED:
+            return 500, {"error": record.error
+                         or "job failed before producing a report",
+                         "state": record.state}
+        report = self.manager.report(job_id)
+        if report is None:  # cancelled while still queued
+            return 409, {"error": f"job {job_id} was cancelled before "
+                                  "it ran; no result exists",
+                         "state": record.state}
+        payload = report_to_wire(report)
+        payload["id"] = job_id
+        payload["state"] = record.state
+        return 200, payload
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_s": time.time() - self.started_at,
+            "job_workers": self.manager.job_workers,
+        }
+
+    def _metrics(self) -> Dict[str, Any]:
+        metrics = self.manager.metrics()
+        metrics["uptime_s"] = time.time() - self.started_at
+        return metrics
+
+
+class ServiceThread:
+    """Run a :class:`SweepService` on a background thread.
+
+    The e2e harness (and anything embedding the daemon in a live
+    process) uses this: ``start()`` returns once the socket is bound
+    and the real port is known; ``stop()`` tears the loop, socket and
+    worker threads down.  Usable as a context manager.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.service = SweepService(config or ServiceConfig(port=0))
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return self.service.base_url
+
+    def start(self) -> "ServiceThread":
+        """Bind and serve; blocks until the port is live."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="sweep-service")
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("sweep service failed to start in 30 s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "sweep service failed to start"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.service.aclose())
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Stop serving and join the loop and worker threads."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.service.manager.shutdown()
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def run_daemon(config: ServiceConfig) -> None:
+    """Foreground entry point of ``repro serve``; returns on Ctrl-C."""
+    service = SweepService(config)
+
+    async def _main() -> None:
+        await service.start()
+        print(f"repro sweep service listening on {service.base_url}")
+        print(f"  cache: {config.cache_dir}"
+              + (f" (cap {config.cache_max_bytes} bytes, LRU)"
+                 if config.cache_max_bytes else " (unbounded)"))
+        print(f"  job workers: {config.job_workers}")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.manager.shutdown()

@@ -149,3 +149,66 @@ def test_sweep_trace_merges_levels_into_one_file(tmp_path, capsys):
     assert "tpi_scan" in names and "atpg" in names
     out = capsys.readouterr().out
     assert "Stage runtimes" in out
+
+
+# ----------------------------------------------------------------------
+# Service subcommands (submit / status / result / cancel)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service_daemon(tmp_path_factory):
+    from repro.service import ServiceConfig, ServiceThread
+
+    cache_dir = tmp_path_factory.mktemp("cli_service")
+    with ServiceThread(ServiceConfig(port=0, cache_dir=str(cache_dir),
+                                     job_workers=1)) as thread:
+        yield thread
+
+
+def test_submit_wait_prints_same_tables_as_sweep(service_daemon,
+                                                 capsys):
+    rc = main(["submit", "--circuit", "s38417", "--scale", "0.012",
+               "--tp-percents", "0,2", "--url", service_daemon.base_url,
+               "--wait", "--timeout", "300"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    job_id = out.split()[1]
+    assert "Table 1" in out and "Table 3" in out
+
+    # status and result keep working after completion.
+    rc = main(["status", job_id, "--url", service_daemon.base_url])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "done" in out and "cells 2/2" in out
+
+    rc = main(["result", job_id, "--url", service_daemon.base_url])
+    assert rc == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_submit_without_wait_prints_poll_hints(service_daemon, capsys):
+    rc = main(["submit", "--circuit", "s38417", "--scale", "0.012",
+               "--tp-percents", "0,2", "--url",
+               service_daemon.base_url])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "python -m repro status" in out
+    job_id = out.split()[1]
+    rc = main(["cancel", job_id, "--url", service_daemon.base_url])
+    assert rc == 0
+
+
+def test_service_error_prints_cleanly_not_a_traceback(service_daemon,
+                                                      capsys):
+    rc = main(["status", "jmissing", "--url", service_daemon.base_url])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "service error" in err and "404" in err
+
+
+def test_submit_rejects_unknown_circuit_locally(capsys):
+    # The CLI's did-you-mean fires before any socket is opened.
+    with pytest.raises(SystemExit) as err:
+        main(["submit", "--circuit", "s38416", "--url",
+              "http://127.0.0.1:1"])
+    assert err.value.code == 2
+    assert "did you mean 's38417'?" in capsys.readouterr().err

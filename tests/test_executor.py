@@ -218,6 +218,99 @@ def test_result_cache_rejects_foreign_objects(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Size-capped LRU eviction
+# ----------------------------------------------------------------------
+def _filled_cache(tmp_path, keys, max_bytes=None):
+    """A cache holding one tiny summary per key, mtimes strictly
+    increasing in ``keys`` order (explicit, because filesystem mtime
+    granularity is too coarse for back-to-back puts)."""
+    cache = ResultCache(tmp_path, max_bytes=max_bytes)
+    for i, key in enumerate(keys):
+        cache.put(key, FlowSummary(tp_percent=float(i), n_test_points=i,
+                                   cache_key=key))
+        os.utime(cache.path(key), (1000.0 + i, 1000.0 + i))
+    return cache
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    keys = [f"{i:02x}" * 32 for i in range(4)]
+    cache = _filled_cache(tmp_path, keys)
+    assert all(cache.path(k).exists() for k in keys)
+    assert cache.evictions == 0
+
+
+def test_result_cache_evicts_oldest_beyond_budget(tmp_path):
+    keys = [f"{i:02x}" * 32 for i in range(4)]
+    probe = _filled_cache(tmp_path / "probe", keys[:1])
+    entry_size = probe.path(keys[0]).stat().st_size
+    # Room for two entries: writing four must evict the two oldest.
+    cache = _filled_cache(tmp_path / "lru", keys,
+                          max_bytes=2 * entry_size)
+    assert not cache.path(keys[0]).exists()
+    assert not cache.path(keys[1]).exists()
+    assert cache.path(keys[2]).exists()
+    assert cache.path(keys[3]).exists()
+    assert cache.evictions >= 2
+    assert cache.total_bytes() <= 2 * entry_size
+
+
+def test_result_cache_get_refreshes_recency(tmp_path):
+    keys = [f"{i:02x}" * 32 for i in range(3)]
+    probe = _filled_cache(tmp_path / "probe", keys[:1])
+    entry_size = probe.path(keys[0]).stat().st_size
+    cache = _filled_cache(tmp_path / "lru", keys[:2],
+                          max_bytes=2 * entry_size)
+    assert cache.get(keys[0]) is not None  # touch: now most recent
+    cache.put(keys[2], FlowSummary(tp_percent=9.0, n_test_points=9,
+                                   cache_key=keys[2]))
+    assert cache.path(keys[0]).exists()      # refreshed, survives
+    assert not cache.path(keys[1]).exists()  # stale, evicted
+    assert cache.path(keys[2]).exists()
+
+
+def test_result_cache_never_evicts_entry_just_written(tmp_path):
+    key = "aa" * 32
+    cache = ResultCache(tmp_path, max_bytes=1)  # below any entry size
+    cache.put(key, FlowSummary(tp_percent=0.0, n_test_points=0,
+                               cache_key=key))
+    # The budget is unsatisfiable, but evicting the entry being
+    # written would turn the cache into a black hole.
+    assert cache.path(key).exists()
+    assert cache.get(key) is not None
+
+
+def test_executor_config_passes_cache_budget_through(tmp_path):
+    config = ExecutorConfig(cache_dir=str(tmp_path),
+                            cache_max_bytes=12345)
+    assert config.cache.max_bytes == 12345
+
+
+def test_sweep_honours_cache_budget_end_to_end(tmp_path):
+    """A capped sweep stays within budget and reports evictions."""
+    from repro import api
+
+    cache_dir = str(tmp_path / "capped")
+    warm = api.sweep_report("s38417", scale=SCALE, tp_percents=LEVELS,
+                            cache_dir=cache_dir, atpg=FAST_ATPG)
+    assert not warm.failures and warm.cache_evictions == 0
+    sizes = [p.stat().st_size
+             for p in (tmp_path / "capped").glob("*/*.pkl")]
+    assert len(sizes) == len(LEVELS)
+    budget = max(sizes) * 2  # room for ~2 entries
+    # Sweep *new* levels under the cap: their puts must evict the old
+    # entries (eviction happens on write — a pure-hit run never evicts).
+    capped = api.sweep_report("s38417", scale=SCALE,
+                              tp_percents=(1.0, 3.0),
+                              cache_dir=cache_dir,
+                              cache_max_bytes=budget, atpg=FAST_ATPG)
+    assert not capped.failures
+    assert capped.cache_evictions >= 1
+    remaining = sum(p.stat().st_size
+                    for p in (tmp_path / "capped").glob("*/*.pkl"))
+    assert remaining <= budget
+
+
+# ----------------------------------------------------------------------
 # Failure handling and resume
 # ----------------------------------------------------------------------
 def test_failed_levels_resume_from_cache(tmp_path, monkeypatch):

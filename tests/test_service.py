@@ -1,0 +1,304 @@
+"""End-to-end tests for the sweep-serving daemon.
+
+The daemon boots for real on a localhost ephemeral port
+(:class:`~repro.service.server.ServiceThread`) and every interaction
+goes over actual HTTP through :class:`~repro.service.client.ServiceClient`
+— no mocked transport, so these tests cover the hand-rolled HTTP
+parsing, the JSON codecs, the job queue and the executor underneath in
+one piece.
+
+The headline assertions are the service's two contracts:
+
+* **Byte identity** — a sweep computed by the daemon has exactly the
+  same canonical result bytes as the same sweep computed in-process by
+  :func:`repro.api.sweep`.
+* **Shared-cache dedup** — two clients submitting the same spec
+  concurrently coalesce onto one computation: the second job is served
+  entirely from the shared artifact cache, and ``/metrics`` shows the
+  cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+    SweepRequest,
+)
+from repro.service.protocol import canonical_result_bytes
+
+#: Cheap ATPG knobs, matching tests/test_executor.py's FAST_ATPG.
+ATPG = {"seed": 7, "backtrack_limit": 24, "max_deterministic": 60,
+        "abort_recovery_blocks": 4, "second_chance_factor": 1}
+SCALE = 0.012
+OPTIONS = {"atpg": ATPG}
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service_cache")
+    with ServiceThread(ServiceConfig(port=0, cache_dir=str(cache_dir),
+                                     job_workers=2)) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(daemon):
+    return ServiceClient(daemon.base_url, timeout_s=10.0)
+
+
+def submit(client, tp_percents, **overrides):
+    request = SweepRequest(circuit="s38417", scale=SCALE,
+                           tp_percents=tp_percents, options=OPTIONS,
+                           **overrides)
+    return client.submit(request)
+
+
+# ----------------------------------------------------------------------
+# Liveness and metrics
+# ----------------------------------------------------------------------
+def test_healthz(client):
+    payload = client.healthz()
+    assert payload["status"] == "ok"
+    assert payload["job_workers"] == 2
+    assert payload["uptime_s"] >= 0
+
+
+def test_metrics_shape(client):
+    metrics = client.metrics()
+    for key in ("jobs_submitted", "jobs_completed", "queue_depth",
+                "running_jobs", "worker_utilization", "cache_hit_rate",
+                "cache_hits", "cache_misses", "cache_evictions",
+                "jobs_by_state"):
+        assert key in metrics, key
+
+
+# ----------------------------------------------------------------------
+# The byte-identity contract
+# ----------------------------------------------------------------------
+def test_daemon_result_is_byte_identical_to_api_sweep(client):
+    levels = (0.0, 2.0)
+    record = submit(client, levels)
+    final = client.wait(record.id, timeout_s=300)
+    assert final["state"] == "done"
+    assert final["progress"]["done"] == len(levels)
+    assert final["progress"]["finished"]
+
+    report = client.result(record.id)
+    served = report.results["s38417"]
+
+    local = api.sweep("s38417", scale=SCALE, tp_percents=levels,
+                      **OPTIONS)
+    assert (canonical_result_bytes(served)
+            == canonical_result_bytes(local))
+    # The decoded result quacks like api.sweep's: same tables.
+    assert served.table1_rows() == local.table1_rows()
+    assert served.table2_rows() == local.table2_rows()
+    assert served.table3_rows() == local.table3_rows()
+
+
+# ----------------------------------------------------------------------
+# Shared-cache dedup between concurrent tenants
+# ----------------------------------------------------------------------
+def test_concurrent_identical_submissions_dedup(daemon, client):
+    levels = (1.0, 3.0)  # fresh levels: cold cache for this spec
+    before = client.metrics()
+
+    second_client = ServiceClient(daemon.base_url, timeout_s=10.0)
+    first = submit(client, levels)
+    second = submit(second_client, levels)
+
+    # The daemon spotted the identical in-flight spec at submit time.
+    assert second.coalesced_with == first.id
+
+    done = {}
+
+    def wait_for(client_, record, slot):
+        done[slot] = client_.wait(record.id, timeout_s=300)
+
+    threads = [
+        threading.Thread(target=wait_for, args=(client, first, "a")),
+        threading.Thread(target=wait_for,
+                         args=(second_client, second, "b")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert done["a"]["state"] == "done"
+    assert done["b"]["state"] == "done"
+
+    report_a = client.result(first.id)
+    report_b = second_client.result(second.id)
+    assert (canonical_result_bytes(report_a.results["s38417"])
+            == canonical_result_bytes(report_b.results["s38417"]))
+
+    # One of the twins computed; the coalesced one was served entirely
+    # from the shared artifact cache.
+    assert all(run.from_cache
+               for run in report_b.results["s38417"].runs.values())
+    assert report_b.cache_hits == len(levels)
+
+    after = client.metrics()
+    assert after["jobs_coalesced"] >= before["jobs_coalesced"] + 1
+    assert after["cache_hits"] >= before["cache_hits"] + len(levels)
+    assert after["cache_hit_rate"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+def test_cancel_queued_job_is_immediate(tmp_path):
+    config = ServiceConfig(port=0, cache_dir=str(tmp_path),
+                           job_workers=1)
+    with ServiceThread(config) as thread:
+        client = ServiceClient(thread.base_url, timeout_s=10.0)
+        running = submit(client, (0.5,))
+        queued = submit(client, (1.5,))  # worker is busy: stays queued
+
+        record = client.cancel(queued.id)
+        assert record.state == "cancelled"
+        # A cancelled-while-queued job has no result, by design.
+        with pytest.raises(ServiceError) as err:
+            client.result(queued.id)
+        assert err.value.status == 409
+
+        final = client.wait(running.id, timeout_s=300)
+        assert final["state"] == "done"  # the healthy job is unharmed
+
+
+def test_cancel_running_job_stops_scheduling_cells(tmp_path):
+    config = ServiceConfig(port=0, cache_dir=str(tmp_path),
+                           job_workers=1)
+    with ServiceThread(config) as thread:
+        client = ServiceClient(thread.base_url, timeout_s=10.0)
+        import time
+
+        record = submit(client, (0.25, 1.25, 2.25, 3.25))
+        # Let it start, then cancel mid-sweep.
+        while client.status(record.id)["state"] == "queued":
+            time.sleep(0.02)
+        cancelled = client.cancel(record.id)
+        assert cancelled.state in ("running", "cancelled")
+
+        final = client.wait(record.id, timeout_s=300)
+        assert final["state"] == "cancelled"
+        progress = final["progress"]
+        # Cooperative contract: not every cell ran.
+        assert progress["done"] < progress["total"]
+
+
+def test_cancel_terminal_job_is_noop(client):
+    record = submit(client, (0.0, 2.0))
+    client.wait(record.id, timeout_s=300)
+    after = client.cancel(record.id)
+    assert after.state == "done"  # unchanged, not "cancelled"
+
+
+# ----------------------------------------------------------------------
+# client.sweep <-> api.sweep interchangeability
+# ----------------------------------------------------------------------
+def test_client_sweep_mirrors_api_sweep_contract(client):
+    served = client.sweep("s38417", scale=SCALE,
+                          tp_percents=(0.0, 2.0), options=OPTIONS,
+                          timeout_s=300)
+    local = api.sweep("s38417", scale=SCALE, tp_percents=(0.0, 2.0),
+                      **OPTIONS)
+    assert (canonical_result_bytes(served)
+            == canonical_result_bytes(local))
+
+
+# ----------------------------------------------------------------------
+# HTTP error contract
+# ----------------------------------------------------------------------
+def test_unknown_circuit_is_rejected_with_400(client):
+    with pytest.raises(ServiceError) as err:
+        client.submit(SweepRequest(circuit="s99999"))
+    assert err.value.status == 400
+    assert "s99999" in str(err.value)
+
+
+def test_unknown_request_key_is_rejected_with_400(client):
+    status, payload = client._request(
+        "POST", "/sweeps",
+        body={"circuit": "s38417", "tp_percent": 2.0})
+    assert status == 400
+    assert "tp_percent" in payload["error"]
+
+
+def test_malformed_json_body_is_rejected_with_400(daemon):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", daemon.service.port,
+                                      timeout=10)
+    try:
+        conn.request("POST", "/sweeps", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+    finally:
+        conn.close()
+
+
+def test_unknown_job_is_404(client):
+    with pytest.raises(ServiceError) as err:
+        client.status("jdoesnotexist")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.result("jdoesnotexist")
+    assert err.value.status == 404
+
+
+def test_unknown_route_is_404(client):
+    status, _ = client._request("GET", "/nope")
+    assert status == 404
+    status, _ = client._request("GET", "/sweeps/x/result/extra")
+    assert status == 404
+
+
+def test_wrong_method_is_405(client):
+    status, _ = client._request("DELETE", "/healthz")
+    assert status == 405
+    status, _ = client._request("POST", "/metrics")
+    assert status == 405
+
+
+def test_result_of_unfinished_job_is_409(tmp_path):
+    config = ServiceConfig(port=0, cache_dir=str(tmp_path),
+                           job_workers=1)
+    with ServiceThread(config) as thread:
+        client = ServiceClient(thread.base_url, timeout_s=10.0)
+        blocker = submit(client, (0.75,))
+        queued = submit(client, (1.75,))
+        with pytest.raises(ServiceError) as err:
+            client.result(queued.id)
+        assert err.value.status == 409
+        client.cancel(queued.id)
+        client.wait(blocker.id, timeout_s=300)
+
+
+def test_kill_chaos_with_single_job_worker_is_rejected(client):
+    # Build the wire payload by hand (the dataclass wants a FaultPlan).
+    wire = SweepRequest(circuit="s38417", scale=SCALE,
+                        tp_percents=(0.0,), options=OPTIONS,
+                        jobs=1).to_wire()
+    wire["chaos"] = {"faults": [{"kind": "kill", "stage": "tpi_scan"}]}
+    status, payload = client._request("POST", "/sweeps", body=wire)
+    assert status == 400
+    assert "jobs > 1" in payload["error"]
+
+
+def test_job_listing_covers_submissions(client):
+    records = client.jobs()
+    assert len(records) >= 1
+    assert all(r.id.startswith("j") for r in records)
