@@ -15,6 +15,9 @@ Subcommands::
     python -m repro result j0123abcd4567
     python -m repro cancel j0123abcd4567
 
+    python -m repro trace merge --out merged.json traces/
+    python -m repro trace summarize merged.json
+
 Every subcommand prints the corresponding paper quantities (Table 1/2/3
 rows, coverage curves, or Figure 3 files).  Scales are fractions of the
 published circuit sizes; 1.0 reproduces the paper's dimensions.
@@ -208,13 +211,14 @@ def cmd_sweep(args) -> int:
     resilient = (args.retries != 2 or args.task_timeout is not None
                  or args.resume or args.fail_fast
                  or chaos_plan is not None)
+    want_trace = bool(args.trace or args.trace_dir)
     traces = []
     report = None
     if args.jobs > 1 or cache_dir or resilient:
         sweep_kwargs.update(jobs=args.jobs, cache_dir=cache_dir,
                             use_cache=not args.no_cache,
                             cache_max_bytes=args.cache_max_bytes,
-                            trace=bool(args.trace),
+                            trace=want_trace,
                             retries=args.retries,
                             task_timeout_s=args.task_timeout,
                             resume=args.resume,
@@ -227,7 +231,7 @@ def cmd_sweep(args) -> int:
               + (" resume" if args.resume else "")
               + (" fail-fast" if args.fail_fast else "")
               + (f" chaos={args.chaos}" if args.chaos else ""))
-        if args.trace:
+        if want_trace:
             with obs.tracing(label=f"sweep:{args.circuit}") as tracer:
                 report = api.sweep_report(args.circuit, **sweep_kwargs)
             result = report.results[args.circuit]
@@ -251,7 +255,7 @@ def cmd_sweep(args) -> int:
                   f"worker-crashes={report.worker_crashes}")
         if report.journal_path:
             print(f"[executor] journal: {report.journal_path}")
-    elif args.trace:
+    elif want_trace:
         # Serial path: one tracer spans the whole sweep, so its trace
         # already holds every level's stage spans.
         try:
@@ -269,6 +273,18 @@ def cmd_sweep(args) -> int:
     if args.trace:
         obs.write_chrome_trace(args.trace, traces)
         print(f"\nwrote trace to {args.trace}")
+    if args.trace_dir and traces:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        for i, trace in enumerate(traces):
+            label = "".join(c if c.isalnum() else "_"
+                            for c in (trace.label or "trace"))
+            path = os.path.join(args.trace_dir,
+                                f"{i:03d}_{label}.trace.json")
+            obs.write_trace_file(path, [trace])
+        print(f"\nwrote {len(traces)} raw trace file(s) to "
+              f"{args.trace_dir}")
+        print(f"  merge: python -m repro trace merge "
+              f"--out merged.json {args.trace_dir}")
     if report is not None and report.failures:
         print(f"\nFAILED cells ({len(report.failures)}; tables above "
               "have holes at these levels)")
@@ -419,6 +435,7 @@ def cmd_submit(args) -> int:
         task_timeout_s=args.task_timeout,
         name=args.name,
         chaos=chaos_plan,
+        trace=args.trace,
     ))
     print(f"job {record.id} {record.state} on {client.base_url}")
     if record.coalesced_with:
@@ -439,7 +456,14 @@ def cmd_submit(args) -> int:
         return 1
     if state == "cancelled":
         return 3
-    return _print_service_report(client.result(record.id))
+    code = _print_service_report(client.result(record.id))
+    if args.trace:
+        merged = client.trace(record.id)
+        out = args.trace_out or f"{record.id}.trace.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=1)
+        print(f"\nwrote merged job trace to {out}")
+    return code
 
 
 def cmd_status(args) -> int:
@@ -480,6 +504,50 @@ def cmd_cancel(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Merge raw trace files or summarize a merged Chrome trace."""
+    if args.trace_command == "merge":
+        files = obs.collect_trace_files(args.inputs)
+        traces = []
+        for path in files:
+            try:
+                traces.extend(obs.read_trace_file(path))
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"cannot read {path}: {exc}", file=sys.stderr)
+                return 1
+        if not traces:
+            print("no traces found in: " + ", ".join(args.inputs),
+                  file=sys.stderr)
+            return 1
+        merged = obs.merge_traces(traces)
+        problems = obs.validate_chrome_trace(merged)
+        if problems:
+            print("merged trace is invalid:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=1)
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        print(f"merged {len(traces)} trace(s) from {len(files)} "
+              f"file(s) into {args.out} "
+              f"({len(pids)} process track(s), "
+              f"{merged['otherData']['clock']} clock)")
+        return 0
+    # summarize: accept merged Chrome objects and raw bundles alike.
+    for path in args.inputs:
+        if len(args.inputs) > 1:
+            print(f"== {path} ==")
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+        if isinstance(obj, dict) and "traceEvents" in obj:
+            print(obs.summarize_merged(obj))
+        else:
+            for trace in obs.read_trace_file(path):
+                print(obs.format_trace_summary(trace))
+    return 0
+
+
 def _add_service_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--url", default="http://127.0.0.1:8737",
                         help="base URL of the sweep daemon "
@@ -488,6 +556,9 @@ def _add_service_url(parser: argparse.ArgumentParser) -> None:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    # REPRO_EVENTS=<path|stderr> turns on the structured event log for
+    # any subcommand without new flags (REPRO_EVENTS_LEVEL tunes it).
+    obs.install_events_from_env()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DATE 2004 TPI-impact reproduction toolkit",
@@ -552,6 +623,10 @@ def main(argv=None) -> int:
                          help="write a merged Chrome trace-event JSON "
                               "of all levels (and the executor's "
                               "scheduling) to PATH")
+    p_sweep.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="write each recorded trace as a raw "
+                              "*.trace.json file in DIR, mergeable "
+                              "later with 'repro trace merge'")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lint = sub.add_parser(
@@ -642,6 +717,13 @@ def main(argv=None) -> int:
     p_submit.add_argument("--timeout", type=float, default=600.0,
                           metavar="SECONDS",
                           help="--wait deadline (default: %(default)s)")
+    p_submit.add_argument("--trace", action="store_true",
+                          help="have the daemon record per-cell span "
+                               "trees; with --wait the merged Chrome "
+                               "trace is fetched and written locally")
+    p_submit.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="where --wait --trace writes the merged "
+                               "trace (default: <job_id>.trace.json)")
     p_submit.set_defaults(func=cmd_submit)
 
     p_status = sub.add_parser(
@@ -664,6 +746,30 @@ def main(argv=None) -> int:
     p_cancel.add_argument("job_id", metavar="JOB_ID")
     _add_service_url(p_cancel)
     p_cancel.set_defaults(func=cmd_cancel)
+
+    p_trace = sub.add_parser(
+        "trace", help="merge or summarize recorded trace files"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    p_merge = trace_sub.add_parser(
+        "merge", help="stitch raw *.trace.json files (or directories "
+                      "of them) into one Chrome trace"
+    )
+    p_merge.add_argument("inputs", nargs="+", metavar="PATH",
+                         help="raw trace files or directories "
+                              "containing *.trace.json")
+    p_merge.add_argument("--out", required=True, metavar="PATH",
+                         help="write the merged Chrome trace here")
+    p_merge.set_defaults(func=cmd_trace)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="per-track span tables of a merged Chrome "
+                          "trace (or raw trace bundle)"
+    )
+    p_summarize.add_argument("inputs", nargs="+", metavar="PATH",
+                             help="merged Chrome traces or raw trace "
+                                  "bundles")
+    p_summarize.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     _validate_circuit(parser, args)

@@ -50,6 +50,7 @@ import os
 import pickle
 import tempfile
 import time
+import uuid
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -684,6 +685,12 @@ def _run_level(task: _LevelTask) -> FlowSummary:
     the ``REPRO_CHAOS`` environment) is activated around the flow so
     scripted stage faults fire for exactly this cell and attempt.
     """
+    # Workers started via "spawn" re-import with the null event log;
+    # honour REPRO_EVENTS there too so flow stage events from every
+    # process land in the same JSONL sink.  One boolean check per
+    # task, nothing on the stage hot path.
+    if not obs.events_active():
+        obs.install_events_from_env()
     plan = task.chaos if task.chaos is not None else chaos.plan_from_env()
     with chaos.active(plan, task.name, task.tp_percent, task.attempt):
         circuit = task.circuit_factory()
@@ -891,18 +898,38 @@ class _Scheduler:
             self.cancelled = True
             self.aborted = True
 
+    #: Event-log severity per journal event kind (default info).
+    _EVENT_LEVELS = {
+        "task_failed": "warn",
+        "task_exhausted": "error",
+        "task_aborted": "warn",
+        "task_isolated": "warn",
+    }
+
     # -- bookkeeping ----------------------------------------------------
     def _journal_event(self, event: str, task: _LevelTask,
                        **data) -> None:
+        obs.emit(event, self._EVENT_LEVELS.get(event, "info"),
+                 cell=task.label, key=task.cache_key, **data)
         if self.journal is not None:
             self.journal.record(event, key=task.cache_key, name=task.name,
                                 tp_percent=task.tp_percent, **data)
 
     def _success(self, task: _LevelTask, attempt: int,
                  summary: FlowSummary, t_submit: float,
-                 t_done: float) -> None:
+                 t_done: float, mono_elapsed: float = 0.0) -> None:
         _record_level(self.tracer, task, summary, t_submit, t_done)
         self.summaries[(task.name, task.tp_percent)] = summary
+        # Per-stage and per-cell latency histograms: the one place
+        # worker timings cross back into the parent, so serial and
+        # parallel sweeps aggregate identically (and cache hits never
+        # pass through here, so they cannot pollute the distribution).
+        for stage, seconds in summary.stage_seconds.items():
+            obs.observe("repro_stage_seconds", seconds,
+                        stage=stage, circuit=task.name)
+        obs.observe("repro_cell_seconds", max(0.0, mono_elapsed),
+                    circuit=task.name)
+        obs.inc("repro_cells_total", 1, circuit=task.name, outcome="ok")
         if self.cache:
             self.cache.put(task.cache_key, summary)
             if self.plan is not None and self.plan.corrupts_cache(
@@ -923,12 +950,15 @@ class _Scheduler:
         if will_retry:
             self.retries += 1
             self.tracer.counter("task.retries")
+            obs.inc("repro_task_retries_total", 1, circuit=task.name)
             return self.policy.delay_s(attempt + 1)
         self.failures.append(TaskFailure.from_exception(
             task.name, task.tp_percent, attempt + 1, exc,
             cache_key=task.cache_key,
         ))
         self.tracer.counter("sweep.failed_cells")
+        obs.inc("repro_cells_total", 1, circuit=task.name,
+                outcome="failed")
         self._journal_event("task_exhausted", task, attempts=attempt + 1,
                             error_type=info["error_type"])
         if self.executor.fail_fast:
@@ -986,6 +1016,7 @@ class _Scheduler:
                                             self.executor.derive_seeds)
                 self._journal_event("task_start", task, attempt=attempt)
                 t_submit = time.time()
+                t_mono = time.monotonic()
                 try:
                     summary = _run_level(prepared)
                 except Exception as exc:
@@ -999,7 +1030,8 @@ class _Scheduler:
                         break
                     attempt += 1
                     continue
-                self._success(task, attempt, summary, t_submit, time.time())
+                self._success(task, attempt, summary, t_submit, time.time(),
+                              time.monotonic() - t_mono)
                 break
 
     # -- parallel mode --------------------------------------------------
@@ -1102,7 +1134,7 @@ class _Scheduler:
                                            timeout=wait_timeout,
                                            return_when=FIRST_COMPLETED)
                     for future in done:
-                        task, attempt, t_wall, _t_mono, solo = \
+                        task, attempt, t_wall, t_mono, solo = \
                             in_flight.pop(future)
                         try:
                             summary = future.result()
@@ -1116,12 +1148,14 @@ class _Scheduler:
                                                 task, attempt + 1, solo))
                         else:
                             self._success(task, attempt, summary,
-                                          t_wall, time.time())
+                                          t_wall, time.time(),
+                                          time.monotonic() - t_mono)
 
                 if pool_broken:
                     # A dead worker poisons every in-flight future.
                     self.crashes += 1
                     self.tracer.counter("sweep.worker_crashes")
+                    obs.inc("repro_worker_crashes_total")
                     for future, (task, attempt, _tw, _tm, solo) in \
                             list(in_flight.items()):
                         broken_tasks.append((task, attempt, solo))
@@ -1167,6 +1201,8 @@ class _Scheduler:
                             if future in overdue:
                                 self.timeouts += 1
                                 self.tracer.counter("task.timeouts")
+                                obs.inc("repro_task_timeouts_total",
+                                        1, circuit=task.name)
                                 exc = TaskTimeoutError(
                                     f"{task.label} exceeded the "
                                     f"{timeout:g}s task timeout "
@@ -1221,68 +1257,90 @@ def run_sweeps_report(
     for config in configs:
         tasks.extend(_plan_levels(config, executor, plan))
 
-    journal: Optional[SweepJournal] = None
-    resumed: Set[str] = set()
-    jpath = executor.journal_path()
-    if jpath is not None:
-        if executor.resume:
-            resumed = completed_keys(read_journal(jpath))
-        journal = SweepJournal(jpath, resume=executor.resume)
-        journal.record(
-            "sweep_start",
-            resume=executor.resume,
-            jobs=executor.jobs,
-            retries=executor.retries,
-            task_timeout_s=executor.task_timeout_s,
-            chaos=plan is not None,
-            cells=[
-                {"name": t.name, "tp_percent": t.tp_percent,
-                 "key": t.cache_key}
-                for t in tasks
-            ],
-        )
+    started_at = time.time()
+    started_mono = time.monotonic()
+    # Correlation key for the structured event log: every event this
+    # sweep emits (and, via bind, every flow stage event on the serial
+    # path) carries the same run_id.  Pure telemetry — never part of a
+    # cache key.
+    run_id = uuid.uuid4().hex[:12]
+    with obs.bind(run_id=run_id):
+        obs.emit("sweep_start", jobs=executor.jobs, cells=len(tasks),
+                 resume=executor.resume)
 
-    summaries: Dict[Tuple[str, float], FlowSummary] = {}
-    pending: List[_LevelTask] = []
-    for task in tasks:
-        stored = cache.get(task.cache_key) if cache else None
-        if stored is not None:
-            summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
-            now = tracer.now()
-            tracer.record_span(f"cache_hit:{task.label}", now, now)
-            if journal is not None:
-                event = ("task_resumed" if task.cache_key in resumed
-                         else "task_cached")
-                journal.record(event, key=task.cache_key,
-                               name=task.name, tp_percent=task.tp_percent)
-        else:
-            pending.append(task)
-    if cache is not None:
-        tracer.counter("cache_hits", cache.hits)
-        tracer.counter("cache_misses", cache.misses)
-        tracer.counter("cache_corrupt", cache.corrupt)
+        journal: Optional[SweepJournal] = None
+        resumed: Set[str] = set()
+        jpath = executor.journal_path()
+        if jpath is not None:
+            if executor.resume:
+                resumed = completed_keys(read_journal(jpath))
+            journal = SweepJournal(jpath, resume=executor.resume)
+            journal.record(
+                "sweep_start",
+                resume=executor.resume,
+                jobs=executor.jobs,
+                retries=executor.retries,
+                task_timeout_s=executor.task_timeout_s,
+                chaos=plan is not None,
+                cells=[
+                    {"name": t.name, "tp_percent": t.tp_percent,
+                     "key": t.cache_key}
+                    for t in tasks
+                ],
+            )
 
-    scheduler = _Scheduler(pending, executor, cache, tracer, journal, plan)
-    if pending:
-        if executor.jobs <= 1:
-            scheduler.run_serial()
-        else:
-            scheduler.run_parallel()
-    summaries.update(scheduler.summaries)
-    failures = sorted(scheduler.failures,
-                      key=lambda f: (f.name, f.tp_percent))
+        summaries: Dict[Tuple[str, float], FlowSummary] = {}
+        pending: List[_LevelTask] = []
+        for task in tasks:
+            stored = cache.get(task.cache_key) if cache else None
+            if stored is not None:
+                summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
+                now = tracer.now()
+                tracer.record_span(f"cache_hit:{task.label}", now, now)
+                if journal is not None:
+                    event = ("task_resumed" if task.cache_key in resumed
+                             else "task_cached")
+                    journal.record(event, key=task.cache_key,
+                                   name=task.name, tp_percent=task.tp_percent)
+            else:
+                pending.append(task)
+        if cache is not None:
+            tracer.counter("cache_hits", cache.hits)
+            tracer.counter("cache_misses", cache.misses)
+            tracer.counter("cache_corrupt", cache.corrupt)
+            obs.inc("repro_cells_total", cache.hits, outcome="cached")
 
-    if journal is not None:
-        journal.record(
-            "sweep_end",
-            ok=not failures,
-            failed=[f.label for f in failures],
-            retries=scheduler.retries,
-            timeouts=scheduler.timeouts,
-            worker_crashes=scheduler.crashes,
-            cancelled=scheduler.cancelled,
-        )
-        journal.close()
+        scheduler = _Scheduler(pending, executor, cache, tracer, journal, plan)
+        if pending:
+            if executor.jobs <= 1:
+                scheduler.run_serial()
+            else:
+                scheduler.run_parallel()
+        summaries.update(scheduler.summaries)
+        failures = sorted(scheduler.failures,
+                          key=lambda f: (f.name, f.tp_percent))
+
+        if journal is not None:
+            journal.record(
+                "sweep_end",
+                ok=not failures,
+                failed=[f.label for f in failures],
+                retries=scheduler.retries,
+                timeouts=scheduler.timeouts,
+                worker_crashes=scheduler.crashes,
+                cancelled=scheduler.cancelled,
+            )
+            journal.close()
+
+        if cache is not None:
+            for event, count in (("hit", cache.hits), ("miss", cache.misses),
+                                 ("corrupt", cache.corrupt),
+                                 ("evict", cache.evictions)):
+                obs.inc("repro_cache_events_total", count, event=event)
+        obs.emit("sweep_end", "error" if failures else "info",
+                 ok=not failures, failed=[f.label for f in failures],
+                 retries=scheduler.retries, timeouts=scheduler.timeouts,
+                 cancelled=scheduler.cancelled)
 
     results: Dict[str, ExperimentResult] = {}
     for config in configs:
@@ -1303,6 +1361,10 @@ def run_sweeps_report(
         cache_misses=cache.misses if cache is not None else 0,
         cache_evictions=cache.evictions if cache is not None else 0,
         cancelled=scheduler.cancelled,
+        started_at=started_at,
+        finished_at=time.time(),
+        started_mono=started_mono,
+        finished_mono=time.monotonic(),
     )
 
 

@@ -236,6 +236,14 @@ class SweepReport:
         cancelled: True when the sweep's ``cancel_check`` fired and
             unstarted cells were abandoned (they appear in
             ``failures`` as ``SweepCancelled``).
+        started_at / finished_at: Wall-clock stamps (``time.time()``)
+            of the sweep's boundaries, for humans and cross-machine
+            correlation.  0.0 on reports from older pickles.
+        started_mono / finished_mono: The same boundaries on the
+            monotonic clock (``time.monotonic()``), so
+            :attr:`duration_s` and trace alignment are immune to NTP
+            steps.  Timestamps never enter cache keys — a cached cell
+            is identified purely by its content hash.
     """
 
     results: Dict[str, Any] = field(default_factory=dict)
@@ -248,6 +256,15 @@ class SweepReport:
     cache_misses: int = 0
     cache_evictions: int = 0
     cancelled: bool = False
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    started_mono: float = 0.0
+    finished_mono: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Sweep wall time from the monotonic stamps (never negative)."""
+        return max(0.0, self.finished_mono - self.started_mono)
 
     @property
     def ok(self) -> bool:
@@ -305,8 +322,15 @@ class SweepJournal:
         self._handle = open(self.path, mode, encoding="utf-8")
 
     def record(self, event: str, **data: Any) -> None:
-        """Append one event line; durable before return."""
-        payload = {"event": event, "ts": time.time(), **data}
+        """Append one event line; durable before return.
+
+        Every event carries both clocks: ``ts`` (wall, for humans and
+        cross-machine correlation) and ``ts_mono`` (monotonic, so
+        readers computing latencies or ordering merged worker traces
+        are immune to NTP steps).
+        """
+        payload = {"event": event, "ts": time.time(),
+                   "ts_mono": time.monotonic(), **data}
         self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
         self._handle.flush()
         try:

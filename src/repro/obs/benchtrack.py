@@ -1,0 +1,250 @@
+"""Bench trajectory tracking: per-stage deltas and regression gating.
+
+The benchmarks directory accumulates ``BENCH_*.json`` artifacts but —
+before this module — no *trajectory*: nothing compared today's stage
+runtimes against yesterday's, so a small per-stage drift (the
+compounding kind the EffiTest line of work warns about) would ship
+silently.  ``benchtrack`` closes that loop:
+
+* :func:`record_stages` runs a serial, cache-cold sweep and captures
+  per-stage wall seconds (summed over cells, with a per-cell
+  breakdown) as a versioned record;
+* :func:`stage_deltas` diffs two records stage by stage;
+* :func:`check_regressions` applies a relative threshold (default
+  +20%) with an absolute floor (stages faster than ``min_seconds`` in
+  the baseline are noise, not signal);
+* the CLI (``python -m repro.obs.benchtrack record|compare``) exits
+  non-zero on regression so CI can gate on it, and appends every
+  record to a JSONL history file so the trajectory is diffable over
+  time.
+
+The committed seed baseline lives at
+``benchmarks/out/BENCH_table1_stages.json``.  CI compares a record
+against itself (must pass) and against a synthetically inflated copy
+(must fail) — comparing timings across unrelated machines would gate
+on hardware, not code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+RECORD_KIND = "repro_bench_stages"
+RECORD_VERSION = 1
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def record_stages(circuit: str = "s38417", scale: float = 0.01,
+                  tp_percents: Sequence[float] = (0.0, 2.0),
+                  **options: Any) -> Dict[str, Any]:
+    """Run a serial cache-cold sweep and capture per-stage seconds.
+
+    Serial and uncached on purpose: stage times must reflect real
+    compute, not queue scheduling or cache hits.  Raises RuntimeError
+    if any cell fails — a bench record with holes is not a baseline.
+    """
+    from repro import api
+
+    report = api.sweep_report(
+        circuit, scale=scale, tp_percents=tuple(tp_percents),
+        jobs=1, use_cache=False, **options)
+    if report.failures:
+        raise RuntimeError(
+            "bench sweep had failed cells: "
+            + ", ".join(f.label for f in report.failures))
+    stages: Dict[str, float] = {}
+    cells: Dict[str, Dict[str, float]] = {}
+    for result in report.results.values():
+        for summary in result.runs.values():
+            cell = f"{summary.tp_percent:g}"
+            cells[cell] = {
+                k: float(v)
+                for k, v in sorted(summary.stage_seconds.items())}
+            for key, value in summary.stage_seconds.items():
+                stages[key] = stages.get(key, 0.0) + float(value)
+    return {
+        "kind": RECORD_KIND,
+        "version": RECORD_VERSION,
+        "circuit": circuit,
+        "scale": scale,
+        "tp_percents": [float(p) for p in tp_percents],
+        "stages": dict(sorted(stages.items())),
+        "cells": cells,
+        "wall_s": sum(stages.values()),
+    }
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    """Load a stage record; a history file yields its latest entry."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        if first == "[":
+            entries = json.load(fh)
+            if not entries:
+                raise ValueError(f"{path}: empty history")
+            record = entries[-1]
+        elif path.endswith((".jsonl", ".ndjson")):
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+            if not lines:
+                raise ValueError(f"{path}: empty history")
+            record = json.loads(lines[-1])
+        else:
+            record = json.load(fh)
+    if record.get("kind") != RECORD_KIND:
+        raise ValueError(
+            f"{path}: not a {RECORD_KIND} record (kind="
+            f"{record.get('kind')!r})")
+    return record
+
+
+def append_history(path: str, record: Dict[str, Any]) -> None:
+    """Append one record to a JSONL trajectory file."""
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_history(path: str) -> List[Dict[str, Any]]:
+    """All records of a JSONL trajectory file, oldest first."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def stage_deltas(baseline: Dict[str, Any],
+                 current: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Per-stage ``{base, cur, delta_s, ratio}`` between two records.
+
+    Stages present on only one side appear with the other side at 0.0
+    (ratio ``inf`` for new stages — they have no baseline to honour).
+    """
+    base = baseline.get("stages") or {}
+    cur = current.get("stages") or {}
+    out: Dict[str, Dict[str, float]] = {}
+    for stage in sorted(set(base) | set(cur)):
+        b = float(base.get(stage, 0.0))
+        c = float(cur.get(stage, 0.0))
+        out[stage] = {
+            "base": b,
+            "cur": c,
+            "delta_s": c - b,
+            "ratio": (c / b) if b > 0 else float("inf") if c > 0 else 1.0,
+        }
+    return out
+
+
+def check_regressions(baseline: Dict[str, Any], current: Dict[str, Any],
+                      threshold: float = DEFAULT_THRESHOLD,
+                      min_seconds: float = DEFAULT_MIN_SECONDS
+                      ) -> List[str]:
+    """Stages slower than ``baseline * (1 + threshold)``.
+
+    Stages below ``min_seconds`` in the baseline are skipped — a 3 ms
+    stage doubling is scheduler noise, not a regression.  Returns
+    human-readable problem strings (empty = within budget).
+    """
+    problems: List[str] = []
+    for stage, d in stage_deltas(baseline, current).items():
+        if d["base"] < min_seconds:
+            continue
+        if d["cur"] > d["base"] * (1.0 + threshold):
+            problems.append(
+                f"{stage}: {d['base']:.3f}s -> {d['cur']:.3f}s "
+                f"(+{(d['ratio'] - 1.0) * 100:.0f}% > "
+                f"+{threshold * 100:.0f}% budget)")
+    return problems
+
+
+def format_deltas(baseline: Dict[str, Any],
+                  current: Dict[str, Any]) -> str:
+    """Text table of per-stage deltas for terminals and CI logs."""
+    deltas = stage_deltas(baseline, current)
+    width = max([len(s) for s in deltas] + [len("stage")])
+    lines = [f"{'stage':<{width}}  {'base(s)':>9}  {'cur(s)':>9}  delta"]
+    for stage, d in deltas.items():
+        if d["ratio"] == float("inf"):
+            pct = "new"
+        else:
+            pct = f"{(d['ratio'] - 1.0) * 100:+.1f}%"
+        lines.append(
+            f"{stage:<{width}}  {d['base']:>9.3f}  {d['cur']:>9.3f}  {pct}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.obs.benchtrack record|compare
+# ----------------------------------------------------------------------
+def _cmd_record(args: argparse.Namespace) -> int:
+    tp_percents = [float(p) for p in args.tp_percents.split(",")]
+    record = record_stages(args.circuit, scale=args.scale,
+                           tp_percents=tp_percents)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    if args.history:
+        append_history(args.history, record)
+        print(f"appended to {args.history}")
+    if not args.out and not args.history:
+        json.dump(record, sys.stdout, indent=1, sort_keys=True)
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_record(args.baseline)
+    current = load_record(args.current)
+    print(format_deltas(baseline, current))
+    problems = check_regressions(baseline, current,
+                                 threshold=args.threshold,
+                                 min_seconds=args.min_seconds)
+    if problems:
+        print(f"\nREGRESSIONS ({len(problems)}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"\nOK: no stage exceeds +{args.threshold * 100:.0f}% "
+          f"over baseline")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.benchtrack",
+        description="Record and compare per-stage bench runtimes.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a sweep, capture stage times")
+    rec.add_argument("--circuit", default="s38417")
+    rec.add_argument("--scale", type=float, default=0.01)
+    rec.add_argument("--tp-percents", default="0,2")
+    rec.add_argument("--out", help="write the record to this JSON file")
+    rec.add_argument("--history",
+                     help="also append to this JSONL trajectory file")
+    rec.set_defaults(func=_cmd_record)
+
+    cmp_ = sub.add_parser("compare",
+                          help="diff two records, exit 1 on regression")
+    cmp_.add_argument("baseline", help="baseline record (or history) file")
+    cmp_.add_argument("current", help="current record (or history) file")
+    cmp_.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                      help="relative budget per stage (0.2 = +20%%)")
+    cmp_.add_argument("--min-seconds", type=float,
+                      default=DEFAULT_MIN_SECONDS,
+                      help="ignore stages below this baseline duration")
+    cmp_.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

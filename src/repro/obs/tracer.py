@@ -136,6 +136,11 @@ class Trace:
         pid: Process that recorded the trace.
         wall_epoch: ``time.time()`` at tracer start — lets an exporter
             place traces from several processes on one global axis.
+        mono_epoch: ``time.perf_counter()`` at tracer start.  On one
+            machine this clock is shared across processes (CLOCK_MONOTONIC
+            since boot), so merging aligns traces on it when every
+            trace carries one — immune to NTP steps that skew
+            ``wall_epoch``.  0.0 on traces from older pickles.
         counters: Trace-level counters recorded outside any span.
         gauges: Trace-level gauges recorded outside any span.
     """
@@ -146,6 +151,7 @@ class Trace:
     wall_epoch: float = 0.0
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    mono_epoch: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -284,6 +290,7 @@ class Tracer:
             label=self.label,
             pid=self.pid,
             wall_epoch=self.wall_epoch,
+            mono_epoch=self._perf_epoch,
         )
 
     def trace(self) -> Trace:
@@ -295,6 +302,7 @@ class Tracer:
             wall_epoch=self.wall_epoch,
             counters=dict(self.counters),
             gauges=dict(self.gauges),
+            mono_epoch=self._perf_epoch,
         )
 
 
@@ -310,6 +318,7 @@ class NullTracer:
     label = ""
     pid = 0
     wall_epoch = 0.0
+    mono_epoch = 0.0
 
     def now(self) -> float:
         return 0.0

@@ -125,6 +125,39 @@ class ServiceClient:
         """Queue/worker/cache metrics snapshot."""
         return self._expect("GET", "/metrics")
 
+    def metrics_prom(self) -> str:
+        """The metrics registry as Prometheus exposition text."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request("GET", "/metrics?format=prom",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    payload = {"error": raw[:200].decode("latin-1")}
+                raise ServiceError(response.status, payload,
+                                   "GET /metrics?format=prom")
+            return raw.decode("utf-8")
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                0, {"error": str(exc)},
+                f"GET {self.base_url}/metrics?format=prom") from exc
+        finally:
+            conn.close()
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """Merged Chrome trace of one job's recorded spans.
+
+        Raises:
+            ServiceError: 404 until the job has run (a queued job has
+                not written its trace bundle yet).
+        """
+        return self._expect("GET", f"/sweeps/{job_id}/trace")
+
     def submit(self, request: SweepRequest) -> JobRecord:
         """Submit a sweep; returns the queued job's record."""
         payload = self._expect("POST", "/sweeps", ok=(202,),
@@ -187,6 +220,7 @@ class ServiceClient:
               jobs: int = 1, retries: int = 2,
               task_timeout_s: Optional[float] = None,
               name: Optional[str] = None,
+              trace: bool = False,
               timeout_s: float = 600.0,
               poll_s: float = 0.2) -> ExperimentResult:
         """Run a sweep on the daemon with ``api.sweep`` semantics.
@@ -199,7 +233,7 @@ class ServiceClient:
         record = self.submit(SweepRequest(
             circuit=circuit, scale=scale, tp_percents=tp_percents,
             options=dict(options or {}), jobs=jobs, retries=retries,
-            task_timeout_s=task_timeout_s, name=name,
+            task_timeout_s=task_timeout_s, name=name, trace=trace,
         ))
         final = self.wait(record.id, timeout_s=timeout_s, poll_s=poll_s)
         state = final.get("state")

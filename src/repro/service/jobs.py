@@ -70,7 +70,15 @@ class UnknownJobError(KeyError):
 
 
 class _Job:
-    """Mutable server-side job state (JobRecord is its snapshot)."""
+    """Mutable server-side job state (JobRecord is its snapshot).
+
+    Wall-clock stamps (``*_at``) are for display and the wire;
+    elapsed-time math (queue wait, run duration) always uses the
+    ``*_mono`` twins — ``time.monotonic()`` cannot jump when NTP
+    steps the wall clock under a long-lived daemon.  The job also
+    owns a span tracer from birth, so its trace's timebase starts at
+    submission and queue wait is a real span, not a negative offset.
+    """
 
     def __init__(self, job_id: str, request: SweepRequest,
                  journal: Path, coalesced_with: Optional[str]):
@@ -80,12 +88,17 @@ class _Job:
         self.journal = journal
         self.state = JOB_QUEUED
         self.submitted_at = time.time()
+        self.submitted_mono = time.monotonic()
         self.started_at: Optional[float] = None
+        self.started_mono: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self.finished_mono: Optional[float] = None
         self.error: Optional[str] = None
         self.coalesced_with = coalesced_with
         self.report: Optional[SweepReport] = None
         self.cancel_event = threading.Event()
+        self.tracer = obs.Tracer(label=f"job {job_id}")
+        self.trace_path: Optional[Path] = None
 
     def record(self) -> JobRecord:
         return JobRecord(
@@ -127,7 +140,19 @@ class JobManager:
         self.cache_dir = Path(cache_dir)
         self.journal_dir = self.cache_dir / "journals"
         self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.trace_dir = self.cache_dir / "traces"
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
         self.job_workers = max(1, job_workers)
+        # The daemon is the one place telemetry is on by default: a
+        # real registry is installed process-wide so the executor's
+        # instrumentation (stage/cell histograms, retry/timeout/cache
+        # counters) lands here while jobs grind in the worker threads.
+        # The previous registry comes back on shutdown, so an embedded
+        # manager (tests, notebooks) does not hijack the process for
+        # good.
+        self.registry = obs.MetricsRegistry()
+        self._prev_registry = obs.install_registry(self.registry)
+        self._describe_metrics()
         self.cache_max_bytes = cache_max_bytes
         self.use_cache = use_cache
         self._build_experiment = (build_experiment
@@ -160,6 +185,48 @@ class JobManager:
         ]
         for thread in self._threads:
             thread.start()
+
+    def _describe_metrics(self) -> None:
+        """Declare the daemon's metric vocabulary up front, so the
+        first ``/metrics?format=prom`` scrape after boot already
+        carries HELP/TYPE lines and kind conflicts fail at startup."""
+        d = self.registry.describe
+        d("repro_jobs_total", "counter",
+          "Job lifecycle transitions by event "
+          "(submitted/coalesced/completed/failed/cancelled).")
+        d("repro_job_seconds", "histogram",
+          "Wall seconds a job spent executing (monotonic clock).")
+        d("repro_job_queue_wait_seconds", "histogram",
+          "Wall seconds a job waited between submit and start.")
+        d("repro_stage_seconds", "histogram",
+          "Per-flow-stage wall seconds, labelled by stage and circuit.")
+        d("repro_cell_seconds", "histogram",
+          "End-to-end wall seconds per sweep cell.")
+        d("repro_cells_total", "counter",
+          "Sweep cells finished, by circuit and outcome "
+          "(ok/failed/cached).")
+        d("repro_task_retries_total", "counter",
+          "Cell attempts that failed and were retried.")
+        d("repro_task_timeouts_total", "counter",
+          "Cells killed by the watchdog timeout.")
+        d("repro_worker_crashes_total", "counter",
+          "Process-pool worker crashes observed by the scheduler.")
+        d("repro_cache_events_total", "counter",
+          "Artifact cache events (hit/miss/corrupt/evict).")
+        d("repro_job_queue_depth", "gauge",
+          "Jobs waiting in the daemon queue (sampled at scrape).")
+        d("repro_running_jobs", "gauge",
+          "Jobs currently executing (sampled at scrape).")
+        d("repro_job_workers", "gauge",
+          "Configured concurrent job worker threads.")
+        d("repro_worker_utilization", "gauge",
+          "running_jobs / job_workers (sampled at scrape).")
+        d("repro_cache_hit_rate", "gauge",
+          "cache_hits / (hits + misses) over the daemon lifetime.")
+        d("repro_uptime_seconds", "gauge",
+          "Daemon uptime on the monotonic clock.")
+        d("repro_request_seconds", "histogram",
+          "HTTP request handling latency by route.")
 
     # -- submission ------------------------------------------------------
     def _validate(self, request: SweepRequest) -> None:
@@ -204,6 +271,11 @@ class JobManager:
             if twin is not None:
                 self._counters["jobs_coalesced"] += 1
         obs.counter("service.jobs_submitted")
+        self.registry.inc("repro_jobs_total", 1, event="submitted")
+        if job.coalesced_with:
+            self.registry.inc("repro_jobs_total", 1, event="coalesced")
+        obs.emit("job_submitted", job_id=job.id, circuit=request.circuit,
+                 spec=job.spec[:12], coalesced_with=job.coalesced_with)
         self._queue.put(job)
         return job.record()
 
@@ -249,9 +321,14 @@ class JobManager:
                 job.cancel_event.set()
                 job.state = JOB_CANCELLED
                 job.finished_at = time.time()
+                job.finished_mono = time.monotonic()
                 self._counters["jobs_cancelled"] += 1
+                self.registry.inc("repro_jobs_total", 1,
+                                  event="cancelled")
             elif job.state == JOB_RUNNING:
                 job.cancel_event.set()
+            obs.emit("job_cancel_requested", "warn", job_id=job.id,
+                     state=job.state)
             return job.record()
         # The worker notices the event via ExecutorConfig.cancel_check
         # and finalises the running job as cancelled itself.
@@ -301,6 +378,7 @@ class JobManager:
             chaos=request.chaos,
             journal=str(job.journal),
             cancel_check=job.cancel_event.is_set,
+            trace=request.trace,
         )
 
     def _run_job(self, job: _Job) -> None:
@@ -309,44 +387,106 @@ class JobManager:
                 if job.state != JOB_CANCELLED:
                     job.state = JOB_CANCELLED
                     job.finished_at = time.time()
+                    job.finished_mono = time.monotonic()
                     self._counters["jobs_cancelled"] += 1
                 return
             job.state = JOB_RUNNING
             job.started_at = time.time()
+            job.started_mono = time.monotonic()
             self._running[job.id] = job
         obs.counter("service.jobs_started")
-        try:
-            experiment = self._build_experiment(job.request)
-            report = run_sweeps_report([experiment],
-                                       self._executor_config(job))
-        except Exception as exc:  # engine-level crash, not a cell hole
+        queue_wait = job.started_mono - job.submitted_mono
+        self.registry.observe("repro_job_queue_wait_seconds", queue_wait)
+        run_from = job.tracer.now()
+        job.tracer.record_span("queue_wait", 0.0, run_from)
+        with obs.bind(job_id=job.id):
+            obs.emit("job_start", circuit=job.request.circuit,
+                     jobs=job.request.jobs, queue_wait_s=queue_wait)
+            try:
+                experiment = self._build_experiment(job.request)
+                report = run_sweeps_report([experiment],
+                                           self._executor_config(job))
+            except Exception as exc:  # engine crash, not a cell hole
+                with self._lock:
+                    self._running.pop(job.id, None)
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.state = JOB_FAILED
+                    job.finished_at = time.time()
+                    job.finished_mono = time.monotonic()
+                    self._counters["jobs_failed"] += 1
+                obs.counter("service.jobs_failed")
+                self.registry.inc("repro_jobs_total", 1, event="failed")
+                obs.emit("job_failed", "error", error=job.error)
+                self._finish_trace(job, None, run_from)
+                return
             with self._lock:
                 self._running.pop(job.id, None)
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.state = JOB_FAILED
+                job.report = report
                 job.finished_at = time.time()
-                self._counters["jobs_failed"] += 1
-            obs.counter("service.jobs_failed")
+                job.finished_mono = time.monotonic()
+                if report.cancelled or job.cancel_event.is_set():
+                    job.state = JOB_CANCELLED
+                    self._counters["jobs_cancelled"] += 1
+                else:
+                    job.state = JOB_DONE
+                    self._counters["jobs_completed"] += 1
+                self._counters["cells_done"] += report.successful_cells()
+                self._counters["cells_failed"] += len(report.failures)
+                self._counters["retries"] += report.retries
+                self._counters["timeouts"] += report.timeouts
+                self._counters["worker_crashes"] += report.worker_crashes
+                self._counters["cache_hits"] += report.cache_hits
+                self._counters["cache_misses"] += report.cache_misses
+                self._counters["cache_evictions"] += report.cache_evictions
+            obs.counter("service.jobs_finished")
+            self.registry.inc(
+                "repro_jobs_total", 1,
+                event=("cancelled" if job.state == JOB_CANCELLED
+                       else "completed"))
+            self.registry.observe("repro_job_seconds",
+                                  job.finished_mono - job.started_mono)
+            obs.emit("job_end", state=job.state,
+                     cells_done=report.successful_cells(),
+                     cells_failed=len(report.failures),
+                     seconds=job.finished_mono - job.started_mono)
+            self._finish_trace(job, report, run_from)
+
+    def _finish_trace(self, job: _Job, report: Optional[SweepReport],
+                      run_from: float) -> None:
+        """Close the job's span tree and persist its trace bundle.
+
+        The bundle always holds the job-level spans (queue_wait +
+        run); with ``request.trace`` set it also carries every cell's
+        worker-side flow trace, so ``merge_traces`` can stitch the
+        whole job across processes.  Best-effort: a full disk must
+        not fail the job itself.
+        """
+        job.tracer.record_span("run", run_from, job.tracer.now())
+        traces = [job.tracer.trace()]
+        if report is not None:
+            for result in report.results.values():
+                for summary in result.runs.values():
+                    if getattr(summary, "trace", None) is not None:
+                        traces.append(summary.trace)
+        path = self.trace_dir / f"{job.id}.trace.json"
+        try:
+            obs.write_trace_file(path, traces)
+        except OSError:
             return
-        with self._lock:
-            self._running.pop(job.id, None)
-            job.report = report
-            job.finished_at = time.time()
-            if report.cancelled or job.cancel_event.is_set():
-                job.state = JOB_CANCELLED
-                self._counters["jobs_cancelled"] += 1
-            else:
-                job.state = JOB_DONE
-                self._counters["jobs_completed"] += 1
-            self._counters["cells_done"] += report.successful_cells()
-            self._counters["cells_failed"] += len(report.failures)
-            self._counters["retries"] += report.retries
-            self._counters["timeouts"] += report.timeouts
-            self._counters["worker_crashes"] += report.worker_crashes
-            self._counters["cache_hits"] += report.cache_hits
-            self._counters["cache_misses"] += report.cache_misses
-            self._counters["cache_evictions"] += report.cache_evictions
-        obs.counter("service.jobs_finished")
+        job.trace_path = path
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """Merged Chrome trace of one job's recorded spans.
+
+        Raises KeyError (via :class:`UnknownJobError`) for unknown
+        jobs and FileNotFoundError while the job has not yet written
+        its trace bundle — the server maps both to 404.
+        """
+        job = self._get(job_id)
+        if job.trace_path is None:
+            raise FileNotFoundError(
+                f"job {job_id} has no trace yet (state {job.state})")
+        return obs.merge_traces(obs.read_trace_file(job.trace_path))
 
     # -- observability ---------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
@@ -370,6 +510,24 @@ class JobManager:
             "jobs_by_state": states,
         }
 
+    def prom_registry(self) -> obs.MetricsRegistry:
+        """The live registry with scrape-time gauges refreshed.
+
+        Counters and histograms accumulate as jobs run; the queue /
+        utilization gauges are snapshots, so they are (re)sampled here
+        — at scrape time — exactly like a Prometheus collector would.
+        """
+        snapshot = self.metrics()
+        self.registry.set("repro_job_queue_depth",
+                          snapshot["queue_depth"])
+        self.registry.set("repro_running_jobs", snapshot["running_jobs"])
+        self.registry.set("repro_job_workers", snapshot["job_workers"])
+        self.registry.set("repro_worker_utilization",
+                          snapshot["worker_utilization"])
+        self.registry.set("repro_cache_hit_rate",
+                          snapshot["cache_hit_rate"])
+        return self.registry
+
     # -- shutdown --------------------------------------------------------
     def shutdown(self, timeout_s: float = 5.0) -> None:
         """Stop the worker threads (idempotent).
@@ -381,6 +539,11 @@ class JobManager:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout_s)
+        # Give the process its previous (usually null) registry back —
+        # but only if ours is still the installed one: a second
+        # manager may have been stacked on top in the meantime.
+        if obs.get_registry() is self.registry:
+            obs.install_registry(self._prev_registry)
 
 
 def _default_build_experiment(request: SweepRequest):

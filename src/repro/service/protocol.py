@@ -126,6 +126,12 @@ class SweepRequest:
         chaos: Scripted fault plan (soak testing only; needs
             ``jobs > 1`` for ``kill``/``hang`` faults — an inline kill
             would take the daemon down with it).
+        trace: Record per-cell span trees during the sweep; they land
+            in the daemon's trace store and come back merged via
+            ``GET /sweeps/<id>/trace``.  Observability only — never
+            part of the cache key or the canonical result, so it is
+            deliberately *excluded* from :meth:`spec_key` (a traced
+            and an untraced submission of the same sweep coalesce).
     """
 
     circuit: str
@@ -137,6 +143,7 @@ class SweepRequest:
     task_timeout_s: Optional[float] = None
     name: Optional[str] = None
     chaos: Optional[FaultPlan] = None
+    trace: bool = False
 
     def __post_init__(self):
         if self.tp_percents is not None and not isinstance(
@@ -145,7 +152,7 @@ class SweepRequest:
                                tuple(self.tp_percents))
 
     _FIELDS = ("circuit", "scale", "tp_percents", "options", "jobs",
-               "retries", "task_timeout_s", "name", "chaos")
+               "retries", "task_timeout_s", "name", "chaos", "trace")
 
     def to_wire(self) -> Dict[str, Any]:
         """JSON-ready form; inverse of :meth:`from_wire`."""
@@ -161,6 +168,7 @@ class SweepRequest:
             "task_timeout_s": self.task_timeout_s,
             "name": self.name,
             "chaos": self.chaos.to_dict() if self.chaos else None,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -196,6 +204,8 @@ class SweepRequest:
         retries = payload.get("retries", 2)
         _require(isinstance(retries, int) and retries >= 0,
                  "'retries' must be a non-negative integer")
+        trace = payload.get("trace", False)
+        _require(isinstance(trace, bool), "'trace' must be a boolean")
         chaos = payload.get("chaos")
         if chaos is not None:
             try:
@@ -210,8 +220,11 @@ class SweepRequest:
     def spec_key(self) -> str:
         """Content hash of the canonical request: equal requests (any
         field order) hash equally, so the job manager can coalesce
-        identical submissions from different tenants."""
+        identical submissions from different tenants.  Observability
+        knobs (``trace``) are dropped first — they do not change what
+        is computed, so they must not defeat coalescing."""
         wire = self.to_wire()
+        wire.pop("trace", None)
         canon = json.dumps(wire, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
@@ -358,6 +371,10 @@ def report_to_wire(report: SweepReport) -> Dict[str, Any]:
         "cache_misses": report.cache_misses,
         "cache_evictions": report.cache_evictions,
         "cancelled": report.cancelled,
+        "started_at": report.started_at,
+        "finished_at": report.finished_at,
+        "started_mono": report.started_mono,
+        "finished_mono": report.finished_mono,
     }
 
 
@@ -394,6 +411,10 @@ def report_from_wire(data: Mapping[str, Any]) -> SweepReport:
         cache_misses=int(data.get("cache_misses", 0)),
         cache_evictions=int(data.get("cache_evictions", 0)),
         cancelled=bool(data.get("cancelled", False)),
+        started_at=float(data.get("started_at", 0.0)),
+        finished_at=float(data.get("finished_at", 0.0)),
+        started_mono=float(data.get("started_mono", 0.0)),
+        finished_mono=float(data.get("finished_mono", 0.0)),
     )
 
 

@@ -15,12 +15,17 @@ method    path                   meaning
 GET       ``/healthz``           liveness: version, uptime, worker count
 GET       ``/metrics``           queue depth, worker utilization, cache
                                  hit rate, eviction/retry/crash counters
+GET       ``/metrics?format=prom``  the same registry in Prometheus
+                                 text exposition format (also chosen by
+                                 an ``Accept: text/plain`` header)
 POST      ``/sweeps``            submit a sweep; 202 + job record
 GET       ``/sweeps``            list job records, oldest first
 GET       ``/sweeps/<id>``       job record + journal-streamed per-cell
                                  progress
 GET       ``/sweeps/<id>/result``  the finished job's sweep report;
                                  409 while queued/running
+GET       ``/sweeps/<id>/trace``   merged Chrome trace of the job's
+                                 spans (404 until the job has run)
 DELETE    ``/sweeps/<id>``       cancel (immediate while queued,
                                  cooperative while running)
 ========  =====================  =======================================
@@ -49,7 +54,8 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 import repro
 from repro import obs
@@ -79,6 +85,22 @@ _STATUS_TEXT = {
     409: "Conflict",
     500: "Internal Server Error",
 }
+
+
+class RawBody:
+    """A non-JSON response body (the Prometheus exposition text)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str,
+                 content_type: str =
+                 "text/plain; version=0.0.4; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
+
+
+#: What a handler may return as its payload.
+Payload = Union[Dict[str, Any], RawBody]
 
 
 @dataclass
@@ -117,6 +139,10 @@ class SweepService:
             use_cache=config.use_cache,
         )
         self.started_at = time.time()
+        # Uptime and request latencies use the monotonic clock: a
+        # wall-clock step (NTP, DST of the host) must not produce a
+        # negative uptime on a long-lived daemon.
+        self.started_mono = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
 
@@ -158,10 +184,15 @@ class SweepService:
         except Exception as exc:  # daemon bug: surface, don't hang up
             status, payload = 500, {"error":
                                     f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, RawBody):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
@@ -178,7 +209,7 @@ class SweepService:
                 pass
 
     async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Tuple[int, Dict[str, Any]]:
+                       ) -> Tuple[int, Payload]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -207,18 +238,35 @@ class SweepService:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
                 return 400, {"error": "request body truncated"}
-        path = target.split("?", 1)[0]
+        path, _, raw_query = target.partition("?")
+        query = parse_qs(raw_query)
         obs.counter("service.requests")
+        t0 = time.monotonic()
         try:
-            return self._route(method.upper(), path, body)
+            status, payload = self._route(method.upper(), path, query,
+                                          headers, body)
         except WireError as exc:
-            return 400, {"error": str(exc)}
+            status, payload = 400, {"error": str(exc)}
         except UnknownJobError as exc:
-            return 404, {"error": f"unknown job {exc.args[0]!r}"}
+            status, payload = 404, {"error":
+                                    f"unknown job {exc.args[0]!r}"}
+        except FileNotFoundError as exc:
+            status, payload = 404, {"error": str(exc)}
+        seconds = time.monotonic() - t0
+        route = next((p for p in path.split("/") if p), "/")
+        obs.observe("repro_request_seconds", seconds, route=route)
+        obs.emit("request",
+                 "warn" if status >= 400
+                 else "debug" if route in ("healthz", "metrics")
+                 else "info",
+                 method=method.upper(), path=path, status=status,
+                 seconds=seconds)
+        return status, payload
 
     # -- routing ---------------------------------------------------------
-    def _route(self, method: str, path: str, body: bytes
-               ) -> Tuple[int, Dict[str, Any]]:
+    def _route(self, method: str, path: str,
+               query: Dict[str, Any], headers: Dict[str, str],
+               body: bytes) -> Tuple[int, Payload]:
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"]:
             if method != "GET":
@@ -227,6 +275,8 @@ class SweepService:
         if parts == ["metrics"]:
             if method != "GET":
                 return 405, {"error": "metrics is GET-only"}
+            if self._wants_prom(query, headers):
+                return 200, RawBody(self._prom_text())
             return 200, self._metrics()
         if not parts or parts[0] != "sweeps" or len(parts) > 3:
             return 404, {"error": f"no such route: {path}"}
@@ -239,16 +289,33 @@ class SweepService:
             return 405, {"error": "sweeps accepts POST and GET"}
         job_id = parts[1]
         if len(parts) == 3:
-            if parts[2] != "result":
-                return 404, {"error": f"no such route: {path}"}
-            if method != "GET":
-                return 405, {"error": "result is GET-only"}
-            return self._result(job_id)
+            if parts[2] == "result":
+                if method != "GET":
+                    return 405, {"error": "result is GET-only"}
+                return self._result(job_id)
+            if parts[2] == "trace":
+                if method != "GET":
+                    return 405, {"error": "trace is GET-only"}
+                return 200, self.manager.trace(job_id)
+            return 404, {"error": f"no such route: {path}"}
         if method == "GET":
             return self._status(job_id)
         if method == "DELETE":
             return 200, self.manager.cancel(job_id).to_wire()
         return 405, {"error": "job accepts GET and DELETE"}
+
+    @staticmethod
+    def _wants_prom(query: Dict[str, Any],
+                    headers: Dict[str, str]) -> bool:
+        """Content negotiation for ``/metrics``: an explicit
+        ``?format=prom`` (or ``?format=json``) wins; otherwise an
+        ``Accept`` header asking for ``text/plain`` selects the
+        exposition format.  Default stays JSON — existing scripts keep
+        working."""
+        fmt = (query.get("format") or [""])[0].lower()
+        if fmt:
+            return fmt == "prom"
+        return "text/plain" in headers.get("accept", "").lower()
 
     # -- handlers --------------------------------------------------------
     def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
@@ -291,14 +358,22 @@ class SweepService:
         return {
             "status": "ok",
             "version": repro.__version__,
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self.started_mono,
             "job_workers": self.manager.job_workers,
         }
 
     def _metrics(self) -> Dict[str, Any]:
         metrics = self.manager.metrics()
-        metrics["uptime_s"] = time.time() - self.started_at
+        metrics["uptime_s"] = time.monotonic() - self.started_mono
         return metrics
+
+    def _prom_text(self) -> str:
+        """The manager's registry, gauges freshly sampled, rendered in
+        Prometheus text exposition format."""
+        registry = self.manager.prom_registry()
+        registry.set("repro_uptime_seconds",
+                     time.monotonic() - self.started_mono)
+        return obs.render_registry(registry)
 
 
 class ServiceThread:

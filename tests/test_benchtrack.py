@@ -1,0 +1,156 @@
+"""Tests for bench stage-runtime tracking and regression gating.
+
+Most tests operate on synthetic records — the gate's arithmetic
+(threshold boundary, noise floor, new-stage handling) must hold
+independently of any real sweep.  One end-to-end test runs
+:func:`record_stages` with the fast ATPG knobs to pin the record
+schema against the real flow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import benchtrack as bt
+
+ATPG = {"seed": 7, "backtrack_limit": 24, "max_deterministic": 60,
+        "abort_recovery_blocks": 4, "second_chance_factor": 1}
+
+
+def _record(stages, **extra):
+    rec = {"kind": bt.RECORD_KIND, "version": bt.RECORD_VERSION,
+           "circuit": "s38417", "scale": 0.01, "tp_percents": [0.0],
+           "stages": dict(stages), "cells": {},
+           "wall_s": sum(stages.values())}
+    rec.update(extra)
+    return rec
+
+
+# ----------------------------------------------------------------------
+# Deltas
+# ----------------------------------------------------------------------
+def test_stage_deltas_both_sides():
+    base = _record({"atpg": 2.0, "route": 1.0})
+    cur = _record({"atpg": 3.0, "route": 0.5})
+    deltas = bt.stage_deltas(base, cur)
+    assert deltas["atpg"] == {"base": 2.0, "cur": 3.0, "delta_s": 1.0,
+                              "ratio": 1.5}
+    assert deltas["route"]["ratio"] == 0.5
+
+
+def test_stage_deltas_one_sided_stages():
+    base = _record({"atpg": 2.0})
+    cur = _record({"route": 1.0})
+    deltas = bt.stage_deltas(base, cur)
+    assert deltas["atpg"]["cur"] == 0.0 and deltas["atpg"]["ratio"] == 0.0
+    assert deltas["route"]["base"] == 0.0
+    assert deltas["route"]["ratio"] == float("inf")  # new stage
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def test_check_regressions_threshold_boundary():
+    base = _record({"atpg": 1.0})
+    at_budget = _record({"atpg": 1.2})        # exactly +20%: allowed
+    over_budget = _record({"atpg": 1.2001})   # just past: flagged
+    assert bt.check_regressions(base, at_budget) == []
+    problems = bt.check_regressions(base, over_budget)
+    assert len(problems) == 1 and "atpg" in problems[0]
+
+
+def test_check_regressions_min_seconds_floor():
+    # A 3 ms stage tripling is scheduler noise, not a regression.
+    base = _record({"tiny": 0.003, "real": 1.0})
+    cur = _record({"tiny": 0.009, "real": 1.0})
+    assert bt.check_regressions(base, cur) == []
+    # Lowering the floor exposes it.
+    assert bt.check_regressions(base, cur, min_seconds=0.001)
+
+
+def test_check_regressions_new_stage_has_no_baseline():
+    base = _record({"atpg": 1.0})
+    cur = _record({"atpg": 1.0, "brand_new": 9.0})
+    assert bt.check_regressions(base, cur) == []
+
+
+def test_format_deltas_table():
+    base = _record({"atpg": 1.0})
+    cur = _record({"atpg": 1.1, "fresh": 0.2})
+    text = bt.format_deltas(base, cur)
+    assert "stage" in text and "+10.0%" in text and "new" in text
+
+
+# ----------------------------------------------------------------------
+# Record I/O
+# ----------------------------------------------------------------------
+def test_load_record_single(tmp_path):
+    path = tmp_path / "rec.json"
+    path.write_text(json.dumps(_record({"atpg": 1.0})))
+    assert bt.load_record(str(path))["stages"] == {"atpg": 1.0}
+
+
+def test_load_record_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"kind": "something_else"}))
+    with pytest.raises(ValueError):
+        bt.load_record(str(path))
+
+
+def test_load_record_json_list_history_takes_latest(tmp_path):
+    path = tmp_path / "history.json"
+    path.write_text(json.dumps([_record({"atpg": 1.0}),
+                                _record({"atpg": 2.0})]))
+    assert bt.load_record(str(path))["stages"] == {"atpg": 2.0}
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]")
+    with pytest.raises(ValueError):
+        bt.load_record(str(empty))
+
+
+def test_history_append_read_and_load_latest(tmp_path):
+    path = tmp_path / "traj.jsonl"
+    bt.append_history(str(path), _record({"atpg": 1.0}))
+    bt.append_history(str(path), _record({"atpg": 3.0}))
+    history = bt.read_history(str(path))
+    assert [r["stages"]["atpg"] for r in history] == [1.0, 3.0]
+    assert bt.load_record(str(path))["stages"]["atpg"] == 3.0
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    with pytest.raises(ValueError):
+        bt.load_record(str(empty))
+
+
+# ----------------------------------------------------------------------
+# CLI gate
+# ----------------------------------------------------------------------
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(_record({"atpg": 1.0, "route": 0.5})))
+    # Self-compare: always within budget.
+    assert bt.main(["compare", str(base_path), str(base_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+    # Synthetic +50% inflation on one stage: must gate.
+    inflated = _record({"atpg": 1.5, "route": 0.5})
+    cur_path = tmp_path / "cur.json"
+    cur_path.write_text(json.dumps(inflated))
+    assert bt.main(["compare", str(base_path), str(cur_path)]) == 1
+    assert "REGRESSIONS" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# End to end against the real flow
+# ----------------------------------------------------------------------
+def test_record_stages_real_sweep():
+    record = bt.record_stages("s38417", scale=0.012, tp_percents=(0.0,),
+                              atpg=ATPG)
+    assert record["kind"] == bt.RECORD_KIND
+    assert record["stages"] and all(
+        v >= 0.0 for v in record["stages"].values())
+    assert "0" in record["cells"]
+    assert record["wall_s"] == pytest.approx(
+        sum(record["stages"].values()))
+    # A record is always within budget of itself.
+    assert bt.check_regressions(record, record) == []

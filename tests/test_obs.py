@@ -340,3 +340,48 @@ def test_flow_summary_trace_attribute_backcompat():
     restored = pickle.loads(pickle.dumps(old))
     assert restored.trace is None
     assert restored.effective_stage_seconds() == {}
+
+
+# ----------------------------------------------------------------------
+# Validator rejection paths and the zero-overhead null tracer
+# ----------------------------------------------------------------------
+def test_validate_chrome_trace_more_rejections():
+    neg_dur = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                "tid": 1, "ts": 0, "dur": -1}]}
+    assert any("dur" in p for p in obs.validate_chrome_trace(neg_dur))
+    non_numeric = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                    "tid": 1, "ts": "soon", "dur": 0}]}
+    assert any("ts" in p for p in obs.validate_chrome_trace(non_numeric))
+    missing_ids = {"traceEvents": [{"name": "x", "ph": "M"}]}
+    problems = obs.validate_chrome_trace(missing_ids)
+    assert any("pid" in p for p in problems)
+    assert any("tid" in p for p in problems)
+    not_an_event = {"traceEvents": [42]}
+    assert any("not an object" in p
+               for p in obs.validate_chrome_trace(not_an_event))
+    # one problem per event, and positions are reported
+    several = {"traceEvents": [{"name": "ok", "ph": "M", "pid": 1,
+                                "tid": 1}, 42]}
+    problems = obs.validate_chrome_trace(several)
+    assert len(problems) == 1 and "traceEvents[1]" in problems[0]
+
+
+def test_null_tracer_zero_overhead_invariant():
+    """The disabled path allocates nothing: every call on the null
+    tracer hands back the same shared singletons."""
+    from repro.obs.tracer import _NULL_SPAN
+
+    tracer = obs.NULL_TRACER
+    assert obs.get_tracer() is tracer  # process-wide shared instance
+    assert tracer.span("a") is tracer.span("b") is _NULL_SPAN
+    assert tracer.record_span("x", 0.0, 1.0) is _NULL_SPAN
+    assert tracer.now() == 0.0 and tracer.rel_wall(1234.5) == 0.0
+    assert tracer.mono_epoch == 0.0 and tracer.wall_epoch == 0.0
+    assert tracer.mark() == 0
+    assert tracer.capture(0) is None and tracer.trace() is None
+    # the null span swallows everything without storing it
+    with tracer.span("s") as sp:
+        sp.counter("n", 5)
+        sp.gauge("g", 1.0)
+    assert sp.counters == {} and sp.gauges == {}
+    assert sp.duration_s == 0.0 and sp.children == []

@@ -1,0 +1,160 @@
+"""Tests for the structured JSONL event log.
+
+Contracts under test: deterministic ordering (seq + sorted keys),
+leveled filtering, copy-on-bind context nesting (thread-local, so
+concurrent daemon workers cannot cross-contaminate), dual wall +
+monotonic timestamps, env-driven install, and the free-when-off null
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.events import _NULL_BIND, EventLog
+
+
+def _mem() -> EventLog:
+    return EventLog(level="debug", memory=True)
+
+
+# ----------------------------------------------------------------------
+# Emission basics
+# ----------------------------------------------------------------------
+def test_events_carry_both_clocks_and_seq():
+    log = _mem()
+    log.emit("a")
+    log.emit("b", "warn", cell="x@2%")
+    first, second = log.events
+    assert first["seq"] == 1 and second["seq"] == 2
+    assert first["ts"] > 0 and first["ts_mono"] > 0
+    assert second["level"] == "warn" and second["cell"] == "x@2%"
+
+
+def test_level_filtering_drops_below_threshold():
+    log = EventLog(level="warn", memory=True)
+    log.emit("quiet", "debug")
+    log.emit("info", "info")
+    log.emit("loud", "warn")
+    log.emit("bang", "error")
+    assert [e["event"] for e in log.events] == ["loud", "bang"]
+
+
+def test_unknown_levels_raise():
+    with pytest.raises(ValueError):
+        EventLog(level="verbose")
+    with pytest.raises(ValueError):
+        _mem().emit("x", "shout")
+
+
+def test_file_sink_writes_sorted_key_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path=str(path), level="debug")
+    log.emit("zeta", beta=1, alpha=2)
+    log.close()
+    line = path.read_text().strip()
+    record = json.loads(line)
+    assert record["event"] == "zeta"
+    keys = list(json.loads(line))
+    assert keys == sorted(keys)  # sort_keys=True -> stable diffs
+
+
+def test_read_events_skips_torn_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"event": "ok", "seq": 1}\n{"event": "torn", "se')
+    events = obs.read_events(str(path))
+    assert [e["event"] for e in events] == ["ok"]
+
+
+# ----------------------------------------------------------------------
+# Context binding
+# ----------------------------------------------------------------------
+def test_bind_nests_and_restores():
+    log = _mem()
+    with log.bind(run_id="r1"):
+        log.emit("outer")
+        with log.bind(job_id="j1"):
+            log.emit("inner")
+        log.emit("outer_again")
+    log.emit("unbound")
+    outer, inner, again, unbound = log.events
+    assert outer["run_id"] == "r1" and "job_id" not in outer
+    assert inner["run_id"] == "r1" and inner["job_id"] == "j1"
+    assert again["run_id"] == "r1" and "job_id" not in again
+    assert "run_id" not in unbound
+
+
+def test_explicit_fields_win_over_bound_context():
+    log = _mem()
+    with log.bind(cell="bound"):
+        log.emit("e", cell="explicit")
+    assert log.events[0]["cell"] == "explicit"
+
+
+def test_bind_context_is_thread_local():
+    log = _mem()
+    ready = threading.Barrier(2)
+
+    def worker(job_id: str) -> None:
+        with log.bind(job_id=job_id):
+            ready.wait(timeout=5)  # both threads inside their bind
+            log.emit("tick")
+            ready.wait(timeout=5)
+
+    threads = [threading.Thread(target=worker, args=(f"j{i}",))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seen = sorted(e["job_id"] for e in log.events)
+    assert seen == ["j0", "j1"]
+
+
+# ----------------------------------------------------------------------
+# Process-wide install
+# ----------------------------------------------------------------------
+def test_null_event_log_is_the_default():
+    assert not obs.events_active()
+    log = obs.get_event_log()
+    assert log is obs.NULL_EVENT_LOG
+    assert log.bind(run_id="x") is _NULL_BIND  # one shared scope
+    log.emit("anything", data=1)  # no-op, nothing stored
+    assert log.events == []
+    obs.emit("module_level")  # module helper is a no-op too
+
+
+def test_install_event_log_scopes_and_restores():
+    log = _mem()
+    previous = obs.install_event_log(log)
+    try:
+        assert obs.events_active()
+        with obs.bind(run_id="abc"):
+            obs.emit("hello", n=1)
+        assert log.events[0]["run_id"] == "abc"
+    finally:
+        obs.install_event_log(previous)
+    assert not obs.events_active()
+
+
+def test_install_events_from_env(tmp_path):
+    path = tmp_path / "env_events.jsonl"
+    installed = obs.install_events_from_env(
+        {"REPRO_EVENTS": str(path), "REPRO_EVENTS_LEVEL": "warn"})
+    try:
+        assert installed is not None and installed.level == "warn"
+        obs.emit("dropped", "info")
+        obs.emit("kept", "error")
+        installed.close()
+    finally:
+        obs.install_event_log(obs.NULL_EVENT_LOG)
+    assert [e["event"] for e in obs.read_events(str(path))] == ["kept"]
+
+
+def test_install_events_from_env_without_variable_is_noop():
+    assert obs.install_events_from_env({}) is None
+    assert not obs.events_active()

@@ -302,3 +302,143 @@ def test_job_listing_covers_submissions(client):
     records = client.jobs()
     assert len(records) >= 1
     assert all(r.id.startswith("j") for r in records)
+
+
+# ----------------------------------------------------------------------
+# Telemetry: Prometheus scrape, content negotiation, traces
+# ----------------------------------------------------------------------
+def test_prom_scrape_is_valid_and_has_stage_histogram(client):
+    from repro import obs
+
+    record = submit(client, (0.0, 2.0))  # warm cache: fast
+    final = client.wait(record.id, timeout_s=300)
+    assert final["state"] == "done"
+
+    text = client.metrics_prom()
+    assert obs.validate_exposition(text) == []
+    # Per-stage latency histogram with stage labels, the headline
+    # family the CI scrape job asserts on.
+    assert "# TYPE repro_stage_seconds histogram" in text
+    assert 'stage="atpg"' in text
+    assert "repro_stage_seconds_bucket" in text
+    assert 'le="+Inf"' in text
+    # Queue/cache/job gauges sampled at scrape time.
+    for family in ("repro_job_queue_depth", "repro_worker_utilization",
+                   "repro_cache_hit_rate", "repro_uptime_seconds",
+                   "repro_jobs_total"):
+        assert family in text, family
+
+
+def test_metrics_content_negotiation(daemon, client):
+    import http.client
+
+    def fetch(path, accept=None):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.service.port, timeout=10)
+        try:
+            headers = {"Connection": "close"}
+            if accept:
+                headers["Accept"] = accept
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            return (response.status,
+                    response.getheader("Content-Type", ""),
+                    response.read())
+        finally:
+            conn.close()
+
+    # Default stays JSON for backward compatibility.
+    status, ctype, body = fetch("/metrics")
+    assert status == 200 and "application/json" in ctype
+    assert "queue_depth" in json.loads(body)
+    # Accept: text/plain negotiates the Prometheus encoding.
+    status, ctype, body = fetch("/metrics", accept="text/plain")
+    assert status == 200 and "text/plain" in ctype
+    assert b"# TYPE" in body
+    # An explicit ?format=json beats the Accept header.
+    status, ctype, body = fetch("/metrics?format=json",
+                                accept="text/plain")
+    assert status == 200 and "application/json" in ctype
+    # And ?format=prom needs no header at all.
+    status, ctype, body = fetch("/metrics?format=prom")
+    assert status == 200 and "text/plain" in ctype
+
+
+def test_traced_job_yields_merged_chrome_trace(client):
+    from repro import obs
+
+    # Fresh levels: cache hits drop stored traces by design, so the
+    # per-cell flow traces only exist when the cells really compute.
+    record = submit(client, (0.33, 2.33), jobs=2, trace=True)
+    final = client.wait(record.id, timeout_s=300)
+    assert final["state"] == "done"
+
+    merged = client.trace(record.id)
+    assert obs.validate_chrome_trace(merged) == []
+    events = merged["traceEvents"]
+    # The job's own track (queue_wait + run) plus at least one worker
+    # process: distinct virtual pids, stable from 1.
+    pids = sorted({e["pid"] for e in events})
+    assert pids[0] == 1 and len(pids) >= 2
+    names = {e["name"] for e in events if e.get("ph") == "X"}
+    assert {"queue_wait", "run"} <= names
+    assert "atpg" in names  # per-cell stage spans rode along
+    # Real pids preserved in track metadata.
+    metas = [e for e in events
+             if e.get("ph") == "M" and e["name"] == "process_name"]
+    assert all("os_pid" in m["args"] for m in metas)
+
+
+def test_untraced_job_still_has_job_level_trace(client):
+    from repro import obs
+
+    record = submit(client, (0.0,))
+    client.wait(record.id, timeout_s=300)
+    merged = client.trace(record.id)
+    assert obs.validate_chrome_trace(merged) == []
+    names = {e["name"] for e in merged["traceEvents"]
+             if e.get("ph") == "X"}
+    # Job lifecycle spans only — no per-cell stage spans.
+    assert {"queue_wait", "run"} <= names
+    assert "atpg" not in names
+
+
+def test_trace_of_unknown_or_unfinished_job_is_404(tmp_path):
+    config = ServiceConfig(port=0, cache_dir=str(tmp_path),
+                           job_workers=1)
+    with ServiceThread(config) as thread:
+        client = ServiceClient(thread.base_url, timeout_s=10.0)
+        with pytest.raises(ServiceError) as err:
+            client.trace("jdoesnotexist")
+        assert err.value.status == 404
+
+        blocker = submit(client, (0.75,))
+        queued = submit(client, (1.75,))  # worker busy: stays queued
+        with pytest.raises(ServiceError) as err:
+            client.trace(queued.id)  # no trace before the job ran
+        assert err.value.status == 404
+        client.cancel(queued.id)
+        client.wait(blocker.id, timeout_s=300)
+
+
+def test_report_carries_wall_and_monotonic_stamps(client):
+    record = submit(client, (0.0, 2.0))
+    client.wait(record.id, timeout_s=300)
+    report = client.result(record.id)
+    assert report.started_at > 0 and report.finished_at >= (
+        report.started_at)
+    assert report.finished_mono >= report.started_mono > 0
+    assert report.duration_s >= 0
+
+
+def test_job_manager_restores_registry_on_shutdown(tmp_path):
+    from repro import obs
+    from repro.service.jobs import JobManager
+
+    before = obs.get_registry()
+    manager = JobManager(cache_dir=str(tmp_path), job_workers=1)
+    try:
+        assert obs.get_registry() is manager.registry
+    finally:
+        manager.shutdown()
+    assert obs.get_registry() is before

@@ -369,3 +369,47 @@ def test_journal_with_torn_start_materialises_cells_from_events():
     progress = progress_from_journal(parse_journal_lines(lines))
     assert progress["total"] == 2
     assert progress["done"] == 2
+
+
+# ----------------------------------------------------------------------
+# Telemetry fields on the wire
+# ----------------------------------------------------------------------
+class TestTelemetryFields:
+    def test_trace_flag_round_trips(self):
+        request = SweepRequest(circuit="s38417", trace=True)
+        decoded = SweepRequest.from_wire(through_json(request.to_wire()))
+        assert decoded.trace is True and decoded == request
+
+    def test_trace_flag_does_not_change_spec_key(self):
+        """An observability knob must not defeat job coalescing: a
+        traced and an untraced submission of the same sweep are the
+        same spec."""
+        traced = SweepRequest(circuit="s38417", tp_percents=(0.0, 2.0),
+                              trace=True)
+        plain = SweepRequest(circuit="s38417", tp_percents=(0.0, 2.0))
+        assert traced.spec_key() == plain.spec_key()
+
+    def test_non_bool_trace_rejected(self):
+        wire = SweepRequest(circuit="s38417").to_wire()
+        wire["trace"] = "yes"
+        with pytest.raises(WireError, match="trace"):
+            SweepRequest.from_wire(wire)
+
+    def test_report_timestamps_round_trip(self):
+        report = SweepReport(started_at=1700000000.25,
+                             finished_at=1700000001.5,
+                             started_mono=50.125, finished_mono=51.375)
+        decoded = report_from_wire(through_json(report_to_wire(report)))
+        assert decoded.started_at == report.started_at
+        assert decoded.finished_at == report.finished_at
+        assert decoded.started_mono == report.started_mono
+        assert decoded.finished_mono == report.finished_mono
+
+    def test_report_timestamps_default_for_old_wire(self):
+        wire = report_to_wire(SweepReport())
+        for key in ("started_at", "finished_at", "started_mono",
+                    "finished_mono"):
+            wire.pop(key, None)  # payload from an older daemon
+        decoded = report_from_wire(through_json(wire))
+        assert decoded.started_at == 0.0
+        assert decoded.finished_mono == 0.0
