@@ -35,6 +35,7 @@ __all__ = [
     "CIRCUITS",
     "FlowConfig",
     "FlowResult",
+    "PLACERS",
     "api",
     "load_circuit",
     "run",
@@ -48,6 +49,7 @@ __all__ = [
 #: flow's own startup, so an eager facade import would be circular).
 _EXPORTS = {
     "CIRCUITS": "repro.api",
+    "PLACERS": "repro.api",
     "load_circuit": "repro.api",
     "run": "repro.api",
     "sweep": "repro.api",

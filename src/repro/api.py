@@ -41,6 +41,7 @@ from repro.core.experiment import (
 )
 from repro.core.flow import FlowConfig, FlowResult, run_flow
 from repro.core.resilience import SweepReport
+from repro.layout.placer import PLACERS, Placer, PlacerSpec, get_placer
 from repro.library.cell import Library
 from repro.library.cmos130 import cmos130
 from repro.lint.core import LintReport
@@ -49,6 +50,10 @@ from repro.netlist.circuit import Circuit
 __all__ = [
     "CIRCUITS",
     "CircuitSpec",
+    "PLACERS",
+    "Placer",
+    "PlacerSpec",
+    "get_placer",
     "lint_netlist",
     "load_circuit",
     "run",

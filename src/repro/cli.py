@@ -128,7 +128,20 @@ def _flow_overrides(args) -> dict:
         overrides["incremental_eco"] = False
     if getattr(args, "lint", False):
         overrides["lint"] = True
+    if getattr(args, "placer", None):
+        overrides["placer"] = args.placer
     return overrides
+
+
+def _placer_name(text: str) -> str:
+    """argparse type for --placer: registry-validated engine name."""
+    from repro.layout.placer import require_placer
+
+    try:
+        require_placer(text)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err))
+    return text
 
 
 def _print_tables(result) -> None:
@@ -579,6 +592,10 @@ def main(argv=None) -> int:
     p_flow.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace-event JSON of the "
                              "flow's stages to PATH")
+    p_flow.add_argument("--placer", type=_placer_name, default=None,
+                        metavar="ENGINE",
+                        help="global-placement engine (quadratic, sa); "
+                             "default: quadratic")
     p_flow.set_defaults(func=cmd_flow)
 
     p_sweep = sub.add_parser("sweep", help="run the 0-5%% sweep")
@@ -627,6 +644,10 @@ def main(argv=None) -> int:
                          help="write each recorded trace as a raw "
                               "*.trace.json file in DIR, mergeable "
                               "later with 'repro trace merge'")
+    p_sweep.add_argument("--placer", type=_placer_name, default=None,
+                         metavar="ENGINE",
+                         help="global-placement engine (quadratic, "
+                              "sa); default: quadratic")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lint = sub.add_parser(
@@ -724,6 +745,12 @@ def main(argv=None) -> int:
     p_submit.add_argument("--trace-out", default=None, metavar="PATH",
                           help="where --wait --trace writes the merged "
                                "trace (default: <job_id>.trace.json)")
+    p_submit.add_argument("--placer", type=_placer_name, default=None,
+                          metavar="ENGINE",
+                          help="global-placement engine (quadratic, "
+                               "sa); a job's engine is part of its "
+                               "spec, so jobs differing only in engine "
+                               "never coalesce")
     p_submit.set_defaults(func=cmd_submit)
 
     p_status = sub.add_parser(

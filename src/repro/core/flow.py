@@ -33,11 +33,10 @@ from repro.core.metrics import TestDataMetrics
 from repro.obs.tracer import Trace
 from repro.extraction.rc import NetParasitics, extract_all, extract_incremental
 from repro.layout.cts import ClockTree, synthesize_all_clock_trees
-from repro.layout.detailed import refine_placement
-from repro.layout.eco import eco_place
+from repro.layout.placer import get_placer, placement_seed, require_placer
 from repro.layout.filler import FillerReport, insert_fillers
 from repro.layout.floorplan import Floorplan, build_floorplan
-from repro.layout.placement import Placement, global_place
+from repro.layout.placement import Placement
 from repro.layout.routing import CongestionReport, GlobalRouter, RoutedNet
 from repro.library.cell import Library
 from repro.lint.core import LintReport
@@ -150,6 +149,12 @@ class FlowConfig:
             ``--no-incremental``.
         detailed_passes: Detailed-placement refinement sweeps run after
             legalisation (adjacent-swap wirelength cleanup).
+        placer: Global-placement engine, by registry name (see
+            ``repro.layout.PLACERS``): ``"quadratic"`` (the default
+            analytic engine, bit-identical to the historical flow) or
+            ``"sa"`` (quadratic + simulated-annealing detailed
+            placement).  Unknown names are rejected at construction
+            with a did-you-mean hint.
 
     Construct with keyword arguments, :meth:`from_dict`, or
     :meth:`replace` — positional construction is deprecated: the field
@@ -174,12 +179,15 @@ class FlowConfig:
     incremental_eco: bool = True
     #: Detailed-placement refinement sweeps after legalisation.
     detailed_passes: int = 2
+    #: Global-placement engine (a ``repro.layout.PLACERS`` name).
+    placer: str = "quadratic"
 
     def __post_init__(self):
         # Normalise any iterable (list, set, generator) to a frozenset:
         # configs must be immutable, hashable and fingerprintable.
         if not isinstance(self.exclude_nets, frozenset):
             self.exclude_nets = frozenset(self.exclude_nets)
+        require_placer(self.placer)
 
     # -- plain-data interchange -----------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -449,8 +457,16 @@ def _layout_phase(circuit: Circuit, library: Library,
         )
         plan = build_floorplan(circuit, config.target_utilization,
                                reserve_area_um2=reserve)
-        placement = global_place(circuit, plan)
-        refine_placement(circuit, placement, passes=config.detailed_passes)
+        # Strategy dispatch: the configured engine owns global place,
+        # detailed refinement and every later ECO insertion.  The seed
+        # is derived from the netlist's structural content plus the
+        # engine name, so stochastic engines (SA) replay identically
+        # in-process, across workers and across machines.
+        placer = get_placer(config.placer)
+        seed = placement_seed(circuit, config.placer)
+        placement = placer.place(circuit, plan, seed=seed)
+        placer.refine(circuit, placement,
+                      passes=config.detailed_passes, seed=seed)
         result.plan = plan
         result.placement = placement
         sp.gauge("rows", plan.n_rows)
@@ -486,7 +502,7 @@ def _layout_phase(circuit: Circuit, library: Library,
     with obs.span("eco_cts_route") as sp:
         chaos.checkpoint("eco_cts_route")
         if te_buffers:
-            eco_place(circuit, placement, te_buffers)
+            placer.eco_place(circuit, placement, te_buffers)
         trees = synthesize_all_clock_trees(
             circuit, library, dict(placement.positions)
         )
@@ -497,7 +513,7 @@ def _layout_phase(circuit: Circuit, library: Library,
             hints.update(tree.buffer_positions)
             new_buffers.extend(tree.buffers)
         if new_buffers:
-            eco_place(circuit, placement, new_buffers, hints=hints)
+            placer.eco_place(circuit, placement, new_buffers, hints=hints)
         sp.counter("clock_buffers", len(new_buffers))
         if config.validate_netlist:
             validate(circuit).raise_on_error()
@@ -540,7 +556,8 @@ def _layout_phase(circuit: Circuit, library: Library,
                 break
             with obs.span("hold_fix_round") as sp:
                 fix = _fix_hold_violations(circuit, library, placement,
-                                           result.sta, round_no=round_no)
+                                           result.sta, placer,
+                                           round_no=round_no)
                 result.hold_fix_rounds.append(fix)
                 sp.gauge("round", fix.round)
                 sp.gauge("violations_before", fix.violations_before)
@@ -602,7 +619,7 @@ def _layout_phase(circuit: Circuit, library: Library,
 
 
 def _fix_hold_violations(circuit: Circuit, library: Library,
-                         placement, sta: StaResult,
+                         placement, sta: StaResult, placer,
                          round_no: int = 1) -> HoldFixRound:
     """Insert delay buffers in front of hold-violating data pins.
 
@@ -652,7 +669,7 @@ def _fix_hold_violations(circuit: Circuit, library: Library,
             new_cells.append(name)
             source = new_net.name
     if new_cells:
-        eco_place(circuit, placement, new_cells)
+        placer.eco_place(circuit, placement, new_cells)
     return HoldFixRound(
         round=round_no,
         violations_before=len(sta.hold_slacks),

@@ -1,4 +1,11 @@
-"""Layout generation: floorplan, placement, CTS, ECO, filler, routing."""
+"""Layout generation: floorplan, placement, CTS, ECO, filler, routing.
+
+Global placement is a pluggable strategy: engines implement the
+:class:`Placer` protocol and live in the :data:`PLACERS` registry
+(``"quadratic"`` is the default, ``"sa"`` adds simulated-annealing
+detailed placement).  ``global_place`` remains importable for old
+callers; it is a thin shim over the registered ``"quadratic"`` engine.
+"""
 
 from repro.layout.cts import (
     ClockTree,
@@ -20,7 +27,18 @@ from repro.layout.floorplan import (
     build_floorplan,
 )
 from repro.layout.geometry import Point, Rect, hpwl, manhattan
-from repro.layout.placement import Placement, global_place, repack_row
+from repro.layout.placement import Placement, QuadraticPlacer, repack_row
+from repro.layout.placer import (
+    PLACERS,
+    Placer,
+    PlacerSpec,
+    get_placer,
+    global_place,
+    placement_seed,
+    register_placer,
+    require_placer,
+)
+from repro.layout.sa import SimulatedAnnealingPlacer
 from repro.layout.routing import (
     CongestionReport,
     GCELL_UM,
@@ -43,9 +61,14 @@ __all__ = [
     "GlobalRouter",
     "IO_RING_UM",
     "MAX_CLUSTER_SINKS",
+    "PLACERS",
     "POWER_RING_UM",
     "Placement",
+    "Placer",
+    "PlacerSpec",
     "Point",
+    "QuadraticPlacer",
+    "SimulatedAnnealingPlacer",
     "Rect",
     "RoutedNet",
     "RouteSegment",
@@ -53,11 +76,15 @@ __all__ = [
     "build_floorplan",
     "desired_position",
     "eco_place",
+    "get_placer",
     "global_place",
     "hpwl",
     "insert_fillers",
     "manhattan",
+    "placement_seed",
+    "register_placer",
     "repack_row",
+    "require_placer",
     "synthesize_all_clock_trees",
     "synthesize_clock_tree",
 ]

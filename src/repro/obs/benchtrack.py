@@ -71,6 +71,7 @@ def record_stages(circuit: str = "s38417", scale: float = 0.01,
         "version": RECORD_VERSION,
         "circuit": circuit,
         "scale": scale,
+        "placer": str(options.get("placer", "quadratic")),
         "tp_percents": [float(p) for p in tp_percents],
         "stages": dict(sorted(stages.items())),
         "cells": cells,
@@ -184,8 +185,11 @@ def format_deltas(baseline: Dict[str, Any],
 # ----------------------------------------------------------------------
 def _cmd_record(args: argparse.Namespace) -> int:
     tp_percents = [float(p) for p in args.tp_percents.split(",")]
+    options = {}
+    if args.placer:
+        options["placer"] = args.placer
     record = record_stages(args.circuit, scale=args.scale,
-                           tp_percents=tp_percents)
+                           tp_percents=tp_percents, **options)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=1, sort_keys=True)
@@ -226,6 +230,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rec.add_argument("--circuit", default="s38417")
     rec.add_argument("--scale", type=float, default=0.01)
     rec.add_argument("--tp-percents", default="0,2")
+    rec.add_argument("--placer", default=None,
+                     help="global-placement engine for the bench sweep "
+                          "(default: the flow's quadratic engine)")
     rec.add_argument("--out", help="write the record to this JSON file")
     rec.add_argument("--history",
                      help="also append to this JSONL trajectory file")

@@ -118,7 +118,12 @@ class SweepRequest:
         circuit: Registered benchmark name (see ``repro.api.CIRCUITS``).
         scale: Circuit size fraction.
         tp_percents: TP levels to sweep; None means the paper's ladder.
-        options: FlowConfig overrides (nested dicts allowed).
+        options: FlowConfig overrides (nested dicts allowed).  This is
+            also how engine-shaped knobs travel — e.g.
+            ``{"placer": "sa"}`` selects the simulated-annealing
+            placement engine — and since ``options`` is part of
+            :meth:`spec_key`, submissions differing only in engine
+            never coalesce and never share cache entries.
         jobs: Worker processes *within* this job's sweep.
         retries: Retry budget per cell.
         task_timeout_s: Watchdog per-cell timeout (needs ``jobs > 1``).

@@ -12,6 +12,7 @@ contract needs (CI runs this file as its public-API lint step).
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import json
 from pathlib import Path
 
@@ -31,6 +32,13 @@ def current_surface() -> dict:
         "FlowConfig.fields": sorted(
             f.name for f in dataclasses.fields(FlowConfig)
         ),
+        # The Placer strategy protocol is an API contract engines are
+        # written against: freeze each method's full signature so an
+        # argument rename/retype fails here, not in third-party code.
+        "Placer.methods": {
+            name: str(inspect.signature(getattr(api.Placer, name)))
+            for name in ("place", "refine", "eco_place")
+        },
     }
 
 
@@ -62,6 +70,7 @@ def test_facade_exports_resolve():
     assert repro.sweep is api.sweep
     assert repro.load_circuit is api.load_circuit
     assert repro.CIRCUITS is api.CIRCUITS
+    assert repro.PLACERS is api.PLACERS
     assert repro.FlowConfig is FlowConfig
     for name in repro.__all__:
         assert name in dir(repro)

@@ -42,3 +42,10 @@ def test_lbist_motivation_runs():
 def test_timing_aware_runs():
     out = _run("timing_aware_tpi.py", "0.03")
     assert "timing-aware TPI" in out
+
+
+def test_engine_sensitivity_runs():
+    out = _run("engine_sensitivity.py", "0.012", "s38417", "0,2")
+    assert "engine-to-engine spread" in out
+    assert "quadratic" in out and "sa" in out
+    assert "largest engine-induced spread" in out

@@ -16,6 +16,7 @@ from repro.core import (
     run_flow,
 )
 from repro.atpg import AtpgConfig
+from repro.layout import get_placer
 from repro.netlist import validate
 
 
@@ -133,7 +134,8 @@ def test_fix_hold_violations_budget_exhaustion(hold_fix_flow, monkeypatch):
     before = len(r.circuit.instances)
     from repro.library import cmos130
     fix = _fix_hold_violations(r.circuit, cmos130(), placement,
-                               _StubSta({endpoint: -80.0}))
+                               _StubSta({endpoint: -80.0}),
+                               get_placer("quadratic"))
     assert fix.budget == 0
     assert fix.buffers_inserted == 0
     assert fix.budget_left == 0
@@ -157,7 +159,8 @@ def test_fix_hold_violations_inserts_within_budget(hold_fix_flow,
     before = len(r.circuit.instances)
     from repro.library import cmos130
     fix = _fix_hold_violations(r.circuit, cmos130(), placement,
-                               _StubSta({endpoint: -50.0}), round_no=2)
+                               _StubSta({endpoint: -50.0}),
+                               get_placer("quadratic"), round_no=2)
     assert fix.round == 2
     assert fix.violations_before == 1
     assert fix.buffers_inserted >= 1
@@ -172,7 +175,8 @@ def test_hold_fix_loop_breaks_on_exhausted_budget(monkeypatch):
 
     calls = []
 
-    def exhausted_fix(circuit, library, placement, sta, round_no=1):
+    def exhausted_fix(circuit, library, placement, sta, placer,
+                      round_no=1):
         calls.append(round_no)
         return flow_mod.HoldFixRound(
             round=round_no, violations_before=len(sta.hold_slacks),

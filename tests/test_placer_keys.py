@@ -1,0 +1,108 @@
+"""Cache-key / spec-key coverage for engine-shaped config fields.
+
+A new ``FlowConfig`` field that influenced results but was omitted from
+the content-hash key would silently serve one engine's cached tables to
+another.  These are the regression gates: the flow cache key and the
+daemon's job spec key must both separate on ``placer``, and — the
+generic guard — *every* ``FlowConfig`` field must perturb the config
+fingerprint, so the next field added cannot be forgotten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.atpg import AtpgConfig
+from repro.circuits import s38417_like
+from repro.core import (
+    FlowConfig,
+    circuit_structural_hash,
+    config_fingerprint,
+    flow_cache_key,
+)
+from repro.library import cmos130
+from repro.sta.analysis import StaConfig
+from repro.service.protocol import SweepRequest
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return s38417_like(scale=0.012)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return cmos130()
+
+
+def test_flow_cache_key_separates_placers(circuit, library):
+    quad = flow_cache_key(circuit, FlowConfig(placer="quadratic"),
+                          library)
+    sa = flow_cache_key(circuit, FlowConfig(placer="sa"), library)
+    assert quad != sa
+    # Same-engine keys stay stable, so caching still works at all.
+    again = flow_cache_key(circuit, FlowConfig(placer="sa"), library)
+    assert sa == again
+
+
+def test_spec_key_separates_placers():
+    base = dict(circuit="s38417", scale=0.01, tp_percents=(0.0, 2.0))
+    quad = SweepRequest(**base)
+    sa = SweepRequest(options={"placer": "sa"}, **base)
+    explicit_quad = SweepRequest(options={"placer": "quadratic"}, **base)
+    assert quad.spec_key() != sa.spec_key()
+    assert explicit_quad.spec_key() != sa.spec_key()
+    # Wire round trip preserves the separation.
+    assert SweepRequest.from_wire(sa.to_wire()).spec_key() \
+        == sa.spec_key()
+
+
+def _perturbed(field: dataclasses.Field, value):
+    """A same-type, different-content value for one FlowConfig field."""
+    if field.name == "placer":
+        return "sa"
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.125
+    if isinstance(value, frozenset):
+        return frozenset({"__perturbed_net__"})
+    if isinstance(value, AtpgConfig):
+        return dataclasses.replace(value, seed=value.seed + 1)
+    if isinstance(value, StaConfig):
+        return dataclasses.replace(
+            value, hold_margin_ps=value.hold_margin_ps + 1.0)
+    if value is None:  # Optional[int] knobs
+        return 7
+    raise AssertionError(
+        f"no perturbation rule for FlowConfig.{field.name} "
+        f"({type(value).__name__}); add one so the fingerprint guard "
+        "keeps covering every field")
+
+
+def test_every_flow_config_field_perturbs_the_fingerprint():
+    base = FlowConfig()
+    base_fp = config_fingerprint(base)
+    assert config_fingerprint(FlowConfig()) == base_fp  # stable
+    for field in dataclasses.fields(FlowConfig):
+        value = getattr(base, field.name)
+        variant = base.replace(**{field.name: _perturbed(field, value)})
+        assert config_fingerprint(variant) != base_fp, (
+            f"FlowConfig.{field.name} does not reach the config "
+            "fingerprint: cached results would collide across "
+            "configs differing only in that field"
+        )
+
+
+def test_cache_key_depends_on_config_and_structure(circuit, library):
+    base = flow_cache_key(circuit, FlowConfig(), library)
+    assert base == flow_cache_key(circuit, FlowConfig(), library)
+    assert base != flow_cache_key(circuit, FlowConfig(tp_percent=2.0),
+                                  library)
+    other = s38417_like(scale=0.02)
+    assert circuit_structural_hash(other) \
+        != circuit_structural_hash(circuit)
