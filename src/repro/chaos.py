@@ -18,6 +18,11 @@ plain-data, picklable list of :class:`FaultSpec` entries, each naming a
     Not a stage fault: the executor truncates the cell's result-cache
     entry right after writing it, simulating a torn write that a later
     (resumed) sweep must quarantine and recompute.
+``cache_write_error``
+    Not a stage fault either: the cell's result-cache ``put`` raises
+    ``OSError`` (disk full), which the executor must absorb — the
+    result survives uncached and the sweep degrades to a read-only
+    cache instead of failing.
 
 Faults gate on the task's **attempt number**: a spec with ``times=1``
 fires on the first attempt only (retries then succeed), ``times=-1``
@@ -48,7 +53,7 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 ENV_VAR = "REPRO_CHAOS"
 
 #: Supported fault kinds.
-KINDS = ("raise", "hang", "kill", "corrupt_cache")
+KINDS = ("raise", "hang", "kill", "corrupt_cache", "cache_write_error")
 
 #: Exit status a ``kill`` fault dies with (distinctive in CI logs).
 KILL_EXIT_CODE = 86
@@ -75,7 +80,7 @@ class FaultSpec:
         tp_percent: TP level to match; None matches every level.
         stage: Flow stage checkpoint the fault fires at (one of
             :data:`repro.core.flow.STAGE_KEYS`); ignored by
-            ``corrupt_cache``.
+            ``corrupt_cache`` and ``cache_write_error``.
         times: Attempts the fault fires on (``attempt < times``);
             ``-1`` means every attempt.
         seconds: Sleep duration of a ``hang`` fault.
@@ -106,8 +111,8 @@ class FaultSpec:
     def fires(self, circuit: str, tp_percent: float, stage: str,
               attempt: int) -> bool:
         """True when this spec fires at this stage of this attempt."""
-        if self.kind == "corrupt_cache" or not self.matches_cell(
-                circuit, tp_percent):
+        if self.kind in ("corrupt_cache", "cache_write_error") \
+                or not self.matches_cell(circuit, tp_percent):
             return False
         if self.stage != stage:
             return False
@@ -144,6 +149,14 @@ class FaultPlan:
         """True when the cell's cache entry should be torn post-write."""
         return any(
             spec.kind == "corrupt_cache"
+            and spec.matches_cell(circuit, tp_percent)
+            for spec in self.faults
+        )
+
+    def fails_cache_write(self, circuit: str, tp_percent: float) -> bool:
+        """True when the cell's cache ``put`` should raise OSError."""
+        return any(
+            spec.kind == "cache_write_error"
             and spec.matches_cell(circuit, tp_percent)
             for spec in self.faults
         )

@@ -428,6 +428,8 @@ def cmd_serve(args) -> int:
         job_workers=args.job_workers,
         cache_max_bytes=args.cache_max_bytes,
         use_cache=not args.no_cache,
+        max_pending=args.max_pending,
+        drain_timeout_s=args.drain_timeout,
     ))
     return 0
 
@@ -449,6 +451,7 @@ def cmd_submit(args) -> int:
         name=args.name,
         chaos=chaos_plan,
         trace=args.trace,
+        deadline_s=args.deadline,
     ))
     print(f"job {record.id} {record.state} on {client.base_url}")
     if record.coalesced_with:
@@ -702,6 +705,17 @@ def main(argv=None) -> int:
                               "(default: unbounded)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the shared artifact cache")
+    p_serve.add_argument("--max-pending", type=int, default=None,
+                         metavar="N",
+                         help="admission cap: reject submits with "
+                              "HTTP 429 + Retry-After once N jobs are "
+                              "queued (default: unbounded)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM/SIGINT, wait up to this long "
+                              "for in-flight jobs to finish before "
+                              "exiting (default: %(default)s; a second "
+                              "signal exits immediately)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -745,6 +759,12 @@ def main(argv=None) -> int:
     p_submit.add_argument("--trace-out", default=None, metavar="PATH",
                           help="where --wait --trace writes the merged "
                                "trace (default: <job_id>.trace.json)")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="cancel the job if it has not finished "
+                               "this many seconds after submission "
+                               "(measured by the daemon; survives a "
+                               "daemon restart)")
     p_submit.add_argument("--placer", type=_placer_name, default=None,
                           metavar="ENGINE",
                           help="global-placement engine (quadratic, "

@@ -403,13 +403,24 @@ class ResultCache:
     #: Suffix appended to quarantined (unreadable) entries.
     QUARANTINE_SUFFIX = ".corrupt"
 
-    def __init__(self, root, max_bytes: Optional[int] = None):
+    def __init__(self, root, max_bytes: Optional[int] = None,
+                 read_only: bool = False):
         self.root = Path(root)
         self.max_bytes = max_bytes
+        #: Read-only mode: ``put`` is a silent no-op.  A degraded
+        #: daemon (failing disk) keeps *serving* existing artifacts
+        #: while no longer trusting the disk with new ones.
+        self.read_only = read_only
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.evictions = 0
+        #: ``put`` calls that failed with an OSError (disk full,
+        #: permission loss).  The caller absorbed the failure — the
+        #: result survived uncached — but the count is the degraded-
+        #: mode signal.
+        self.write_failures = 0
+        self.skipped_writes = 0
 
     def path(self, key: str) -> Path:
         """Entry path for ``key``."""
@@ -458,7 +469,10 @@ class ResultCache:
     def put(self, key: str, summary: FlowSummary) -> None:
         """Atomically store ``summary`` under ``key``; then enforce
         the ``max_bytes`` budget (evicting LRU entries, never this
-        one)."""
+        one).  A no-op in ``read_only`` mode."""
+        if self.read_only:
+            self.skipped_writes += 1
+            return
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
@@ -582,6 +596,11 @@ class ExecutorConfig:
             failures, and in-flight cells run to completion (their
             results still land in the cache).  None (default) means
             the sweep is uncancellable, as before.
+        cache_read_only: Serve cache hits but never write new entries
+            (``put`` becomes a no-op).  The sweep service sets this
+            once a cache write has failed — a daemon on a full disk
+            keeps computing and serving, it just stops trusting the
+            disk with new artifacts.
     """
 
     jobs: int = 1
@@ -600,13 +619,15 @@ class ExecutorConfig:
     cache_max_bytes: Optional[int] = None
     journal: Optional[str] = None
     cancel_check: Optional[Callable[[], bool]] = None
+    cache_read_only: bool = False
 
     @property
     def cache(self) -> Optional[ResultCache]:
         """The configured cache, or None when caching is off."""
         if self.cache_dir and self.use_cache:
             return ResultCache(self.cache_dir,
-                               max_bytes=self.cache_max_bytes)
+                               max_bytes=self.cache_max_bytes,
+                               read_only=self.cache_read_only)
         return None
 
     @property
@@ -931,11 +952,35 @@ class _Scheduler:
                     circuit=task.name)
         obs.inc("repro_cells_total", 1, circuit=task.name, outcome="ok")
         if self.cache:
-            self.cache.put(task.cache_key, summary)
-            if self.plan is not None and self.plan.corrupts_cache(
-                    task.name, task.tp_percent):
-                _tear_cache_entry(self.cache, task.cache_key)
+            self._cache_result(task, summary)
         self._journal_event("task_done", task, attempt=attempt)
+
+    def _cache_result(self, task: _LevelTask,
+                      summary: FlowSummary) -> None:
+        """Write a finished cell into the cache, absorbing disk
+        failures: a result that cannot be cached is still a result.
+        The first failed write flips the cache read-only for the rest
+        of the sweep — a full disk will not get 17 more chances to
+        slow every cell down — and the failure count rides the report
+        so the service can enter degraded mode."""
+        try:
+            if self.plan is not None and self.plan.fails_cache_write(
+                    task.name, task.tp_percent):
+                raise OSError(
+                    f"chaos: injected cache write failure for "
+                    f"{task.label}")
+            self.cache.put(task.cache_key, summary)
+        except OSError as exc:
+            self.cache.write_failures += 1
+            self.cache.read_only = True
+            obs.counter("cache.write_failed")
+            obs.inc("repro_cache_events_total", 1, event="write_failed")
+            self._journal_event("cache_write_failed", task,
+                                error=f"{type(exc).__name__}: {exc}")
+            return
+        if self.plan is not None and self.plan.corrupts_cache(
+                task.name, task.tp_percent):
+            _tear_cache_entry(self.cache, task.cache_key)
 
     def _on_task_error(self, task: _LevelTask, attempt: int,
                        exc: BaseException) -> Optional[float]:
@@ -1361,6 +1406,8 @@ def run_sweeps_report(
         cache_misses=cache.misses if cache is not None else 0,
         cache_evictions=cache.evictions if cache is not None else 0,
         cancelled=scheduler.cancelled,
+        cache_write_failures=(cache.write_failures
+                              if cache is not None else 0),
         started_at=started_at,
         finished_at=time.time(),
         started_mono=started_mono,

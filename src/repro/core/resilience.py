@@ -236,6 +236,12 @@ class SweepReport:
         cancelled: True when the sweep's ``cancel_check`` fired and
             unstarted cells were abandoned (they appear in
             ``failures`` as ``SweepCancelled``).
+        cache_write_failures: Cache ``put`` calls that failed with an
+            OS error (disk full, permission loss).  The results
+            themselves survive — a failed artifact write degrades the
+            *cache*, never the sweep — but a non-zero count tells a
+            long-lived service to stop trusting its disk (see the
+            daemon's read-only degraded mode).
         started_at / finished_at: Wall-clock stamps (``time.time()``)
             of the sweep's boundaries, for humans and cross-machine
             correlation.  0.0 on reports from older pickles.
@@ -256,6 +262,7 @@ class SweepReport:
     cache_misses: int = 0
     cache_evictions: int = 0
     cancelled: bool = False
+    cache_write_failures: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
     started_mono: float = 0.0
@@ -320,6 +327,31 @@ class SweepJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "a" if resume else "w"
         self._handle = open(self.path, mode, encoding="utf-8")
+        if resume:
+            self._isolate_torn_tail()
+
+    def _isolate_torn_tail(self) -> None:
+        """On resume, terminate a torn trailing line before appending.
+
+        A ``kill -9`` mid-write leaves the journal without a final
+        newline; appending straight after it would glue the first new
+        event onto the torn half-line, losing *both* to the reader.
+        Writing one newline first confines the damage to exactly the
+        torn frame (which :func:`parse_journal_stats` counts and
+        skips).
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                last = handle.read(1)
+        except OSError:  # pragma: no cover - unreadable journal
+            return
+        if last != b"\n":
+            self._handle.write("\n")
+            self._handle.flush()
 
     def record(self, event: str, **data: Any) -> None:
         """Append one event line; durable before return.
@@ -350,18 +382,21 @@ class SweepJournal:
         self.close()
 
 
-def parse_journal_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
-    """Parse journal lines; a torn trailing frame is tolerated.
+def parse_journal_stats(lines: Iterable[str]
+                        ) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse journal lines, skipping (and counting) torn frames.
 
-    A malformed line *ends* the parse (everything before it is intact
-    by the append-only discipline); only the events up to the tear are
-    returned.  Non-object frames (a bare JSON number, say) also end
-    the parse — an event is always a JSON object.  This is the one
-    journal decoder: the sweep service's progress endpoint and
-    ``--resume`` both read through it, so a truncated frame can only
-    ever surface as "cell still in progress", never as a crash.
+    A malformed line is *skipped*, not fatal: on a straight crash the
+    tear is the trailing line, but a resumed journal appends valid
+    events *after* a torn frame, and stopping at the tear would
+    discard the entire resumed history.  Non-object frames (a bare
+    JSON number, say) count as torn too — an event is always a JSON
+    object.  Returns ``(events, torn_lines)``; a non-zero count is
+    evidence of a crash (expected after ``kill -9``) or real
+    corruption, and the sweep service surfaces it in ``/metrics``.
     """
     events: List[Dict[str, Any]] = []
+    torn = 0
     for line in lines:
         line = line.strip()
         if not line:
@@ -369,24 +404,45 @@ def parse_journal_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
         try:
             event = json.loads(line)
         except json.JSONDecodeError:
-            break
+            torn += 1
+            continue
         if not isinstance(event, dict):
-            break
+            torn += 1
+            continue
         events.append(event)
-    return events
+    return events, torn
 
 
-def read_journal(path) -> List[Dict[str, Any]]:
-    """Parse a journal file; a torn trailing line (crash) is tolerated.
+def parse_journal_lines(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse journal lines; torn frames are skipped (see
+    :func:`parse_journal_stats`, the counting variant).  This is the
+    one journal decoder: the sweep service's progress endpoint and
+    ``--resume`` both read through it, so a truncated frame can only
+    ever surface as "cell still in progress", never as a crash.
+    """
+    return parse_journal_stats(lines)[0]
 
-    Returns an empty list when the file does not exist; otherwise
-    defers to :func:`parse_journal_lines`.
+
+def read_journal_stats(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a journal file; returns ``(events, torn_lines)``.
+
+    Returns ``([], 0)`` when the file does not exist; otherwise defers
+    to :func:`parse_journal_stats`.
     """
     path = Path(path)
     if not path.exists():
-        return []
+        return [], 0
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_journal_lines(handle)
+        return parse_journal_stats(handle)
+
+
+def read_journal(path) -> List[Dict[str, Any]]:
+    """Parse a journal file; torn lines (crash damage) are tolerated.
+
+    Returns an empty list when the file does not exist; otherwise
+    defers to :func:`parse_journal_stats`, dropping the torn count.
+    """
+    return read_journal_stats(path)[0]
 
 
 def completed_keys(events: Iterable[Dict[str, Any]]) -> Set[str]:

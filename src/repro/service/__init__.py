@@ -13,8 +13,12 @@ Layering (each module only looks down):
 
 * :mod:`repro.service.protocol` — versioned JSON wire codecs, the
   canonical-result digest, journal-to-progress folding.
+* :mod:`repro.service.store` — the durable job store: a fsync'd
+  append-only JSONL journal of job-state transitions that lets a
+  restarted daemon re-adopt finished jobs and resume interrupted ones.
 * :mod:`repro.service.jobs` — the queue: worker threads, coalescing,
-  cooperative cancellation, metrics counters.
+  cooperative cancellation, admission control, graceful drain,
+  crash recovery, metrics counters.
 * :mod:`repro.service.server` — stdlib asyncio HTTP daemon and the
   in-process :class:`~repro.service.server.ServiceThread` harness.
 * :mod:`repro.service.client` — the HTTP client the CLI and tests
@@ -23,11 +27,17 @@ Layering (each module only looks down):
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.jobs import JobManager, UnknownJobError
+from repro.service.jobs import (
+    JobManager,
+    QueueFullError,
+    ServiceDrainingError,
+    UnknownJobError,
+)
 from repro.service.protocol import (
     JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
+    JOB_INTERRUPTED,
     JOB_QUEUED,
     JOB_RUNNING,
     JOB_STATES,
@@ -47,6 +57,7 @@ from repro.service.server import (
     SweepService,
     run_daemon,
 )
+from repro.service.store import JobStore, StoreReplay
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -56,13 +67,18 @@ __all__ = [
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_CANCELLED",
+    "JOB_INTERRUPTED",
     "JOB_STATES",
     "TERMINAL_STATES",
     "SweepRequest",
     "JobRecord",
     "WireError",
+    "JobStore",
+    "StoreReplay",
     "JobManager",
     "UnknownJobError",
+    "QueueFullError",
+    "ServiceDrainingError",
     "ServiceConfig",
     "SweepService",
     "ServiceThread",

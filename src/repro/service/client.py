@@ -13,19 +13,27 @@ failed, return the circuit's :class:`~repro.core.experiment.ExperimentResult`
 — which is what makes the daemon and the in-process API verifiably
 interchangeable (the service test suite asserts their canonical result
 bytes are equal).
+
+The transport retries transient failures with the engine's own
+deterministic backoff (:class:`~repro.core.resilience.RetryPolicy`):
+connection refused/reset (a daemon mid-restart), plus HTTP 429 and
+503 — the load-shedding answers — honoring the server's
+``Retry-After`` hint.  A 400/404/409/500 never retries: those mean
+the *request* (or the job) is wrong, and repeating it cannot help.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.core.executor import SweepExecutionError
 from repro.core.experiment import ExperimentResult
-from repro.core.resilience import SweepReport
+from repro.core.resilience import RetryPolicy, SweepReport
 from repro.service.protocol import (
     JOB_CANCELLED,
     JOB_FAILED,
@@ -35,6 +43,11 @@ from repro.service.protocol import (
     report_from_wire,
 )
 
+#: HTTP statuses worth an automatic retry: the daemon (or a proxy in
+#: front of it) is shedding load or briefly gone, not rejecting the
+#: request itself.
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
+
 
 class ServiceError(RuntimeError):
     """The daemon answered with an error (HTTP status >= 400).
@@ -43,14 +56,41 @@ class ServiceError(RuntimeError):
         status: The HTTP status code (0 when the connection itself
             failed before a status arrived).
         payload: The decoded JSON error body (``{"error": ...}``).
+        retry_after_s: The server's ``Retry-After`` hint in seconds,
+            when the response carried one (429/503), else None.
     """
 
     def __init__(self, status: int, payload: Dict[str, Any],
-                 context: str):
+                 context: str,
+                 retry_after_s: Optional[float] = None):
         self.status = status
         self.payload = payload
+        self.retry_after_s = retry_after_s
         detail = payload.get("error", payload)
-        super().__init__(f"{context}: HTTP {status}: {detail}")
+        if status == 0:
+            message = f"{context}: {detail}"
+        else:
+            message = f"{context}: HTTP {status}: {detail}"
+        super().__init__(message)
+
+
+def _connection_error(method: str, url: str,
+                      exc: BaseException) -> ServiceError:
+    """Wrap a raw socket/OS error into a readable :class:`ServiceError`.
+
+    The raw ``ConnectionRefusedError`` a CLI user hits when the daemon
+    is down says ``[Errno 111] Connection refused`` and nothing else;
+    this names the exception type, the URL that was attempted, and the
+    likely fix, with the original exception chained as the cause.
+    """
+    detail = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, ConnectionRefusedError):
+        detail += " — is the daemon running? (start one: repro serve)"
+    elif isinstance(exc, (socket.timeout, TimeoutError)):
+        detail += " — the daemon did not answer in time"
+    error = ServiceError(0, {"error": detail}, f"{method} {url}")
+    error.__cause__ = exc
+    return error
 
 
 class ServiceClient:
@@ -59,9 +99,19 @@ class ServiceClient:
     Args:
         base_url: Root URL, e.g. ``http://127.0.0.1:8737``.
         timeout_s: Per-request socket timeout.
+        retries: Transport retries per request (connection failures
+            and retryable statuses).  0 disables retrying.
+        backoff_base_s: First-retry backoff; doubles per further
+            retry, deterministically (no jitter — same schedule every
+            run, like the sweep engine's own policy).
+        backoff_max_s: Backoff ceiling; also caps how long a server
+            ``Retry-After`` hint is honored, so a busy daemon cannot
+            park a client for minutes.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(self, base_url: str, timeout_s: float = 30.0,
+                 retries: int = 3, backoff_base_s: float = 0.2,
+                 backoff_max_s: float = 5.0):
         parts = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if parts.scheme != "http" or not parts.hostname:
@@ -72,15 +122,64 @@ class ServiceClient:
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout_s = timeout_s
+        self.retry_policy = RetryPolicy(
+            max_retries=max(0, retries),
+            backoff_base_s=backoff_base_s,
+            backoff_max_s=backoff_max_s,
+        )
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
     # -- raw transport ---------------------------------------------------
+    def _retry_delay(self, attempt: int,
+                     retry_after_s: Optional[float]) -> float:
+        """Backoff before retry ``attempt``: the policy's
+        deterministic schedule, raised to the server's ``Retry-After``
+        hint when one arrived (but never beyond the backoff
+        ceiling)."""
+        delay = self.retry_policy.delay_s(attempt)
+        if retry_after_s is not None:
+            delay = max(delay, min(retry_after_s,
+                                   self.retry_policy.backoff_max_s))
+        return delay
+
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  ) -> Tuple[int, Dict[str, Any]]:
+        """One logical request, with transparent transport retries.
+
+        Retrying a submit is safe by construction: if the first
+        attempt was actually accepted and only the response was lost,
+        the retry coalesces onto the in-flight twin via its
+        ``spec_key`` and shares the same computation.
+        """
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                status, payload, retry_after = self._request_once(
+                    method, path, body)
+            except ServiceError as exc:
+                if (exc.status != 0
+                        or attempt >= self.retry_policy.max_retries):
+                    raise
+            else:
+                if (status not in RETRYABLE_STATUSES
+                        or attempt >= self.retry_policy.max_retries):
+                    if status in RETRYABLE_STATUSES:
+                        # Out of retries: surface the hint to callers.
+                        raise ServiceError(status, payload,
+                                           f"{method} {path}",
+                                           retry_after_s=retry_after)
+                    return status, payload
+            attempt += 1
+            time.sleep(self._retry_delay(attempt, retry_after))
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None,
+                      ) -> Tuple[int, Dict[str, Any], Optional[float]]:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout_s)
         try:
@@ -91,6 +190,13 @@ class ServiceClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+            retry_after: Optional[float] = None
+            raw_hint = response.getheader("Retry-After")
+            if raw_hint is not None:
+                try:
+                    retry_after = float(raw_hint)
+                except ValueError:
+                    pass
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else {}
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -99,11 +205,10 @@ class ServiceClient:
                     {"error": f"non-JSON response body: {exc}"},
                     f"{method} {path}",
                 )
-            return response.status, decoded
-        except (ConnectionError, OSError) as exc:
-            raise ServiceError(
-                0, {"error": str(exc)},
-                f"{method} {self.base_url}{path}") from exc
+            return response.status, decoded, retry_after
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise _connection_error(method, f"{self.base_url}{path}",
+                                    exc)
         finally:
             conn.close()
 

@@ -36,6 +36,23 @@ per-cell progress streams per tenant even though artifacts are
 shared.  Cancellation is cooperative via
 ``ExecutorConfig.cancel_check``: a cancelled job stops scheduling
 cells; completed cells stay cached for the next tenant.
+
+**Durability.**  Every job-state transition is journalled to the
+:class:`~repro.service.store.JobStore` under ``<cache_dir>/jobs/``
+before it is visible, so the manager itself is a crash domain: a
+restarted manager replays the store, re-adopts terminal jobs (reports
+included, so ``/result`` survives a restart), marks jobs the crash
+caught queued/running as ``interrupted`` and re-queues them through
+the executor's ``resume`` path — the sweep journal plus the shared
+cache make the resumed result byte-identical to an uninterrupted run.
+
+**Load shedding.**  ``max_pending`` bounds the queue
+(:class:`QueueFullError` → HTTP 429), ``begin_drain`` refuses new
+work while in-flight jobs finish (:class:`ServiceDrainingError` →
+HTTP 503), and per-request ``deadline_s`` cancels jobs their tenant
+has stopped waiting for.  A failing disk (cache write errors) flips
+the manager into a read-only-cache *degraded* mode instead of
+failing jobs.
 """
 
 from __future__ import annotations
@@ -44,17 +61,19 @@ import queue
 import threading
 import time
 import uuid
+from collections import deque
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro import obs
 from repro.chaos import plan_from_env
 from repro.core.executor import ExecutorConfig, run_sweeps_report
-from repro.core.resilience import SweepReport, read_journal
+from repro.core.resilience import SweepReport, read_journal_stats
 from repro.service.protocol import (
     JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
+    JOB_INTERRUPTED,
     JOB_QUEUED,
     JOB_RUNNING,
     TERMINAL_STATES,
@@ -62,11 +81,50 @@ from repro.service.protocol import (
     SweepRequest,
     WireError,
     progress_from_journal,
+    report_from_wire,
+    report_to_wire,
 )
+from repro.service.store import JobStore
 
 
 class UnknownJobError(KeyError):
     """No job with the requested id exists on this daemon."""
+
+
+class ServiceDrainingError(RuntimeError):
+    """The daemon is shutting down and no longer admits jobs.
+
+    The server maps this to HTTP 503 with a ``Retry-After`` header —
+    in a replicated deployment the client's retry lands on a healthy
+    peer (or on this daemon's successor after restart).
+    """
+
+    def __init__(self, retry_after_s: float):
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            "daemon is draining for shutdown; retry in "
+            f"~{retry_after_s:.0f}s"
+        )
+
+
+class QueueFullError(RuntimeError):
+    """The bounded pending queue is full (admission control).
+
+    The server maps this to HTTP 429 with a ``Retry-After`` header
+    derived from recent job durations — better an honest early
+    rejection than an unbounded queue whose tail latency nobody can
+    meet.
+    """
+
+    def __init__(self, pending: int, max_pending: int,
+                 retry_after_s: float):
+        self.pending = pending
+        self.max_pending = max_pending
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"pending queue is full ({pending}/{max_pending}); "
+            f"retry in ~{retry_after_s:.0f}s"
+        )
 
 
 class _Job:
@@ -99,6 +157,24 @@ class _Job:
         self.cancel_event = threading.Event()
         self.tracer = obs.Tracer(label=f"job {job_id}")
         self.trace_path: Optional[Path] = None
+        #: True for a job re-adopted after a daemon restart: the
+        #: executor runs it with ``resume=True`` (append to its
+        #: journal, serve completed cells from the cache).
+        self.resume = False
+        #: Set when the job's ``deadline_s`` expired (distinguishes a
+        #: deadline cancellation from a tenant's explicit one).
+        self.deadline_expired = False
+
+    def deadline_exceeded(self) -> bool:
+        """True when the request's ``deadline_s`` has passed.
+
+        Measured on the wall clock from the original submission stamp,
+        so a deadline keeps meaning "since the tenant submitted" even
+        across a daemon restart.
+        """
+        deadline = self.request.deadline_s
+        return (deadline is not None
+                and time.time() - self.submitted_at > deadline)
 
     def record(self) -> JobRecord:
         return JobRecord(
@@ -131,18 +207,25 @@ class JobManager:
             to the exact resolution :func:`repro.api.sweep` uses, which
             is what makes daemon results byte-identical to in-process
             ones.
+        max_pending: Admission-control bound on the number of jobs
+            waiting to start; a submit beyond it raises
+            :class:`QueueFullError` (HTTP 429).  None (default) keeps
+            the queue unbounded.
     """
 
     def __init__(self, cache_dir, job_workers: int = 2,
                  cache_max_bytes: Optional[int] = None,
                  use_cache: bool = True,
-                 build_experiment=None):
+                 build_experiment=None,
+                 max_pending: Optional[int] = None):
         self.cache_dir = Path(cache_dir)
         self.journal_dir = self.cache_dir / "journals"
         self.journal_dir.mkdir(parents=True, exist_ok=True)
         self.trace_dir = self.cache_dir / "traces"
         self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self.store_dir = self.cache_dir / "jobs"
         self.job_workers = max(1, job_workers)
+        self.max_pending = max_pending
         # The daemon is the one place telemetry is on by default: a
         # real registry is installed process-wide so the executor's
         # instrumentation (stage/cell histograms, retry/timeout/cache
@@ -163,12 +246,28 @@ class JobManager:
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
         self._spec_locks: Dict[str, List[Any]] = {}
         self._running: Dict[str, _Job] = {}
+        #: Jobs a worker has dequeued but not yet finished — wider
+        #: than ``_running`` (covers the spec-lock wait), so drain
+        #: cannot falsely report idle mid-handoff.
+        self._inflight = 0
+        self._draining = False
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        #: Recent job run durations, for the ``Retry-After`` hint.
+        self._durations: "deque[float]" = deque(maxlen=16)
+        #: Torn-line high-water mark per job journal, so the torn
+        #: counter advances by deltas across repeated status polls.
+        self._journal_torn: Dict[str, int] = {}
         self._counters: Dict[str, int] = {
             "jobs_submitted": 0,
             "jobs_completed": 0,
             "jobs_failed": 0,
             "jobs_cancelled": 0,
             "jobs_coalesced": 0,
+            "jobs_recovered": 0,
+            "jobs_interrupted": 0,
+            "jobs_rejected": 0,
+            "jobs_expired": 0,
             "cells_done": 0,
             "cells_failed": 0,
             "retries": 0,
@@ -177,7 +276,19 @@ class JobManager:
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_evictions": 0,
+            "cache_write_failures": 0,
+            "journal_torn_lines": 0,
+            "store_torn_lines": 0,
         }
+        # Re-adopt whatever a previous daemon left in the durable job
+        # store *before* opening it for append and starting workers:
+        # terminal jobs come back report-and-all, interrupted ones are
+        # queued for resumption, and only then does the queue go live.
+        resumable = self._recover()
+        self.store = JobStore(self.store_dir)
+        for job in resumable:
+            self.store.record_transition(job.record())
+            self._queue.put(job)
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"sweep-worker-{i}")
@@ -185,6 +296,62 @@ class JobManager:
         ]
         for thread in self._threads:
             thread.start()
+
+    # -- crash recovery --------------------------------------------------
+    def _recover(self) -> List[_Job]:
+        """Replay the durable job store into live job objects.
+
+        Terminal jobs are restored as-is (their wire reports decode
+        back into servable :class:`SweepReport` objects); jobs a crash
+        caught queued or running become ``interrupted`` and are
+        returned for re-queueing with ``resume=True`` — their sweep
+        journal plus the shared cache make the re-run skip every cell
+        that already finished.
+        """
+        replay = JobStore.replay(self.store_dir)
+        resumable: List[_Job] = []
+        for record in replay.records:
+            job = _Job(record.id, record.request,
+                       self.journal_dir / f"{record.id}.jsonl",
+                       coalesced_with=record.coalesced_with)
+            job.submitted_at = record.submitted_at
+            job.started_at = record.started_at
+            job.finished_at = record.finished_at
+            job.error = record.error
+            if record.state in TERMINAL_STATES:
+                job.state = record.state
+                report_wire = replay.reports.get(record.id)
+                if report_wire is not None:
+                    try:
+                        job.report = report_from_wire(report_wire)
+                    except WireError:
+                        # A torn report line: the job stays done, the
+                        # payload is gone.  /result will say so.
+                        pass
+                self._counters["jobs_recovered"] += 1
+            else:
+                job.state = JOB_INTERRUPTED
+                job.resume = True
+                self._counters["jobs_interrupted"] += 1
+                resumable.append(job)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        if replay.records or replay.torn_lines:
+            self._counters["store_torn_lines"] += replay.torn_lines
+            self.registry.inc("repro_store_torn_lines_total",
+                              replay.torn_lines)
+            self.registry.inc("repro_jobs_total",
+                              self._counters["jobs_recovered"],
+                              event="recovered")
+            self.registry.inc("repro_jobs_total", len(resumable),
+                              event="interrupted")
+            obs.emit("service_recovered",
+                     "warn" if resumable or replay.torn_lines
+                     else "info",
+                     jobs=len(replay.records),
+                     interrupted=len(resumable),
+                     torn_lines=replay.torn_lines)
+        return resumable
 
     def _describe_metrics(self) -> None:
         """Declare the daemon's metric vocabulary up front, so the
@@ -227,6 +394,19 @@ class JobManager:
           "Daemon uptime on the monotonic clock.")
         d("repro_request_seconds", "histogram",
           "HTTP request handling latency by route.")
+        d("repro_journal_torn_lines_total", "counter",
+          "Torn sweep-journal lines skipped by the progress reader "
+          "(crash damage or corruption).")
+        d("repro_store_torn_lines_total", "counter",
+          "Torn job-store lines skipped during restart replay.")
+        d("repro_cache_write_failures_total", "counter",
+          "Artifact-cache writes that failed with an OS error.")
+        d("repro_degraded", "gauge",
+          "1 when the daemon runs with a read-only cache after a "
+          "cache write failure, else 0.")
+        d("repro_draining", "gauge",
+          "1 while the daemon refuses new submissions pending "
+          "shutdown, else 0.")
 
     # -- submission ------------------------------------------------------
     def _validate(self, request: SweepRequest) -> None:
@@ -245,17 +425,50 @@ class JobManager:
                 "watchdog to rescue it"
             )
 
+    def retry_after_hint(self) -> float:
+        """Seconds a rejected client should wait before retrying.
+
+        One recently observed job duration of headroom: with an empty
+        history a conservative 5 s.  Clamped to [1 s, 120 s] so the
+        hint is always sane to sleep on.
+        """
+        with self._lock:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        durations = list(self._durations)
+        estimate = (sum(durations) / len(durations) if durations
+                    else 5.0)
+        return min(120.0, max(1.0, estimate))
+
     def submit(self, request: SweepRequest) -> JobRecord:
         """Accept a sweep job; returns its queued record.
 
         Raises:
             WireError: The request is invalid (unknown circuit,
                 unsafe chaos plan) — the server answers HTTP 400.
+            ServiceDrainingError: The daemon is shutting down —
+                HTTP 503 + ``Retry-After``.
+            QueueFullError: ``max_pending`` jobs are already waiting —
+                HTTP 429 + ``Retry-After``.
         """
         self._validate(request)
         job_id = f"j{uuid.uuid4().hex[:12]}"
         journal = self.journal_dir / f"{job_id}.jsonl"
         with self._lock:
+            if self._draining:
+                self._counters["jobs_rejected"] += 1
+                self.registry.inc("repro_jobs_total", 1,
+                                  event="rejected")
+                raise ServiceDrainingError(self._retry_after_locked())
+            pending = self._queue.qsize()
+            if self.max_pending is not None \
+                    and pending >= self.max_pending:
+                self._counters["jobs_rejected"] += 1
+                self.registry.inc("repro_jobs_total", 1,
+                                  event="rejected")
+                raise QueueFullError(pending, self.max_pending,
+                                     self._retry_after_locked())
             spec = request.spec_key()
             twin = next(
                 (j for jid in self._order
@@ -270,6 +483,7 @@ class JobManager:
             self._counters["jobs_submitted"] += 1
             if twin is not None:
                 self._counters["jobs_coalesced"] += 1
+            self.store.record_transition(job.record())
         obs.counter("service.jobs_submitted")
         self.registry.inc("repro_jobs_total", 1, event="submitted")
         if job.coalesced_with:
@@ -300,11 +514,27 @@ class JobManager:
         """Per-cell progress of one job, streamed from its journal.
 
         Safe against torn/partial journal frames by construction (the
-        journal reader stops at the first bad line): a cell whose
-        completion frame has not landed reads as still in progress.
+        journal reader skips and counts bad lines): a cell whose
+        completion frame has not landed reads as still in progress,
+        and the torn count is surfaced in the payload and the
+        ``repro_journal_torn_lines_total`` counter rather than hidden.
         """
         job = self._get(job_id)
-        return progress_from_journal(read_journal(job.journal))
+        events, torn = read_journal_stats(job.journal)
+        if torn:
+            with self._lock:
+                delta = torn - self._journal_torn.get(job_id, 0)
+                if delta > 0:
+                    self._journal_torn[job_id] = torn
+                    self._counters["journal_torn_lines"] += delta
+                else:
+                    delta = 0
+            if delta > 0:
+                self.registry.inc("repro_journal_torn_lines_total",
+                                  delta)
+                obs.emit("journal_torn_lines", "warn", job_id=job_id,
+                         torn_lines=torn)
+        return progress_from_journal(events, torn_lines=torn)
 
     def report(self, job_id: str) -> Optional[SweepReport]:
         """The finished job's sweep report, or None while running."""
@@ -317,7 +547,7 @@ class JobManager:
         shared cache), a no-op once terminal."""
         with self._lock:
             job = self._get(job_id)
-            if job.state == JOB_QUEUED:
+            if job.state in (JOB_QUEUED, JOB_INTERRUPTED):
                 job.cancel_event.set()
                 job.state = JOB_CANCELLED
                 job.finished_at = time.time()
@@ -325,6 +555,7 @@ class JobManager:
                 self._counters["jobs_cancelled"] += 1
                 self.registry.inc("repro_jobs_total", 1,
                                   event="cancelled")
+                self.store.record_transition(job.record())
             elif job.state == JOB_RUNNING:
                 job.cancel_event.set()
             obs.emit("job_cancel_requested", "warn", job_id=job.id,
@@ -355,16 +586,36 @@ class JobManager:
             job = self._queue.get()
             if job is None:
                 return
-            if job.cancel_event.is_set():
-                # Cancelled while queued; already finalised.
-                continue
-            # Coalescing: identical specs run one at a time, so the
-            # second tenant's job finds every cell warm in the cache.
-            entry = self._acquire_spec(job.spec)
+            with self._lock:
+                self._inflight += 1
             try:
-                self._run_job(job)
+                if job.cancel_event.is_set():
+                    # Cancelled while queued; already finalised.
+                    continue
+                # Coalescing: identical specs run one at a time, so
+                # the second tenant's job finds every cell warm in
+                # the cache.
+                entry = self._acquire_spec(job.spec)
+                try:
+                    self._run_job(job)
+                finally:
+                    self._release_spec(job.spec, entry)
             finally:
-                self._release_spec(job.spec, entry)
+                with self._lock:
+                    self._inflight -= 1
+
+    def _cancel_check(self, job: _Job):
+        """Cooperative stop condition for the executor: a tenant's
+        explicit cancel *or* the job's deadline expiring mid-run."""
+        def check() -> bool:
+            if job.cancel_event.is_set():
+                return True
+            if job.deadline_exceeded():
+                job.deadline_expired = True
+                job.cancel_event.set()
+                return True
+            return False
+        return check
 
     def _executor_config(self, job: _Job) -> ExecutorConfig:
         request = job.request
@@ -377,8 +628,10 @@ class JobManager:
             task_timeout_s=request.task_timeout_s,
             chaos=request.chaos,
             journal=str(job.journal),
-            cancel_check=job.cancel_event.is_set,
+            cancel_check=self._cancel_check(job),
             trace=request.trace,
+            resume=job.resume,
+            cache_read_only=self.degraded,
         )
 
     def _run_job(self, job: _Job) -> None:
@@ -389,11 +642,32 @@ class JobManager:
                     job.finished_at = time.time()
                     job.finished_mono = time.monotonic()
                     self._counters["jobs_cancelled"] += 1
+                    self.store.record_transition(job.record())
+                return
+            if job.deadline_exceeded():
+                # The tenant's deadline passed while the job queued:
+                # starting it now would burn CPU nobody is waiting on.
+                job.deadline_expired = True
+                job.cancel_event.set()
+                job.state = JOB_CANCELLED
+                job.error = (
+                    f"deadline_s={job.request.deadline_s:g} expired "
+                    "before the job started")
+                job.finished_at = time.time()
+                job.finished_mono = time.monotonic()
+                self._counters["jobs_cancelled"] += 1
+                self._counters["jobs_expired"] += 1
+                self.registry.inc("repro_jobs_total", 1,
+                                  event="expired")
+                self.store.record_transition(job.record())
+                obs.emit("job_deadline_expired", "warn", job_id=job.id,
+                         deadline_s=job.request.deadline_s)
                 return
             job.state = JOB_RUNNING
             job.started_at = time.time()
             job.started_mono = time.monotonic()
             self._running[job.id] = job
+            self.store.record_transition(job.record())
         obs.counter("service.jobs_started")
         queue_wait = job.started_mono - job.submitted_mono
         self.registry.observe("repro_job_queue_wait_seconds", queue_wait)
@@ -414,6 +688,7 @@ class JobManager:
                     job.finished_at = time.time()
                     job.finished_mono = time.monotonic()
                     self._counters["jobs_failed"] += 1
+                    self.store.record_transition(job.record())
                 obs.counter("service.jobs_failed")
                 self.registry.inc("repro_jobs_total", 1, event="failed")
                 obs.emit("job_failed", "error", error=job.error)
@@ -426,10 +701,19 @@ class JobManager:
                 job.finished_mono = time.monotonic()
                 if report.cancelled or job.cancel_event.is_set():
                     job.state = JOB_CANCELLED
+                    if job.deadline_expired:
+                        job.error = (
+                            f"deadline_s={job.request.deadline_s:g} "
+                            "expired mid-run; the job was cancelled")
+                        self._counters["jobs_expired"] += 1
+                        self.registry.inc("repro_jobs_total", 1,
+                                          event="expired")
                     self._counters["jobs_cancelled"] += 1
                 else:
                     job.state = JOB_DONE
                     self._counters["jobs_completed"] += 1
+                self._durations.append(
+                    job.finished_mono - job.started_mono)
                 self._counters["cells_done"] += report.successful_cells()
                 self._counters["cells_failed"] += len(report.failures)
                 self._counters["retries"] += report.retries
@@ -438,6 +722,16 @@ class JobManager:
                 self._counters["cache_hits"] += report.cache_hits
                 self._counters["cache_misses"] += report.cache_misses
                 self._counters["cache_evictions"] += report.cache_evictions
+                self._counters["cache_write_failures"] += (
+                    report.cache_write_failures)
+                self.store.record_transition(
+                    job.record(),
+                    report=(report_to_wire(report)
+                            if job.state == JOB_DONE else None))
+            if report.cache_write_failures:
+                self._enter_degraded_mode(
+                    f"cache write failed during job {job.id} "
+                    f"({report.cache_write_failures} failure(s))")
             obs.counter("service.jobs_finished")
             self.registry.inc(
                 "repro_jobs_total", 1,
@@ -450,6 +744,69 @@ class JobManager:
                      cells_failed=len(report.failures),
                      seconds=job.finished_mono - job.started_mono)
             self._finish_trace(job, report, run_from)
+
+    def _enter_degraded_mode(self, reason: str) -> None:
+        """Flip the manager into read-only-cache degraded mode.
+
+        The disk failed a write, so every subsequent job runs with
+        ``cache_read_only=True``: existing artifacts keep serving,
+        nothing new is trusted to the disk, and nothing fails — the
+        contract is "slower, not broken", surfaced via ``/healthz``
+        and the ``repro_degraded`` gauge so an operator actually sees
+        it.  One-way by design: only a restart (with a fixed disk)
+        clears it.
+        """
+        with self._lock:
+            if self.degraded:
+                return
+            self.degraded = True
+            self.degraded_reason = reason
+        self.registry.inc("repro_cache_write_failures_total", 1)
+        self.registry.set("repro_degraded", 1)
+        obs.counter("service.degraded")
+        obs.emit("service_degraded", "error", reason=reason)
+
+    # -- drain -----------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` was called."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new jobs (idempotent).
+
+        Submissions from here on raise :class:`ServiceDrainingError`
+        (HTTP 503 + ``Retry-After``); queued and running jobs are
+        unaffected — :meth:`drain` waits for them.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        self.registry.set("repro_draining", 1)
+        obs.emit("service_draining", "warn")
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Wait for in-flight and queued jobs to finish.
+
+        Returns True when the queue emptied and every running job
+        reached a terminal state within ``timeout_s``; False when the
+        timeout expired first (the jobs keep their durable store
+        records either way, so a restart re-adopts whatever did not
+        finish).
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while True:
+            with self._lock:
+                idle = self._inflight == 0
+            if idle and self._queue.qsize() == 0:
+                return True
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    return (self._inflight == 0
+                            and self._queue.qsize() == 0)
+            time.sleep(0.05)
 
     def _finish_trace(self, job: _Job, report: Optional[SweepReport],
                       run_from: float) -> None:
@@ -508,6 +865,10 @@ class JobManager:
             "cache_hit_rate": (counters["cache_hits"] / lookups
                                if lookups else 0.0),
             "jobs_by_state": states,
+            "max_pending": self.max_pending,
+            "draining": self._draining,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
         }
 
     def prom_registry(self) -> obs.MetricsRegistry:
@@ -526,19 +887,26 @@ class JobManager:
                           snapshot["worker_utilization"])
         self.registry.set("repro_cache_hit_rate",
                           snapshot["cache_hit_rate"])
+        self.registry.set("repro_degraded",
+                          1 if snapshot["degraded"] else 0)
+        self.registry.set("repro_draining",
+                          1 if snapshot["draining"] else 0)
         return self.registry
 
     # -- shutdown --------------------------------------------------------
     def shutdown(self, timeout_s: float = 5.0) -> None:
         """Stop the worker threads (idempotent).
 
-        Queued jobs stay queued forever after this; the daemon calls
-        it only on its way down.
+        Queued jobs stay queued after this — but their durable store
+        records survive, so the next daemon on this cache dir adopts
+        and resumes them.  The daemon calls this only on its way down
+        (after :meth:`drain` when shutting down gracefully).
         """
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join(timeout=timeout_s)
+        self.store.close()
         # Give the process its previous (usually null) registry back —
         # but only if ours is still the installed one: a second
         # manager may have been stacked on top in the meantime.

@@ -60,8 +60,12 @@ JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
 JOB_CANCELLED = "cancelled"
+#: A daemon death caught this job queued or running; the restarted
+#: daemon re-queues it through the executor's resume path, so
+#: ``interrupted`` is *not* terminal — it is "queued, with history".
+JOB_INTERRUPTED = "interrupted"
 JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED,
-              JOB_CANCELLED)
+              JOB_CANCELLED, JOB_INTERRUPTED)
 #: States a job never leaves.
 TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
 
@@ -137,6 +141,13 @@ class SweepRequest:
             part of the cache key or the canonical result, so it is
             deliberately *excluded* from :meth:`spec_key` (a traced
             and an untraced submission of the same sweep coalesce).
+        deadline_s: Give up if the job has not *finished* this many
+            seconds after submission: an overdue job is cancelled
+            (while queued, or cooperatively mid-run), because a tenant
+            that set a deadline has stopped waiting.  QoS only — like
+            ``trace`` it is excluded from :meth:`spec_key`, so a
+            deadlined and an undeadlined submission of the same sweep
+            still coalesce and share cache entries.
     """
 
     circuit: str
@@ -149,6 +160,7 @@ class SweepRequest:
     name: Optional[str] = None
     chaos: Optional[FaultPlan] = None
     trace: bool = False
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if self.tp_percents is not None and not isinstance(
@@ -157,7 +169,8 @@ class SweepRequest:
                                tuple(self.tp_percents))
 
     _FIELDS = ("circuit", "scale", "tp_percents", "options", "jobs",
-               "retries", "task_timeout_s", "name", "chaos", "trace")
+               "retries", "task_timeout_s", "name", "chaos", "trace",
+               "deadline_s")
 
     def to_wire(self) -> Dict[str, Any]:
         """JSON-ready form; inverse of :meth:`from_wire`."""
@@ -174,6 +187,7 @@ class SweepRequest:
             "name": self.name,
             "chaos": self.chaos.to_dict() if self.chaos else None,
             "trace": self.trace,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -211,6 +225,14 @@ class SweepRequest:
                  "'retries' must be a non-negative integer")
         trace = payload.get("trace", False)
         _require(isinstance(trace, bool), "'trace' must be a boolean")
+        deadline = payload.get("deadline_s")
+        if deadline is not None:
+            _require(isinstance(deadline, (int, float))
+                     and not isinstance(deadline, bool)
+                     and deadline > 0,
+                     "'deadline_s' must be a positive number of "
+                     "seconds (or null)")
+            payload["deadline_s"] = float(deadline)
         chaos = payload.get("chaos")
         if chaos is not None:
             try:
@@ -226,10 +248,12 @@ class SweepRequest:
         """Content hash of the canonical request: equal requests (any
         field order) hash equally, so the job manager can coalesce
         identical submissions from different tenants.  Observability
-        knobs (``trace``) are dropped first — they do not change what
-        is computed, so they must not defeat coalescing."""
+        and QoS knobs (``trace``, ``deadline_s``) are dropped first —
+        they do not change what is computed, so they must not defeat
+        coalescing."""
         wire = self.to_wire()
         wire.pop("trace", None)
+        wire.pop("deadline_s", None)
         canon = json.dumps(wire, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
@@ -376,6 +400,7 @@ def report_to_wire(report: SweepReport) -> Dict[str, Any]:
         "cache_misses": report.cache_misses,
         "cache_evictions": report.cache_evictions,
         "cancelled": report.cancelled,
+        "cache_write_failures": report.cache_write_failures,
         "started_at": report.started_at,
         "finished_at": report.finished_at,
         "started_mono": report.started_mono,
@@ -416,6 +441,7 @@ def report_from_wire(data: Mapping[str, Any]) -> SweepReport:
         cache_misses=int(data.get("cache_misses", 0)),
         cache_evictions=int(data.get("cache_evictions", 0)),
         cancelled=bool(data.get("cancelled", False)),
+        cache_write_failures=int(data.get("cache_write_failures", 0)),
         started_at=float(data.get("started_at", 0.0)),
         finished_at=float(data.get("finished_at", 0.0)),
         started_mono=float(data.get("started_mono", 0.0)),
@@ -574,20 +600,23 @@ class JobRecord:
 # ----------------------------------------------------------------------
 # Journal-backed progress
 # ----------------------------------------------------------------------
-def progress_from_journal(events: Sequence[Mapping[str, Any]]
-                          ) -> Dict[str, Any]:
+def progress_from_journal(events: Sequence[Mapping[str, Any]],
+                          torn_lines: int = 0) -> Dict[str, Any]:
     """Fold a sweep journal into per-cell progress.
 
     The plan comes from the ``sweep_start`` event; each cell then
     walks pending → running → done/failed/aborted as its lifecycle
-    events appear.  The journal reader stops at the first torn frame,
-    so after a crash (or mid-write read) a cell whose ``task_done``
-    did not land completely simply *stays* running/pending — progress
-    can under-report, never crash or over-report.
+    events appear.  The journal reader skips torn frames, so after a
+    crash (or mid-write read) a cell whose ``task_done`` did not land
+    completely simply *stays* running/pending — progress can
+    under-report, never crash or over-report.  Pass the reader's torn
+    count (:func:`repro.core.resilience.read_journal_stats`) as
+    ``torn_lines`` to surface crash damage instead of hiding it.
 
     Returns a dict with ``total``/``done``/``failed``/``running``/
-    ``pending`` counts, the per-cell list, and ``finished`` (True once
-    a ``sweep_end`` event landed).
+    ``pending`` counts, the per-cell list, ``finished`` (True once a
+    ``sweep_end`` event landed), and ``torn_lines`` (journal lines the
+    reader had to skip — non-zero after a crash).
     """
     cells: Dict[str, Dict[str, Any]] = {}
     order: List[str] = []
@@ -647,5 +676,6 @@ def progress_from_journal(events: Sequence[Mapping[str, Any]]
         "running": counts["running"],
         "pending": counts["pending"],
         "finished": finished,
+        "torn_lines": int(torn_lines),
         "cells": [dict(cells[key], key=key) for key in order],
     }

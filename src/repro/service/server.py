@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -59,7 +60,12 @@ from urllib.parse import parse_qs
 
 import repro
 from repro import obs
-from repro.service.jobs import JobManager, UnknownJobError
+from repro.service.jobs import (
+    JobManager,
+    QueueFullError,
+    ServiceDrainingError,
+    UnknownJobError,
+)
 from repro.service.protocol import (
     JOB_FAILED,
     TERMINAL_STATES,
@@ -83,7 +89,9 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -112,10 +120,15 @@ class ServiceConfig:
             auth story and must not face the open internet as-is).
         port: TCP port; 0 binds an ephemeral port (tests).
         cache_dir: Shared artifact-cache directory; also hosts the
-            per-job journals.
+            per-job journals and the durable job store.
         job_workers: Concurrent jobs (see :class:`JobManager`).
         cache_max_bytes: LRU size cap of the shared cache.
         use_cache: Master cache switch.
+        max_pending: Bound on queued jobs; submits beyond it get
+            HTTP 429 + ``Retry-After``.  None = unbounded.
+        drain_timeout_s: On SIGTERM/SIGINT, how long in-flight jobs
+            get to finish before the daemon exits anyway (their store
+            records survive for the next daemon to resume).
     """
 
     host: str = "127.0.0.1"
@@ -124,6 +137,8 @@ class ServiceConfig:
     job_workers: int = 2
     cache_max_bytes: Optional[int] = None
     use_cache: bool = True
+    max_pending: Optional[int] = None
+    drain_timeout_s: float = 30.0
 
 
 class SweepService:
@@ -137,6 +152,7 @@ class SweepService:
             job_workers=config.job_workers,
             cache_max_bytes=config.cache_max_bytes,
             use_cache=config.use_cache,
+            max_pending=config.max_pending,
         )
         self.started_at = time.time()
         # Uptime and request latencies use the monotonic clock: a
@@ -179,8 +195,9 @@ class SweepService:
     # -- HTTP plumbing ---------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        extra_headers: Dict[str, str] = {}
         try:
-            status, payload = await self._respond(reader)
+            status, payload, extra_headers = await self._respond(reader)
         except Exception as exc:  # daemon bug: surface, don't hang up
             status, payload = 500, {"error":
                                     f"{type(exc).__name__}: {exc}"}
@@ -190,10 +207,15 @@ class SweepService:
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
+        header_lines = "".join(
+            f"{key}: {value}\r\n"
+            for key, value in extra_headers.items()
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{header_lines}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -209,17 +231,19 @@ class SweepService:
                 pass
 
     async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Tuple[int, Payload]:
+                       ) -> Tuple[int, Payload, Dict[str, str]]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return 400, {"error": "malformed HTTP request head"}
+            return 400, {"error": "malformed HTTP request head"}, {}
         if len(head) > MAX_HEAD_BYTES:
-            return 400, {"error": "request head too large"}
+            return 400, {"error": "request head too large"}, {}
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split(" ")
         if len(parts) != 3:
-            return 400, {"error": f"malformed request line: {lines[0]!r}"}
+            return (400,
+                    {"error": f"malformed request line: {lines[0]!r}"},
+                    {})
         method, target, _version = parts
         headers = {}
         for line in lines[1:]:
@@ -229,19 +253,20 @@ class SweepService:
         try:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
-            return 400, {"error": "bad Content-Length"}
+            return 400, {"error": "bad Content-Length"}, {}
         if length < 0 or length > MAX_BODY_BYTES:
-            return 400, {"error": "request body too large"}
+            return 400, {"error": "request body too large"}, {}
         body = b""
         if length:
             try:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
-                return 400, {"error": "request body truncated"}
+                return 400, {"error": "request body truncated"}, {}
         path, _, raw_query = target.partition("?")
         query = parse_qs(raw_query)
         obs.counter("service.requests")
         t0 = time.monotonic()
+        extra: Dict[str, str] = {}
         try:
             status, payload = self._route(method.upper(), path, query,
                                           headers, body)
@@ -252,6 +277,16 @@ class SweepService:
                                     f"unknown job {exc.args[0]!r}"}
         except FileNotFoundError as exc:
             status, payload = 404, {"error": str(exc)}
+        except ServiceDrainingError as exc:
+            # Shedding load, not failing: the Retry-After header is
+            # the machine-readable half of the contract.
+            status, payload = 503, {"error": str(exc),
+                                    "retry_after_s": exc.retry_after_s}
+            extra["Retry-After"] = str(max(1, round(exc.retry_after_s)))
+        except QueueFullError as exc:
+            status, payload = 429, {"error": str(exc),
+                                    "retry_after_s": exc.retry_after_s}
+            extra["Retry-After"] = str(max(1, round(exc.retry_after_s)))
         seconds = time.monotonic() - t0
         route = next((p for p in path.split("/") if p), "/")
         obs.observe("repro_request_seconds", seconds, route=route)
@@ -261,7 +296,7 @@ class SweepService:
                  else "info",
                  method=method.upper(), path=path, status=status,
                  seconds=seconds)
-        return status, payload
+        return status, payload, extra
 
     # -- routing ---------------------------------------------------------
     def _route(self, method: str, path: str,
@@ -355,11 +390,18 @@ class SweepService:
         return 200, payload
 
     def _healthz(self) -> Dict[str, Any]:
+        manager = self.manager
+        status = ("draining" if manager.draining
+                  else "degraded" if manager.degraded
+                  else "ok")
         return {
-            "status": "ok",
+            "status": status,
             "version": repro.__version__,
             "uptime_s": time.monotonic() - self.started_mono,
-            "job_workers": self.manager.job_workers,
+            "job_workers": manager.job_workers,
+            "draining": manager.draining,
+            "degraded": manager.degraded,
+            "degraded_reason": manager.degraded_reason,
         }
 
     def _metrics(self) -> Dict[str, Any]:
@@ -425,6 +467,15 @@ class ServiceThread:
             self._loop.run_until_complete(self.service.aclose())
             self._loop.close()
 
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Drain the embedded daemon: stop admitting (503s), wait for
+        in-flight jobs, keep serving status/result polls.  Returns
+        True when everything finished in time (see
+        :meth:`JobManager.drain`)."""
+        if timeout_s is None:
+            timeout_s = self.service.config.drain_timeout_s
+        return self.service.manager.drain(timeout_s)
+
     def stop(self) -> None:
         """Stop serving and join the loop and worker threads."""
         if self._loop is not None and self._loop.is_running():
@@ -441,21 +492,75 @@ class ServiceThread:
 
 
 def run_daemon(config: ServiceConfig) -> None:
-    """Foreground entry point of ``repro serve``; returns on Ctrl-C."""
+    """Foreground entry point of ``repro serve``.
+
+    Returns after a graceful shutdown: SIGTERM or SIGINT (Ctrl-C)
+    puts the daemon in *drain* mode — new submissions get 503 +
+    ``Retry-After``, status/result polls keep answering, in-flight
+    jobs get up to ``config.drain_timeout_s`` to finish — then the
+    socket closes and the worker threads stop.  Jobs that did not
+    finish keep their durable store records, so the next daemon on
+    this cache dir adopts and resumes them; a second signal mid-drain
+    skips straight to exit.
+    """
     service = SweepService(config)
+    manager = service.manager
 
     async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def _on_signal(signame: str) -> None:
+            if manager.draining:
+                # Second signal: the operator means now.
+                stop.set()
+                return
+            manager.begin_drain()
+            print(f"{signame}: draining (new submits get 503; "
+                  f"waiting up to {config.drain_timeout_s:g}s for "
+                  "in-flight jobs)")
+            loop.create_task(_drain_then_stop())
+
+        async def _drain_then_stop() -> None:
+            drained = await loop.run_in_executor(
+                None, manager.drain, config.drain_timeout_s)
+            if not drained:
+                print("drain timeout: leaving unfinished jobs to the "
+                      "job store (the next daemon resumes them)")
+            stop.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, _on_signal, signal.Signals(sig).name)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without loop signal handlers fall back to
+                # the KeyboardInterrupt path below.
+                pass
+
         await service.start()
         print(f"repro sweep service listening on {service.base_url}")
         print(f"  cache: {config.cache_dir}"
               + (f" (cap {config.cache_max_bytes} bytes, LRU)"
                  if config.cache_max_bytes else " (unbounded)"))
-        print(f"  job workers: {config.job_workers}")
-        await service.serve_forever()
+        print(f"  job workers: {config.job_workers}"
+              + (f", max pending: {config.max_pending}"
+                 if config.max_pending is not None else ""))
+        serve = asyncio.ensure_future(service.serve_forever())
+        await stop.wait()
+        serve.cancel()
+        try:
+            await serve
+        except asyncio.CancelledError:
+            pass
+        await service.aclose()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        pass
+        # No loop signal handlers on this platform: drain inline.
+        manager.drain(config.drain_timeout_s)
     finally:
-        service.manager.shutdown()
+        manager.shutdown()
+        print("sweep service stopped; job store checkpointed at "
+              f"{manager.store_dir}")
