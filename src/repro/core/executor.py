@@ -1320,62 +1320,72 @@ def run_sweeps_report(
             if executor.resume:
                 resumed = completed_keys(read_journal(jpath))
             journal = SweepJournal(jpath, resume=executor.resume)
-            journal.record(
-                "sweep_start",
-                resume=executor.resume,
-                jobs=executor.jobs,
-                retries=executor.retries,
-                task_timeout_s=executor.task_timeout_s,
-                chaos=plan is not None,
-                cells=[
-                    {"name": t.name, "tp_percent": t.tp_percent,
-                     "key": t.cache_key}
-                    for t in tasks
-                ],
-            )
+        # The journal handle must not outlive the sweep even when a
+        # scheduler or cache failure unwinds: an open handle leaks the
+        # fd and (on a crashed daemon worker) can hold a torn tail
+        # without its closing record.
+        try:
+            if journal is not None:
+                journal.record(
+                    "sweep_start",
+                    resume=executor.resume,
+                    jobs=executor.jobs,
+                    retries=executor.retries,
+                    task_timeout_s=executor.task_timeout_s,
+                    chaos=plan is not None,
+                    cells=[
+                        {"name": t.name, "tp_percent": t.tp_percent,
+                         "key": t.cache_key}
+                        for t in tasks
+                    ],
+                )
 
-        summaries: Dict[Tuple[str, float], FlowSummary] = {}
-        pending: List[_LevelTask] = []
-        for task in tasks:
-            stored = cache.get(task.cache_key) if cache else None
-            if stored is not None:
-                summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
-                now = tracer.now()
-                tracer.record_span(f"cache_hit:{task.label}", now, now)
-                if journal is not None:
-                    event = ("task_resumed" if task.cache_key in resumed
-                             else "task_cached")
-                    journal.record(event, key=task.cache_key,
-                                   name=task.name, tp_percent=task.tp_percent)
-            else:
-                pending.append(task)
-        if cache is not None:
-            tracer.counter("cache_hits", cache.hits)
-            tracer.counter("cache_misses", cache.misses)
-            tracer.counter("cache_corrupt", cache.corrupt)
-            obs.inc("repro_cells_total", cache.hits, outcome="cached")
+            summaries: Dict[Tuple[str, float], FlowSummary] = {}
+            pending: List[_LevelTask] = []
+            for task in tasks:
+                stored = cache.get(task.cache_key) if cache else None
+                if stored is not None:
+                    summaries[(task.name, task.tp_percent)] = _cache_hit(stored)
+                    now = tracer.now()
+                    tracer.record_span(f"cache_hit:{task.label}", now, now)
+                    if journal is not None:
+                        event = ("task_resumed" if task.cache_key in resumed
+                                 else "task_cached")
+                        journal.record(event, key=task.cache_key,
+                                       name=task.name,
+                                       tp_percent=task.tp_percent)
+                else:
+                    pending.append(task)
+            if cache is not None:
+                tracer.counter("cache_hits", cache.hits)
+                tracer.counter("cache_misses", cache.misses)
+                tracer.counter("cache_corrupt", cache.corrupt)
+                obs.inc("repro_cells_total", cache.hits, outcome="cached")
 
-        scheduler = _Scheduler(pending, executor, cache, tracer, journal, plan)
-        if pending:
-            if executor.jobs <= 1:
-                scheduler.run_serial()
-            else:
-                scheduler.run_parallel()
-        summaries.update(scheduler.summaries)
-        failures = sorted(scheduler.failures,
-                          key=lambda f: (f.name, f.tp_percent))
+            scheduler = _Scheduler(pending, executor, cache, tracer,
+                                   journal, plan)
+            if pending:
+                if executor.jobs <= 1:
+                    scheduler.run_serial()
+                else:
+                    scheduler.run_parallel()
+            summaries.update(scheduler.summaries)
+            failures = sorted(scheduler.failures,
+                              key=lambda f: (f.name, f.tp_percent))
 
-        if journal is not None:
-            journal.record(
-                "sweep_end",
-                ok=not failures,
-                failed=[f.label for f in failures],
-                retries=scheduler.retries,
-                timeouts=scheduler.timeouts,
-                worker_crashes=scheduler.crashes,
-                cancelled=scheduler.cancelled,
-            )
-            journal.close()
+            if journal is not None:
+                journal.record(
+                    "sweep_end",
+                    ok=not failures,
+                    failed=[f.label for f in failures],
+                    retries=scheduler.retries,
+                    timeouts=scheduler.timeouts,
+                    worker_crashes=scheduler.crashes,
+                    cancelled=scheduler.cancelled,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
 
         if cache is not None:
             for event, count in (("hit", cache.hits), ("miss", cache.misses),

@@ -353,7 +353,7 @@ class SweepJournal:
             self._handle.write("\n")
             self._handle.flush()
 
-    def record(self, event: str, **data: Any) -> None:
+    def record(self, event: str, **data: Any) -> None:  # lint: durable
         """Append one event line; durable before return.
 
         Every event carries both clocks: ``ts`` (wall, for humans and

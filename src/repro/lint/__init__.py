@@ -1,6 +1,6 @@
 """repro.lint: the rule-based static-analysis engine.
 
-Two rule packs share one engine and one diagnostics vocabulary:
+Four rule packs share one engine and one diagnostics vocabulary:
 
 * the **netlist/DFT pack** (:mod:`repro.lint.netlist_rules`) audits a
   design — structural integrity, combinational loops, scan-chain
@@ -8,8 +8,18 @@ Two rule packs share one engine and one diagnostics vocabulary:
   ``FlowConfig.lint`` is on (CLI: ``repro lint <circuit>``);
 * the **determinism self-lint** (:mod:`repro.lint.selfrules`) audits
   the ``repro`` sources themselves for iteration-order, wall-clock and
-  RNG hazards that would break the content-hash cache
-  (CI: ``python -m repro.lint.self``).
+  RNG hazards that would break the content-hash cache;
+* the **concurrency pack** (:mod:`repro.lint.concrules`) runs a
+  lockset dataflow analysis over each function's control-flow graph
+  (:mod:`repro.lint.cfg` + :mod:`repro.lint.dataflow`) to catch
+  guarded state touched without its lock, lock leaks, blocking calls
+  under locks or in ``async def`` bodies, and double-acquires;
+* the **resource pack** (:mod:`repro.lint.resrules`) tracks resource
+  lifecycles (files/pools/sockets/journals open on some path at
+  return) and the store/journal flush+fsync durability contract.
+
+All Python-source packs run together via ``python -m repro.lint.self``
+(CI) or :func:`lint_python`.
 
 This package initialiser stays import-light on purpose: the legacy
 :mod:`repro.netlist.validate` module imports :mod:`repro.lint.core`
@@ -42,7 +52,11 @@ __all__ = [
     "Rule",
     "SEVERITIES",
     "WARNING",
+    "build_cfg",
+    "lint_concurrency",
     "lint_netlist",
+    "lint_python",
+    "lint_resources",
     "lint_sources",
     "pack_rules",
     "run_rules",
@@ -51,7 +65,11 @@ __all__ = [
 #: Lazily-resolved exports: name -> home module.  Keeps this package
 #: importable from repro.netlist.validate without a circular import.
 _EXPORTS = {
+    "build_cfg": "repro.lint.cfg",
+    "lint_concurrency": "repro.lint.concrules",
     "lint_netlist": "repro.lint.netlist_rules",
+    "lint_python": "repro.lint.self",
+    "lint_resources": "repro.lint.resrules",
     "lint_sources": "repro.lint.selfrules",
 }
 

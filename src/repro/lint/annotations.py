@@ -1,0 +1,124 @@
+"""``# lint:`` source annotations, parsed from real comment tokens.
+
+The lint engine reads a small directive language out of comments:
+
+* ``# lint: disable=CONC001,SELF003`` — suppress the listed rules on
+  this line (comma-separated; unknown IDs are themselves a finding,
+  see ``SELF007``);
+* ``# lint: shared-under=_lock`` — on an attribute assignment inside a
+  class, declares the attribute as guarded by the named lock attribute
+  (the concurrency pack then requires the lock to be held at every
+  access);
+* ``# lint: holds=_lock`` — on a ``def`` line, declares that callers
+  must hold the named lock when invoking this function (it enters the
+  lockset analysis pre-acquired, and call sites are checked);
+* ``# lint: durable`` — on a ``def`` line, requires every normal path
+  that writes a stream to ``flush`` and ``os.fsync`` before returning
+  (the store/journal write-visibility contract).
+
+Parsing uses :mod:`tokenize`, not substring scans, so directive text
+*mentioned* inside a docstring or string literal is inert — only real
+comments count.  Several directives may share one comment
+(``# lint: durable holds=_lock``); values are comma-separated.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+#: Directive keys the engine understands; anything else is a typo and
+#: SELF007 reports it (a misspelled suppression silently suppressing
+#: nothing is worse than an error).
+KNOWN_KEYS = ("disable", "shared-under", "holds", "durable")
+
+_MARKER = "lint:"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``key`` or ``key=v1,v2`` directive."""
+
+    key: str
+    values: Tuple[str, ...]
+    lineno: int
+
+
+def _parse_comment(comment: str, lineno: int) -> List[Directive]:
+    body = comment.lstrip("#").strip()
+    if not body.startswith(_MARKER):
+        return []
+    out: List[Directive] = []
+    for token in body[len(_MARKER):].split():
+        if "=" in token:
+            key, _, raw = token.partition("=")
+            values = tuple(v.strip() for v in raw.split(",") if v.strip())
+        else:
+            key, values = token, ()
+        out.append(Directive(key=key.strip(), values=values, lineno=lineno))
+    return out
+
+
+@lru_cache(maxsize=512)
+def parse_directives(text: str) -> Tuple[Directive, ...]:
+    """Every ``# lint:`` directive in a source text, in order.
+
+    Tolerates tokenisation failures (the caller already ``ast``-parsed
+    the file, so these are exotic) by returning what was read so far.
+    """
+    out: List[Directive] = []
+    reader = io.StringIO(text).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                out.extend(_parse_comment(tok.string, tok.start[0]))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return tuple(out)
+
+
+def line_directives(text: str, lineno: int) -> List[Directive]:
+    """Directives attached to one 1-based source line."""
+    return [d for d in parse_directives(text) if d.lineno == lineno]
+
+
+def directive_values(text: str, lineno: int, key: str) -> Tuple[str, ...]:
+    """All values of ``key`` directives on ``lineno`` (flattened)."""
+    out: List[str] = []
+    for directive in line_directives(text, lineno):
+        if directive.key == key:
+            out.extend(directive.values)
+    return tuple(out)
+
+
+def has_flag(text: str, lineno: int, key: str) -> bool:
+    """True when a bare ``key`` directive sits on ``lineno``."""
+    return any(d.key == key for d in line_directives(text, lineno))
+
+
+def suppresses(text: str, lineno: int, rule_id: str) -> bool:
+    """True when ``lineno`` carries ``# lint: disable=...,<rule_id>``."""
+    return rule_id in directive_values(text, lineno, "disable")
+
+
+def directives_by_key(text: str) -> Dict[str, List[Directive]]:
+    """All directives of a source text, grouped by key."""
+    out: Dict[str, List[Directive]] = {}
+    for directive in parse_directives(text):
+        out.setdefault(directive.key, []).append(directive)
+    return out
+
+
+__all__ = [
+    "Directive",
+    "KNOWN_KEYS",
+    "directive_values",
+    "directives_by_key",
+    "has_flag",
+    "line_directives",
+    "parse_directives",
+    "suppresses",
+]

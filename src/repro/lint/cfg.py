@@ -1,0 +1,754 @@
+"""Intraprocedural control-flow graphs over Python ``ast`` functions.
+
+This is the structural half of the lint engine's dataflow tier (the
+solver lives in :mod:`repro.lint.dataflow`): :func:`build_cfg` turns
+one ``ast.FunctionDef`` / ``ast.AsyncFunctionDef`` into basic blocks
+connected by *normal* and *exceptional* edges, precise enough for
+lockset and resource-lifecycle analyses over the daemon and executor
+sources:
+
+* ``if``/``while``/``for`` branch and loop edges, with ``break`` /
+  ``continue`` routed through any ``finally`` bodies they cross;
+* ``try``/``except``/``else``/``finally`` — every block whose
+  statements can raise gets exceptional edges to the innermost
+  enclosing handlers (and, for unmatched exceptions, through the
+  ``finally`` body to the outer context or the virtual raise exit);
+* ``finally`` bodies are *duplicated* per continuation (normal
+  completion, ``return`` unwind, exception propagation, ``break`` /
+  ``continue``), so a ``return`` inside ``try`` really flows through
+  the ``finally`` copy to the exit block — no phantom paths;
+* ``with`` / ``async with`` desugar to a :class:`WithEnter` event plus
+  an implicit ``finally`` holding the matching :class:`WithExit`, so
+  analyses see ``__exit__`` run on both the normal and the
+  exceptional path — exactly how ``with self._lock:`` releases;
+* ``await`` points end their basic block (the event loop may
+  interleave arbitrary work there), and ``async for`` / ``async with``
+  inject synthetic :class:`ast.Await` markers for the suspension
+  their protocols imply.
+
+Blocks carry *events*: plain ``ast`` statements (compound statements
+never appear — their structure became edges, their hot expressions
+became synthetic ``ast.Expr`` / ``ast.Assign`` events) plus the
+synthetic :class:`WithEnter` / :class:`WithExit` / :class:`Assume`
+markers.  :class:`Assume` records the value a branch test took on an
+edge, letting a flow analysis drop ``x`` facts on the ``x is None``
+arm of a guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Edge kinds.
+NORMAL = "normal"
+EXC = "exc"
+
+
+@dataclass
+class WithEnter:
+    """Synthetic event: a ``with`` item's ``__enter__`` ran."""
+
+    item: ast.withitem
+    lineno: int
+    is_async: bool = False
+
+
+@dataclass
+class WithExit:
+    """Synthetic event: a ``with`` item's ``__exit__`` ran."""
+
+    item: ast.withitem
+    lineno: int
+    is_async: bool = False
+
+
+@dataclass
+class Assume:
+    """Synthetic event: on this path, ``test`` evaluated to ``value``."""
+
+    test: ast.expr
+    value: bool
+    lineno: int
+
+
+Event = Union[ast.stmt, WithEnter, WithExit, Assume]
+
+
+class Block:
+    """One basic block: a straight-line event list plus edges."""
+
+    __slots__ = ("id", "label", "events", "succs", "preds")
+
+    def __init__(self, block_id: int, label: str = ""):
+        self.id = block_id
+        self.label = label
+        self.events: List[Event] = []
+        self.succs: List[Tuple["Block", str]] = []
+        self.preds: List[Tuple["Block", str]] = []
+
+    def add_succ(self, other: "Block", kind: str = NORMAL) -> None:
+        for succ, succ_kind in self.succs:
+            if succ is other and succ_kind == kind:
+                return
+        self.succs.append((other, kind))
+        other.preds.append((self, kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Block {self.id} {self.label!r} events={len(self.events)}>"
+
+
+class CFG:
+    """The control-flow graph of one function.
+
+    Attributes:
+        func: The analysed ``ast`` function node.
+        entry: Virtual entry block (always first).
+        exit: Virtual normal-return exit block.
+        raises: Virtual exceptional exit (uncaught exception leaves
+            the function here).  Pruned when unreachable.
+        blocks: All reachable blocks, entry first, stable ids.
+    """
+
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.func = func
+        self.name = func.name
+        self.lineno = func.lineno
+        self.is_async = isinstance(func, ast.AsyncFunctionDef)
+        self.blocks: List[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raises = self.new_block("raise")
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def prune_unreachable(self) -> None:
+        """Drop blocks unreachable from entry (dead joins, unused
+        virtual exits), fixing up predecessor lists."""
+        seen = {self.entry.id}
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            for succ, _ in block.succs:
+                if succ.id not in seen:
+                    seen.add(succ.id)
+                    stack.append(succ)
+        self.blocks = [b for b in self.blocks if b.id in seen]
+        for block in self.blocks:
+            block.succs = [(s, k) for s, k in block.succs if s.id in seen]
+            block.preds = [(p, k) for p, k in block.preds if p.id in seen]
+        # The virtual exits stay addressable as cfg.exit / cfg.raises
+        # even when pruned; their edge lists must not keep pointing at
+        # dropped blocks.
+        for block in (self.exit, self.raises):
+            if block.id not in seen:
+                block.succs = []
+                block.preds = []
+
+
+# -- builder helpers --------------------------------------------------------
+
+
+class _FinallyCtx:
+    """One active ``finally`` (or implicit with-exit) region.
+
+    ``body`` is the statement list of a real ``finally``; ``with_exit``
+    is the synthetic event of a ``with`` statement's implicit one.
+    ``outer_stack`` / ``outer_frame`` snapshot the context *around*
+    the owning statement, because every duplicated copy of the body
+    runs in that outer context (a ``return`` inside a ``finally``
+    unwinds only the finallies outside it).
+    """
+
+    def __init__(self, body: Optional[Sequence[ast.stmt]],
+                 with_exit: Optional[WithExit],
+                 outer_stack: List["_FinallyCtx"],
+                 outer_frame: "_Frame"):
+        self.body = list(body or [])
+        self.with_exit = with_exit
+        self.outer_stack = list(outer_stack)
+        self.outer_frame = outer_frame
+        self.exc_entry: Optional[Block] = None
+
+
+class _Frame:
+    """Exception-routing context: where a raise at this point lands."""
+
+    def __init__(self, parent: Optional["_Frame"]):
+        self.parent = parent
+
+    def exc_entries(self) -> List[Block]:
+        raise NotImplementedError
+
+
+class _RootFrame(_Frame):
+    def __init__(self, cfg: CFG):
+        super().__init__(None)
+        self.cfg = cfg
+
+    def exc_entries(self) -> List[Block]:
+        return [self.cfg.raises]
+
+
+class _HandlerFrame(_Frame):
+    """Inside a ``try`` body: handlers first, then (for an unmatched
+    exception) the finally/outer fallthrough."""
+
+    def __init__(self, parent: _Frame, builder: "_Builder",
+                 handler_entries: List[Block], catch_all: bool,
+                 fctx: Optional[_FinallyCtx]):
+        super().__init__(parent)
+        self.builder = builder
+        self.handler_entries = handler_entries
+        self.catch_all = catch_all
+        self.fctx = fctx
+
+    def exc_entries(self) -> List[Block]:
+        out = list(self.handler_entries)
+        if not self.catch_all:
+            if self.fctx is not None:
+                out.append(self.builder.finally_exc_entry(self.fctx))
+            else:
+                out.extend(self.parent.exc_entries())
+        return out
+
+
+class _FinallyFrame(_Frame):
+    """Inside code whose exceptions must run a ``finally`` (or a
+    with-exit) before propagating: handler bodies, ``else`` clauses
+    and ``with`` bodies."""
+
+    def __init__(self, parent: _Frame, builder: "_Builder",
+                 fctx: _FinallyCtx):
+        super().__init__(parent)
+        self.builder = builder
+        self.fctx = fctx
+
+    def exc_entries(self) -> List[Block]:
+        return [self.builder.finally_exc_entry(self.fctx)]
+
+
+class _LoopCtx:
+    """break/continue targets plus the finally depth to unwind to."""
+
+    def __init__(self, head: Block, after: Block, finally_depth: int):
+        self.head = head
+        self.after = after
+        self.finally_depth = finally_depth
+
+
+#: Statement types that cannot raise (no exceptional edges needed).
+_NON_RAISING = (ast.Pass, ast.Break, ast.Continue, ast.Global,
+                ast.Nonlocal)
+
+
+def _safe_expr(node: Optional[ast.expr]) -> bool:
+    """True for expressions that cannot raise: names, literals, and
+    ``is``/``not``/boolean combinations of them (the shape of branch
+    guards like ``fh is not None``)."""
+    if node is None:
+        return True
+    if isinstance(node, (ast.Name, ast.Constant)):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return _safe_expr(node.operand)
+    if isinstance(node, ast.BoolOp):
+        return all(_safe_expr(v) for v in node.values)
+    if isinstance(node, ast.Compare):
+        return (all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops)
+                and _safe_expr(node.left)
+                and all(_safe_expr(c) for c in node.comparators))
+    return False
+
+
+def can_raise(event: Event) -> bool:
+    """Whether executing ``event`` can raise (conservative)."""
+    if isinstance(event, (Assume,)):
+        return False
+    if isinstance(event, (WithEnter, WithExit)):
+        return True
+    if isinstance(event, _NON_RAISING):
+        return False
+    if isinstance(event, ast.Expr) and _safe_expr(event.value):
+        return False  # docstrings, bare literals, identity guards
+    if isinstance(event, ast.Return) and _safe_expr(event.value):
+        return False
+    return True
+
+
+def _contains_await(node: ast.AST) -> bool:
+    """True when evaluating ``node`` suspends (ignoring nested defs)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Await):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _located(node: ast.AST, like: ast.AST) -> ast.AST:
+    """Copy source locations onto a synthetic node (for findings)."""
+    ast.copy_location(node, like)
+    return ast.fix_missing_locations(node)
+
+
+def _truthy_const(test: ast.expr) -> Optional[bool]:
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    return None
+
+
+class _Builder:
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.cfg = CFG(func)
+        self.current: Optional[Block] = self.cfg.entry
+        self.frame: _Frame = _RootFrame(self.cfg)
+        self.finally_stack: List[_FinallyCtx] = []
+        self.loops: List[_LoopCtx] = []
+
+    # -- event emission --------------------------------------------------
+    def emit(self, event: Event) -> None:
+        if self.current is None:
+            return
+        self.current.events.append(event)
+        if can_raise(event):
+            for target in self.frame.exc_entries():
+                self.current.add_succ(target, EXC)
+        if isinstance(event, ast.AST) and _contains_await(event):
+            # Suspension point: the loop may run anything here.
+            nxt = self.cfg.new_block("after-await")
+            self.current.add_succ(nxt)
+            self.current = nxt
+
+    def emit_expr(self, expr: ast.expr) -> None:
+        """Surface a control expression (branch test, loop iterable)
+        as a synthetic ``ast.Expr`` event so analyses see its reads."""
+        self.emit(_located(ast.Expr(value=expr), expr))
+
+    def _start_block(self, pred: Optional[Block], label: str = "",
+                     kind: str = NORMAL) -> Block:
+        block = self.cfg.new_block(label)
+        if pred is not None:
+            pred.add_succ(block, kind)
+        return block
+
+    # -- finally duplication ---------------------------------------------
+    def _build_copy(self, fctx: _FinallyCtx,
+                    finally_stack: List[_FinallyCtx]
+                    ) -> Tuple[Block, Optional[Block]]:
+        """Build one fresh copy of a finally (or with-exit) body in the
+        region's outer context; returns (entry, normal exit or None)."""
+        saved = (self.current, self.frame, self.finally_stack)
+        entry = self.cfg.new_block("finally")
+        self.current = entry
+        self.frame = fctx.outer_frame
+        self.finally_stack = list(finally_stack)
+        if fctx.with_exit is not None:
+            self.emit(WithExit(fctx.with_exit.item, fctx.with_exit.lineno,
+                               fctx.with_exit.is_async))
+        else:
+            self.visit_body(fctx.body)
+        out = self.current
+        self.current, self.frame, self.finally_stack = saved
+        return entry, out
+
+    def finally_exc_entry(self, fctx: _FinallyCtx) -> Block:
+        """The memoised exception-propagation copy of a finally body:
+        runs the body, then re-raises into the outer frame."""
+        if fctx.exc_entry is None:
+            entry, out = self._build_copy(fctx, fctx.outer_stack)
+            fctx.exc_entry = entry
+            if out is not None:
+                for target in fctx.outer_frame.exc_entries():
+                    out.add_succ(target, EXC)
+        return fctx.exc_entry
+
+    def _unwind(self, keep_depth: int, terminal: Block) -> None:
+        """Route the current block through every active finally deeper
+        than ``keep_depth`` (innermost first), ending at ``terminal``.
+        Used by return/break/continue."""
+        cursor = self.current
+        assert cursor is not None
+        for index in range(len(self.finally_stack) - 1, keep_depth - 1, -1):
+            fctx = self.finally_stack[index]
+            entry, out = self._build_copy(fctx, self.finally_stack[:index])
+            cursor.add_succ(entry)
+            if out is None:
+                # The finally body itself returned/raised: the original
+                # continuation is abandoned (Python semantics).
+                self.current = None
+                return
+            cursor = out
+        cursor.add_succ(terminal)
+        self.current = None
+
+    # -- statement dispatch ----------------------------------------------
+    def visit_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.current is None:
+                return  # unreachable code after return/raise/break
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._visit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt, stmt.items)
+        elif isinstance(stmt, ast.Return):
+            self.emit(stmt)
+            if self.current is not None:
+                self._unwind(0, self.cfg.exit)
+        elif isinstance(stmt, ast.Raise):
+            self.emit(stmt)
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            self.emit(stmt)
+            if self.loops and self.current is not None:
+                loop = self.loops[-1]
+                self._unwind(loop.finally_depth, loop.after)
+        elif isinstance(stmt, ast.Continue):
+            self.emit(stmt)
+            if self.loops and self.current is not None:
+                loop = self.loops[-1]
+                self._unwind(loop.finally_depth, loop.head)
+        elif isinstance(stmt, ast.Match):
+            self._visit_match(stmt)
+        else:
+            # Simple statements — and nested function/class definitions,
+            # which are separate analysis units and stay opaque here.
+            self.emit(stmt)
+
+    # -- structured statements -------------------------------------------
+    def _assume(self, test: ast.expr, value: bool) -> None:
+        if self.current is not None:
+            self.current.events.append(
+                Assume(test, value, getattr(test, "lineno", 0)))
+
+    def _visit_if(self, node: ast.If) -> None:
+        self.emit_expr(node.test)
+        cond = self.current
+        if cond is None:
+            return
+        self.current = self._start_block(cond, "then")
+        self._assume(node.test, True)
+        self.visit_body(node.body)
+        then_exit = self.current
+        self.current = self._start_block(cond, "else")
+        self._assume(node.test, False)
+        self.visit_body(node.orelse)
+        else_exit = self.current
+        exits = [b for b in (then_exit, else_exit) if b is not None]
+        if not exits:
+            self.current = None
+            return
+        join = self.cfg.new_block("endif")
+        for block in exits:
+            block.add_succ(join)
+        self.current = join
+
+    def _visit_while(self, node: ast.While) -> None:
+        head = self._start_block(self.current, "while")
+        self.current = head
+        self.emit_expr(node.test)
+        head = self.current  # emit may split on await
+        after = self.cfg.new_block("endwhile")
+        const = _truthy_const(node.test)
+        body_entry = self._start_block(head, "while-body")
+        self.loops.append(_LoopCtx(head, after, len(self.finally_stack)))
+        self.current = body_entry
+        self._assume(node.test, True)
+        self.visit_body(node.body)
+        if self.current is not None:
+            self.current.add_succ(head)
+        self.loops.pop()
+        if const is not True:
+            # Loop can exit by the test turning false (else clause runs
+            # then, when present).
+            exit_block = self._start_block(head, "while-else")
+            self.current = exit_block
+            self._assume(node.test, False)
+            self.visit_body(node.orelse)
+            if self.current is not None:
+                self.current.add_succ(after)
+        self.current = after
+
+    def _visit_for(self, node: Union[ast.For, ast.AsyncFor]) -> None:
+        is_async = isinstance(node, ast.AsyncFor)
+        self.emit_expr(node.iter)
+        head = self._start_block(self.current, "for")
+        after = self.cfg.new_block("endfor")
+        body_entry = self._start_block(head, "for-body")
+        self.loops.append(_LoopCtx(head, after, len(self.finally_stack)))
+        self.current = body_entry
+        if is_async:
+            # The implicit __anext__ await: a suspension point.
+            self.emit(_located(
+                ast.Expr(value=ast.Await(value=ast.Constant(value=None))),
+                node))
+        # Model the loop-variable binding for def/use analyses.
+        self.emit(_located(
+            ast.Assign(targets=[node.target], value=node.iter), node))
+        self.visit_body(node.body)
+        if self.current is not None:
+            self.current.add_succ(head)
+        self.loops.pop()
+        # Exhaustion path (runs the else clause when present).
+        exit_block = self._start_block(head, "for-else")
+        self.current = exit_block
+        self.visit_body(node.orelse)
+        if self.current is not None:
+            self.current.add_succ(after)
+        self.current = after
+
+    def _visit_match(self, node: ast.Match) -> None:
+        self.emit_expr(node.subject)
+        cond = self.current
+        if cond is None:
+            return
+        join = self.cfg.new_block("endmatch")
+        for case in node.cases:
+            self.current = self._start_block(cond, "case")
+            if case.guard is not None:
+                self.emit_expr(case.guard)
+            self.visit_body(case.body)
+            if self.current is not None:
+                self.current.add_succ(join)
+        # Conservative no-match fallthrough.
+        cond.add_succ(join)
+        self.current = join
+
+    def _visit_try(self, node: ast.stmt) -> None:
+        handlers = node.handlers
+        finalbody = node.finalbody
+        outer_frame = self.frame
+        fctx: Optional[_FinallyCtx] = None
+        if finalbody:
+            fctx = _FinallyCtx(finalbody, None, self.finally_stack,
+                               outer_frame)
+        handler_entries = [self.cfg.new_block("except") for _ in handlers]
+        catch_all = any(
+            h.type is None
+            or (isinstance(h.type, ast.Name)
+                and h.type.id in ("BaseException", "Exception"))
+            for h in handlers
+        )
+        around_frame: _Frame = outer_frame
+        if fctx is not None:
+            around_frame = _FinallyFrame(outer_frame, self, fctx)
+            self.finally_stack.append(fctx)
+
+        body_entry = self._start_block(self.current, "try")
+        self.frame = _HandlerFrame(around_frame, self, handler_entries,
+                                   catch_all, fctx)
+        self.current = body_entry
+        self.visit_body(node.body)
+        # The else clause runs only after a clean body; its exceptions
+        # skip this try's handlers.
+        self.frame = around_frame
+        if node.orelse and self.current is not None:
+            self.visit_body(node.orelse)
+        body_exit = self.current
+
+        handler_exits: List[Block] = []
+        for handler, entry in zip(handlers, handler_entries):
+            self.frame = around_frame
+            self.current = entry
+            if handler.type is not None:
+                self.emit_expr(handler.type)
+            self.visit_body(handler.body)
+            if self.current is not None:
+                handler_exits.append(self.current)
+
+        self.frame = outer_frame
+        if fctx is not None:
+            self.finally_stack.pop()
+
+        exits = [b for b in [body_exit] + handler_exits if b is not None]
+        if not exits:
+            self.current = None
+            return
+        join = self.cfg.new_block("endtry")
+        for block in exits:
+            block.add_succ(join)
+        self.current = join
+        if fctx is not None:
+            # Normal-completion copy of the finally body, inlined.
+            self.visit_body(finalbody)
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith],
+                    items: Sequence[ast.withitem]) -> None:
+        is_async = isinstance(node, ast.AsyncWith)
+        item = items[0]
+        self.emit_expr(item.context_expr)
+        self.emit(WithEnter(item, getattr(item.context_expr, "lineno",
+                                          node.lineno), is_async))
+        if self.current is None:
+            return
+        if item.optional_vars is not None:
+            binding = ast.Assign(targets=[item.optional_vars],
+                                 value=item.context_expr)
+            binding._lint_with_binding = True  # not a fresh acquisition
+            self.emit(_located(binding, node))
+        exit_event = WithExit(item, getattr(item.context_expr, "lineno",
+                                            node.lineno), is_async)
+        fctx = _FinallyCtx(None, exit_event, self.finally_stack, self.frame)
+        outer_frame = self.frame
+        self.finally_stack.append(fctx)
+        self.frame = _FinallyFrame(outer_frame, self, fctx)
+        self.current = self._start_block(self.current, "with-body")
+        if len(items) > 1:
+            self._visit_with(node, items[1:])
+        else:
+            self.visit_body(node.body)
+        body_exit = self.current
+        self.finally_stack.pop()
+        self.frame = outer_frame
+        if body_exit is None:
+            self.current = None
+            return
+        # Normal-path __exit__ runs in the outer exception context.
+        self.current = self._start_block(body_exit, "with-exit")
+        self.emit(WithExit(item, exit_event.lineno, is_async))
+
+    # -- entry -----------------------------------------------------------
+    def build(self) -> CFG:
+        self.visit_body(self.cfg.func.body)
+        if self.current is not None:
+            self.current.add_succ(self.cfg.exit)
+        self.cfg.prune_unreachable()
+        return self.cfg
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()
+
+
+# -- function discovery -----------------------------------------------------
+
+
+@dataclass
+class FunctionUnit:
+    """One analysable function with its lexical context."""
+
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    qualname: str
+    cls: Optional[ast.ClassDef]
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.func, ast.AsyncFunctionDef)
+
+
+def function_units(tree: ast.Module) -> List[FunctionUnit]:
+    """Every function/method/closure in a module, outermost first.
+
+    Nested functions become their own units (their bodies are *not*
+    re-visited as part of the enclosing function's CFG); closures keep
+    the innermost enclosing class as context, because a closure inside
+    a method typically captures ``self``.
+    """
+    units: List[FunctionUnit] = []
+
+    def walk(body: Sequence[ast.stmt], prefix: str,
+             cls: Optional[ast.ClassDef]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{stmt.name}"
+                units.append(FunctionUnit(stmt, qual, cls))
+                walk(stmt.body, f"{qual}.<locals>.", cls)
+            elif isinstance(stmt, ast.ClassDef):
+                walk(stmt.body, f"{prefix}{stmt.name}.", stmt)
+            elif isinstance(stmt, (ast.If, ast.While, ast.For,
+                                   ast.AsyncFor, ast.With, ast.AsyncWith,
+                                   ast.Try)):
+                for field_name in ("body", "orelse", "finalbody"):
+                    walk(getattr(stmt, field_name, []) or [], prefix, cls)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    walk(handler.body, prefix, cls)
+
+    walk(tree.body, "", None)
+    return units
+
+
+def expr_name(node: ast.AST) -> Optional[str]:
+    """Canonical dotted/indexed name of a simple expression.
+
+    ``self._lock`` -> ``"self._lock"``; ``entry[0]`` -> ``"entry[0]"``;
+    anything without a stable spelling -> None.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = expr_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):
+        base = expr_name(node.value)
+        if base is None:
+            return None
+        index = node.slice
+        if isinstance(index, ast.Constant):
+            return f"{base}[{index.value!r}]"
+        sub = expr_name(index)
+        return f"{base}[{sub}]" if sub else None
+    return None
+
+
+def root_name(name: str) -> str:
+    """The leading identifier of a canonical name (``entry[0]`` ->
+    ``entry``; ``self._lock`` -> ``self``)."""
+    out = name
+    for sep in (".", "["):
+        head = out.split(sep, 1)[0]
+        if len(head) < len(out):
+            out = head
+    return out
+
+
+def walk_shallow(node: ast.AST):
+    """``ast.walk`` that does not descend into nested function, lambda
+    or class bodies (they are separate analysis units)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+__all__ = [
+    "Assume",
+    "Block",
+    "CFG",
+    "EXC",
+    "Event",
+    "FunctionUnit",
+    "NORMAL",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "can_raise",
+    "expr_name",
+    "function_units",
+    "root_name",
+    "walk_shallow",
+]

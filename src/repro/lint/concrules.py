@@ -1,0 +1,613 @@
+"""Concurrency rule pack: lockset dataflow over the daemon sources.
+
+An Eraser-style *must-hold* lockset analysis (Savage et al., SOSP '97)
+runs over each function's CFG: the fact at a program point is the set
+of locks held on **every** path reaching it (join = intersection).
+Locks enter the set through ``with self._lock:`` regions and
+``.acquire()`` calls, and leave through ``with``-exit (on both the
+normal and the exceptional edge — the CFG duplicates ``__exit__``
+per path) and ``.release()``.
+
+Annotations drive the checks (see :mod:`repro.lint.annotations`):
+``# lint: shared-under=_lock`` on an attribute assignment declares the
+guarded fields, ``# lint: holds=_lock`` on a ``def`` line declares a
+caller-must-hold contract (the function is analysed with the lock
+pre-acquired, and its call sites are checked).
+
+Rules:
+
+* ``CONC001`` — guarded attribute accessed, or holds-annotated method
+  called, on some path where the declared lock is not held;
+* ``CONC002`` — manual ``.acquire()`` with a path to return (error)
+  or raise (warning) that never releases and never hands the lock out;
+* ``CONC003`` — blocking call (``time.sleep``, ``os.fsync``,
+  ``subprocess.*``) while holding a lock;
+* ``CONC004`` — blocking call in an ``async def`` body (stalls the
+  event loop for every connected client);
+* ``CONC005`` — re-acquiring a non-reentrant ``threading.Lock``
+  already held on every path (self-deadlock);
+* ``CONC006`` — invoking a user-supplied callback (``cancel_check``,
+  ``*_hook``, ``*_callback``...) while holding a lock;
+* ``CONC007`` — ``await`` while holding a (threading) lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.lint import annotations
+from repro.lint.cfg import (
+    Assume,
+    CFG,
+    Event,
+    FunctionUnit,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    expr_name,
+    function_units,
+    root_name,
+    walk_shallow,
+)
+from repro.lint.core import (
+    Diagnostic,
+    ERROR,
+    Rule,
+    WARNING,
+    make_diagnostic,
+    pack_rules,
+    rule,
+)
+from repro.lint.dataflow import ForwardAnalysis, exit_facts, observe, solve
+from repro.lint.selfrules import SourceContext, SourceModule
+
+PACK = "conc"
+
+#: Dotted call names that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+})
+
+#: Additional calls that must not run on the event-loop thread.
+ASYNC_BLOCKING_CALLS = BLOCKING_CALLS | frozenset({"open"})
+
+#: Callable names treated as user-supplied callbacks for CONC006.
+CALLBACK_NAMES = frozenset({"cancel_check", "callback", "hook"})
+CALLBACK_SUFFIXES = ("_callback", "_check", "_hook", "_cb")
+
+#: Methods allowed to touch guarded attributes unlocked: construction
+#: and teardown run before/after the object is shared.
+EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__del__"})
+
+#: Events that open a nested scope; their bodies are separate units.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One pack finding, pre-suppression."""
+
+    rule_id: str
+    lineno: int
+    message: str
+    severity: Optional[str] = None
+
+
+# -- lock discovery ---------------------------------------------------------
+
+
+def _lock_kind(value: ast.AST) -> Optional[str]:
+    """``"lock"``/``"rlock"`` when ``value`` constructs a threading
+    lock, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = expr_name(value.func)
+    if name in ("threading.Lock", "Lock", "multiprocessing.Lock"):
+        return "lock"
+    if name in ("threading.RLock", "RLock", "multiprocessing.RLock"):
+        return "rlock"
+    return None
+
+
+def _class_locks(cls: Optional[ast.ClassDef]) -> Dict[str, str]:
+    """``self.<attr> = threading.Lock()`` assignments anywhere in the
+    class body: attr name -> lock kind."""
+    out: Dict[str, str] = {}
+    if cls is None:
+        return out
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        kind = _lock_kind(node.value)
+        if kind is None:
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                out[target.attr] = kind
+    return out
+
+
+def _local_locks(func: ast.AST) -> Dict[str, str]:
+    """Function-local ``v = threading.Lock()`` bindings."""
+    out: Dict[str, str] = {}
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Assign):
+            kind = _lock_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = kind
+    return out
+
+
+def _canon_lock(name: str, unit: FunctionUnit,
+                local_locks: Dict[str, str]) -> str:
+    """Canonical lockset spelling of an annotation value: bare names
+    inside a class refer to ``self`` attributes unless they name a
+    local lock variable."""
+    if "." in name or "[" in name or name in local_locks:
+        return name
+    if unit.cls is not None:
+        return f"self.{name}"
+    return name
+
+
+def _guarded_attrs(module: SourceModule,
+                   cls: Optional[ast.ClassDef]) -> Dict[str, str]:
+    """``# lint: shared-under=<lock>`` declarations: attr -> lock."""
+    out: Dict[str, str] = {}
+    if cls is None:
+        return out
+    for node in ast.walk(cls):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        guards = annotations.directive_values(
+            module.text, node.lineno, "shared-under")
+        if not guards:
+            continue
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                out[target.attr] = guards[0]
+    return out
+
+
+def _holds_contracts(module: SourceModule,
+                     cls: Optional[ast.ClassDef]) -> Dict[str, Tuple[str, ...]]:
+    """Methods annotated ``# lint: holds=<lock>``: name -> lock attrs."""
+    out: Dict[str, Tuple[str, ...]] = {}
+    if cls is None:
+        return out
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            held = annotations.directive_values(
+                module.text, stmt.lineno, "holds")
+            if held:
+                out[stmt.name] = held
+    return out
+
+
+# -- the lockset analysis ---------------------------------------------------
+
+
+class LocksetAnalysis(ForwardAnalysis):
+    """Must-hold lockset: intersection join over canonical lock names."""
+
+    def __init__(self, known_locks: Dict[str, str],
+                 entry: FrozenSet[str]):
+        self.known_locks = known_locks
+        self._entry = entry
+
+    def entry_fact(self, cfg: CFG) -> FrozenSet[str]:
+        return self._entry
+
+    def join(self, facts: List[FrozenSet[str]]) -> FrozenSet[str]:
+        out = facts[0]
+        for fact in facts[1:]:
+            out = out & fact
+        return out
+
+    def transfer(self, fact: FrozenSet[str], event: Event,
+                 block) -> FrozenSet[str]:
+        if isinstance(event, WithEnter):
+            name = expr_name(event.item.context_expr)
+            if name in self.known_locks:
+                return fact | {name}
+            return fact
+        if isinstance(event, WithExit):
+            name = expr_name(event.item.context_expr)
+            if name in self.known_locks:
+                return fact - {name}
+            return fact
+        if isinstance(event, Assume) or isinstance(event, _OPAQUE):
+            return fact
+        if isinstance(event, ast.AST):
+            for node in walk_shallow(event):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)):
+                    continue
+                base = expr_name(node.func.value)
+                if base not in self.known_locks:
+                    continue
+                if node.func.attr == "acquire":
+                    fact = fact | {base}
+                elif node.func.attr == "release":
+                    fact = fact - {base}
+        return fact
+
+
+class AcquireAnalysis(ForwardAnalysis):
+    """May-held manual acquisitions: union join over (name, line).
+
+    Tracks every ``<expr>.acquire()`` (not just class locks — spec-lock
+    tuples like ``entry[0].acquire()`` count); an acquisition escapes
+    (stops being this function's responsibility) when its root variable
+    is returned or yielded.
+    """
+
+    def entry_fact(self, cfg: CFG) -> FrozenSet[Tuple[str, int]]:
+        return frozenset()
+
+    def join(self, facts):
+        out = facts[0]
+        for fact in facts[1:]:
+            out = out | fact
+        return out
+
+    def transfer(self, fact, event: Event, block):
+        if isinstance(event, (WithEnter, WithExit, Assume)):
+            return fact
+        if isinstance(event, _OPAQUE) or not isinstance(event, ast.AST):
+            return fact
+        for node in walk_shallow(event):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            base = expr_name(node.func.value)
+            if base is None:
+                continue
+            if node.func.attr == "acquire":
+                fact = fact | {(base, node.lineno)}
+            elif node.func.attr == "release":
+                fact = frozenset(
+                    entry for entry in fact if entry[0] != base)
+        escaped: List[str] = []
+        if isinstance(event, (ast.Return, ast.Expr)):
+            value = getattr(event, "value", None)
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                value = value.value
+            elif not isinstance(event, ast.Return):
+                value = None
+            if value is not None:
+                escaped = [n.id for n in walk_shallow(value)
+                           if isinstance(n, ast.Name)]
+        if escaped:
+            fact = frozenset(
+                entry for entry in fact
+                if root_name(entry[0]) not in escaped)
+        return fact
+
+    def exc_facts(self, fact, event: Event, block):
+        """A raising ``acquire()`` never took the lock, and a raising
+        ``release()`` still gave it up — honour this event's removals
+        but not its additions (pre ∩ post)."""
+        return [fact & self.transfer(fact, event, block)]
+
+
+# -- per-unit checks --------------------------------------------------------
+
+
+def _leaf_call_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_callbackish(name: str) -> bool:
+    return name in CALLBACK_NAMES or name.endswith(CALLBACK_SUFFIXES)
+
+
+def _blocking_hits(event: ast.AST, names: FrozenSet[str]) -> List[Tuple[int, str]]:
+    hits: List[Tuple[int, str]] = []
+    for node in walk_shallow(event):
+        if isinstance(node, ast.Call):
+            dotted = expr_name(node.func)
+            if dotted in names:
+                hits.append((node.lineno, dotted))
+    return hits
+
+
+def _check_unit(module: SourceModule, unit: FunctionUnit,
+                findings: List[Finding]) -> None:
+    func = unit.func
+    class_locks = _class_locks(unit.cls)
+    local_locks = _local_locks(func)
+    guards = _guarded_attrs(module, unit.cls)
+    contracts = _holds_contracts(module, unit.cls)
+
+    known: Dict[str, str] = dict(local_locks)
+    for attr, kind in class_locks.items():
+        known[f"self.{attr}"] = kind
+    held_names = annotations.directive_values(
+        module.text, func.lineno, "holds")
+    entry_locks = []
+    for name in held_names:
+        canon = _canon_lock(name, unit, local_locks)
+        entry_locks.append(canon)
+        known.setdefault(canon, "unknown")
+
+    cfg = build_cfg(func)
+    analysis = LocksetAnalysis(known, frozenset(entry_locks))
+    ins = solve(cfg, analysis)
+
+    exempt = func.name in EXEMPT_METHODS
+
+    def inspect(lockset, event, block) -> None:
+        if isinstance(event, WithEnter):
+            name = expr_name(event.item.context_expr)
+            if (name in lockset and known.get(name) == "lock"
+                    and not event.is_async):
+                findings.append(Finding(
+                    "CONC005", event.lineno,
+                    f"re-acquiring non-reentrant lock {name} already "
+                    f"held on every path here (self-deadlock)"))
+            return
+        if isinstance(event, (WithExit, Assume)):
+            return
+        if isinstance(event, _OPAQUE) or not isinstance(event, ast.AST):
+            return
+        for node in walk_shallow(event):
+            if not isinstance(node, ast.AST):
+                continue
+            # CONC001: guarded attribute touched without its lock.
+            if (not exempt
+                    and isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guards):
+                required = _canon_lock(guards[node.attr], unit, local_locks)
+                if required not in lockset:
+                    findings.append(Finding(
+                        "CONC001", node.lineno,
+                        f"self.{node.attr} is declared shared-under="
+                        f"{guards[node.attr]} but {required} is not "
+                        f"held on every path to this access"))
+            if isinstance(node, ast.Call):
+                dotted = expr_name(node.func)
+                leaf = _leaf_call_name(node.func)
+                # CONC005 for manual re-acquire.
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"):
+                    base = expr_name(node.func.value)
+                    if base in lockset and known.get(base) == "lock":
+                        findings.append(Finding(
+                            "CONC005", node.lineno,
+                            f"re-acquiring non-reentrant lock {base} "
+                            f"already held on every path here "
+                            f"(self-deadlock)"))
+                # CONC001: holds-contract call sites.
+                if (not exempt
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                        and node.func.attr in contracts
+                        and node.func.attr != func.name):
+                    for want in contracts[node.func.attr]:
+                        canon = _canon_lock(want, unit, local_locks)
+                        if canon not in lockset:
+                            findings.append(Finding(
+                                "CONC001", node.lineno,
+                                f"call to self.{node.func.attr}() which "
+                                f"requires holds={want}, but {canon} is "
+                                f"not held on every path here"))
+                if lockset:
+                    held = ", ".join(sorted(lockset))
+                    # CONC003: blocking call under a lock.
+                    if dotted in BLOCKING_CALLS:
+                        findings.append(Finding(
+                            "CONC003", node.lineno,
+                            f"blocking call {dotted}() while holding "
+                            f"{held}"))
+                    # CONC006: arbitrary user code under a lock.
+                    if leaf is not None and _is_callbackish(leaf):
+                        findings.append(Finding(
+                            "CONC006", node.lineno,
+                            f"callback {leaf}() invoked while holding "
+                            f"{held}: user code under a lock can "
+                            f"re-enter or stall the owner",
+                            severity=WARNING))
+            # CONC007: suspension point with a threading lock held.
+            if isinstance(node, ast.Await) and lockset:
+                findings.append(Finding(
+                    "CONC007",
+                    getattr(node, "lineno", event.lineno
+                            if hasattr(event, "lineno") else 0),
+                    f"await while holding {', '.join(sorted(lockset))}: "
+                    f"the lock blocks other threads for the whole "
+                    f"suspension"))
+
+    observe(cfg, analysis, ins, inspect)
+
+    # CONC004: event-loop blocking calls anywhere in an async body.
+    if unit.is_async:
+        for block in cfg.blocks:
+            for event in block.events:
+                if (isinstance(event, (WithEnter, WithExit, Assume))
+                        or isinstance(event, _OPAQUE)
+                        or not isinstance(event, ast.AST)):
+                    continue
+                for lineno, dotted in _blocking_hits(
+                        event, ASYNC_BLOCKING_CALLS):
+                    findings.append(Finding(
+                        "CONC004", lineno,
+                        f"blocking call {dotted}() inside async def "
+                        f"{func.name}: it stalls the event loop; use "
+                        f"loop.run_in_executor or an async API"))
+
+    # CONC002: manual acquisitions that leak on some path.
+    acquire = AcquireAnalysis()
+    acq_ins = solve(cfg, acquire)
+    exits = exit_facts(cfg, acquire, acq_ins)
+    at_exit = exits.get("exit", frozenset())
+    at_raise = exits.get("raise", frozenset())
+    for name, lineno in sorted(at_exit):
+        findings.append(Finding(
+            "CONC002", lineno,
+            f"{name}.acquire() has a path to return that never "
+            f"releases the lock"))
+    for name, lineno in sorted(at_raise - at_exit):
+        findings.append(Finding(
+            "CONC002", lineno,
+            f"{name}.acquire() is released on the normal path but "
+            f"leaks when an exception unwinds; use try/finally or "
+            f"with",
+            severity=WARNING))
+
+
+# -- pack plumbing ----------------------------------------------------------
+
+
+def _module_findings(ctx: SourceContext) -> Dict[str, List[Finding]]:
+    caches = getattr(ctx, "caches", None)
+    if caches is not None and PACK in caches:
+        return caches[PACK]
+    out: Dict[str, List[Finding]] = {}
+    for module in ctx.modules:
+        findings: List[Finding] = []
+        for unit in function_units(module.tree):
+            _check_unit(module, unit, findings)
+        out[module.path] = sorted(
+            set(findings),
+            key=lambda f: (f.lineno, f.rule_id, f.message))
+    if caches is not None:
+        caches[PACK] = out
+    return out
+
+
+def _rule(rule_id: str) -> Rule:
+    for entry in pack_rules(PACK):
+        if entry.id == rule_id:
+            return entry
+    raise KeyError(rule_id)  # pragma: no cover - registration bug
+
+
+def _emit_rule(ctx: SourceContext, rule_id: str) -> Iterable[Diagnostic]:
+    entry = _rule(rule_id)
+    found = _module_findings(ctx)
+    for module in ctx.modules:
+        for finding in found.get(module.path, []):
+            if finding.rule_id != rule_id:
+                continue
+            if module.suppresses(finding.lineno, rule_id):
+                continue
+            yield make_diagnostic(
+                entry, finding.message,
+                file=module.path,
+                line=finding.lineno,
+                snippet=module.line(finding.lineno),
+                severity=finding.severity,
+            )
+
+
+@rule(PACK, "CONC001", "guarded state accessed without its lock",
+      severity=ERROR,
+      hint="wrap the access in `with self.<lock>:` or annotate the "
+           "enclosing function with `# lint: holds=<lock>` when every "
+           "caller already holds it")
+def check_guarded_access(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """Lockset analysis over ``shared-under``/``holds`` declarations."""
+    return _emit_rule(ctx, "CONC001")
+
+
+@rule(PACK, "CONC002", "lock acquired but not released on some path",
+      severity=ERROR,
+      hint="prefer `with lock:`; for manual acquisition, release in a "
+           "finally block")
+def check_acquire_leak(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """May-analysis of manual ``.acquire()`` lifetimes."""
+    return _emit_rule(ctx, "CONC002")
+
+
+@rule(PACK, "CONC003", "blocking call while holding a lock",
+      severity=ERROR,
+      hint="move the slow operation outside the critical section; "
+           "capture what it needs under the lock, then release")
+def check_blocking_under_lock(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """time.sleep/os.fsync/subprocess under a held lock."""
+    return _emit_rule(ctx, "CONC003")
+
+
+@rule(PACK, "CONC004", "blocking call in an async function",
+      severity=ERROR,
+      hint="use await asyncio.sleep / loop.run_in_executor so the "
+           "event loop keeps serving other connections")
+def check_async_blocking(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """Event-loop stalls inside ``async def`` bodies."""
+    return _emit_rule(ctx, "CONC004")
+
+
+@rule(PACK, "CONC005", "double-acquire of a non-reentrant lock",
+      severity=ERROR,
+      hint="use threading.RLock, or restructure so the locked region "
+           "does not call back into locked methods")
+def check_double_acquire(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """Re-entering a plain Lock self-deadlocks."""
+    return _emit_rule(ctx, "CONC005")
+
+
+@rule(PACK, "CONC006", "callback invoked while holding a lock",
+      severity=WARNING,
+      hint="snapshot state under the lock and invoke the callback "
+           "after releasing it")
+def check_callback_under_lock(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """User-supplied hooks running inside critical sections."""
+    return _emit_rule(ctx, "CONC006")
+
+
+@rule(PACK, "CONC007", "await while holding a lock",
+      severity=ERROR,
+      hint="release the lock before awaiting, or use an asyncio lock "
+           "confined to the event loop")
+def check_await_under_lock(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """Suspension points inside threading-lock critical sections."""
+    return _emit_rule(ctx, "CONC007")
+
+
+def lint_concurrency(root=None, files=None):
+    """Run only the concurrency pack over a source tree."""
+    from repro.lint.core import run_rules
+    from repro.lint.selfrules import collect_modules, default_source_root
+
+    ctx = collect_modules(root or default_source_root(), files)
+    return run_rules(pack_rules(PACK), ctx, pack=PACK)
+
+
+__all__ = [
+    "ASYNC_BLOCKING_CALLS",
+    "BLOCKING_CALLS",
+    "CALLBACK_NAMES",
+    "LocksetAnalysis",
+    "AcquireAnalysis",
+    "PACK",
+    "lint_concurrency",
+]

@@ -288,9 +288,14 @@ class LintReport:
         return "\n".join(lines)
 
     def to_json(self) -> Dict[str, Any]:
-        """JSON-ready plain-data report (the CI artifact schema)."""
+        """JSON-ready plain-data report (the CI artifact schema).
+
+        Schema history: 1 — the original ``version``-keyed layout;
+        2 — renamed the marker to ``schema`` (consumers should key on
+        it) with otherwise identical structure.
+        """
         return {
-            "version": 1,
+            "schema": 2,
             "summary": {
                 "counts": self.counts(),
                 "by_rule": self.by_rule(),
@@ -351,6 +356,30 @@ class Baseline:
                 f"{data.get('version')!r}"
             )
         return cls(data.get("entries", {}))
+
+    def stale_entries(self, root) -> Dict[str, Dict[str, Any]]:
+        """Baseline entries whose source file no longer exists.
+
+        ``location`` is ``file:line`` for source findings; an entry
+        whose file is gone under ``root`` can never match a fresh
+        finding again and should be pruned (``--update-baseline``)
+        rather than kept forever.  Netlist-object entries (no path
+        separator that resolves under root) are never considered
+        stale.  Returns fingerprint -> entry, sorted by fingerprint.
+        """
+        from pathlib import Path
+
+        rootp = Path(root)
+        out: Dict[str, Dict[str, Any]] = {}
+        for fp in sorted(self.entries):
+            entry = self.entries[fp]
+            location = str(entry.get("location", ""))
+            file_part = location.rsplit(":", 1)[0]
+            if not file_part or not file_part.endswith(".py"):
+                continue
+            if not (rootp / file_part).exists():
+                out[fp] = entry
+        return out
 
     def save(self, path) -> None:
         """Write the baseline as reviewable, sorted JSON."""

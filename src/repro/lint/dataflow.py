@@ -1,0 +1,178 @@
+"""Forward worklist dataflow solver over :mod:`repro.lint.cfg` graphs.
+
+An analysis supplies three things: an entry fact, a ``join`` over
+incoming facts (set intersection for must-analyses like locksets, set
+union for may-analyses like open resources), and a ``transfer`` that
+pushes one fact across one block event.  Facts must be immutable and
+comparable (frozensets, tuples) — the solver iterates to a fixed point
+and needs ``==`` to detect it.
+
+Exceptional edges get a deliberately conservative out-fact: the join of
+the block's entry fact with the fact after *every* event in the block,
+because an exception may fire before, between, or after any of them.
+That is sound for both must-facts (a lock might not be held yet) and
+may-facts (a resource might already be open).  Analyses that only care
+about normal-path completion (e.g. the durability rule, where
+``try: os.fsync(...) except OSError: pass`` is an accepted best-effort
+pattern) set ``follow_exc = False`` and exceptional edges carry
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, List, TypeVar
+
+from repro.lint.cfg import CFG, EXC, Block, Event, can_raise
+
+Fact = TypeVar("Fact")
+
+#: Fixed-point iteration budget; real functions converge in a handful
+#: of passes, so blowing this means the lattice is not monotone.
+MAX_ITERATIONS = 10_000
+
+
+class ForwardAnalysis(Generic[Fact]):
+    """Base class for forward dataflow analyses."""
+
+    #: Propagate facts along exceptional edges.  Leave True unless the
+    #: property genuinely only matters on normal completion.
+    follow_exc = True
+
+    def entry_fact(self, cfg: CFG) -> Fact:
+        raise NotImplementedError
+
+    def join(self, facts: List[Fact]) -> Fact:
+        raise NotImplementedError
+
+    def transfer(self, fact: Fact, event: Event, block: Block) -> Fact:
+        raise NotImplementedError
+
+    def exc_facts(self, fact: Fact, event: Event,
+                  block: Block) -> List[Fact]:
+        """Facts live when an exception escapes *during* ``event``.
+
+        The default is maximally conservative — the event may have run
+        not at all or completely, so both the pre- and post-fact are
+        possible.  Analyses with atomic effects override this: e.g. an
+        assignment binds only after its RHS fully evaluated, so a
+        raising RHS leaves no fresh obligation behind.
+        """
+        return [fact, self.transfer(fact, event, block)]
+
+
+class AnalysisDiverged(RuntimeError):
+    """The worklist failed to converge — a non-monotone transfer."""
+
+
+def _block_out(analysis: ForwardAnalysis, block: Block,
+               in_fact: Any) -> Any:
+    out = in_fact
+    for event in block.events:
+        out = analysis.transfer(out, event, block)
+    return out
+
+
+def _block_exc_out(analysis: ForwardAnalysis, block: Block,
+                   in_fact: Any) -> Any:
+    # An exception escapes during some *raising* event; every earlier
+    # event has completed normally by then.
+    facts = []
+    fact = in_fact
+    for event in block.events:
+        if can_raise(event):
+            facts.extend(analysis.exc_facts(fact, event, block))
+        fact = analysis.transfer(fact, event, block)
+    if not facts:  # exc edge without raising events: be conservative
+        facts = [in_fact]
+    return analysis.join(facts)
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> Dict[int, Any]:
+    """Run ``analysis`` to fixed point; returns block-id -> entry fact.
+
+    Blocks never reached by the analysis (e.g. the ``raises`` exit when
+    ``follow_exc`` is off) are absent from the result.
+    """
+    ins: Dict[int, Any] = {cfg.entry.id: analysis.entry_fact(cfg)}
+    worklist: List[Block] = [cfg.entry]
+    queued = {cfg.entry.id}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > MAX_ITERATIONS:
+            raise AnalysisDiverged(
+                f"dataflow failed to converge in {cfg.name} "
+                f"(line {cfg.lineno})")
+        block = worklist.pop(0)
+        queued.discard(block.id)
+        in_fact = ins[block.id]
+        normal_out = _block_out(analysis, block, in_fact)
+        exc_out = None
+        if analysis.follow_exc:
+            exc_out = _block_exc_out(analysis, block, in_fact)
+        for succ, kind in block.succs:
+            if kind == EXC:
+                if not analysis.follow_exc:
+                    continue
+                fact = exc_out
+            else:
+                fact = normal_out
+            if succ.id in ins:
+                merged = analysis.join([ins[succ.id], fact])
+                if merged == ins[succ.id]:
+                    continue
+                ins[succ.id] = merged
+            else:
+                ins[succ.id] = fact
+            if succ.id not in queued:
+                queued.add(succ.id)
+                worklist.append(succ)
+    return ins
+
+
+def observe(cfg: CFG, analysis: ForwardAnalysis, ins: Dict[int, Any],
+            callback: Callable[[Any, Event, Block], None]) -> None:
+    """Replay the converged solution, invoking ``callback`` with the
+    fact *before* each event — how rule packs inspect program points."""
+    for block in cfg.blocks:
+        if block.id not in ins:
+            continue
+        fact = ins[block.id]
+        for event in block.events:
+            callback(fact, event, block)
+            fact = analysis.transfer(fact, event, block)
+
+
+def exit_facts(cfg: CFG, analysis: ForwardAnalysis,
+               ins: Dict[int, Any]) -> Dict[str, Any]:
+    """The facts flowing *into* the virtual exits, pre-joined.
+
+    Returns a dict with (at most) keys ``"exit"`` (normal return) and
+    ``"raise"`` (uncaught exception); a key is absent when no analysed
+    path reaches that exit.
+    """
+    out: Dict[str, Any] = {}
+    for label, exit_block in (("exit", cfg.exit), ("raise", cfg.raises)):
+        facts = []
+        for pred, kind in exit_block.preds:
+            if pred.id not in ins:
+                continue
+            if kind == EXC:
+                if not analysis.follow_exc:
+                    continue
+                facts.append(_block_exc_out(analysis, pred, ins[pred.id]))
+            else:
+                facts.append(_block_out(analysis, pred, ins[pred.id]))
+        if facts:
+            out[label] = analysis.join(facts)
+    return out
+
+
+__all__ = [
+    "AnalysisDiverged",
+    "ForwardAnalysis",
+    "MAX_ITERATIONS",
+    "exit_facts",
+    "observe",
+    "solve",
+]

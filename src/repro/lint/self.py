@@ -1,8 +1,13 @@
-"""CI entry point of the determinism self-lint.
+"""CI entry point of the source self-lint (all Python rule packs).
+
+Runs the determinism rules (``SELF001``–``SELF007``), the concurrency
+lockset pack (``CONC001``–``CONC007``) and the resource/durability
+pack (``RES001``–``RES004``) over one parse of the source tree.
 
 Usage::
 
     python -m repro.lint.self                 # gate against the baseline
+    python -m repro.lint.self --packs self    # determinism rules only
     python -m repro.lint.self --json out.json # also write the report
     python -m repro.lint.self --update-baseline
 
@@ -10,8 +15,9 @@ Exit codes: 0 — no findings outside the committed baseline; 4 — new
 findings (any severity); 2 — usage error.  The baseline lives at the
 repository root as ``lint-baseline.json``: it grandfathers the
 violations that existed when a rule landed, so CI blocks only *new*
-nondeterminism.  Shrink it over time by fixing entries and re-running
-with ``--update-baseline``.
+findings.  Shrink it over time by fixing entries and re-running with
+``--update-baseline``; entries whose file no longer exists are
+reported as stale (and dropped on the next ``--update-baseline``).
 """
 
 from __future__ import annotations
@@ -20,14 +26,17 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.lint.core import Baseline
-from repro.lint.selfrules import default_source_root, lint_sources
+from repro.lint.core import Baseline, LintReport, pack_rules, run_rules
+from repro.lint.selfrules import collect_modules, default_source_root
 
 #: Exit code when new (non-baselined) findings are present; distinct
 #: from argparse's usage errors (2) and the sweep's degraded exit (3).
 EXIT_LINT_FAILED = 4
+
+#: Python-source rule packs, in run order.
+DEFAULT_PACKS = ("self", "conc", "res")
 
 
 def default_baseline_path() -> Path:
@@ -40,11 +49,36 @@ def default_baseline_path() -> Path:
     return default_source_root().parent.parent / "lint-baseline.json"
 
 
+def lint_python(root: Optional[Path] = None,
+                files: Optional[Sequence[Path]] = None,
+                packs: Sequence[str] = DEFAULT_PACKS) -> LintReport:
+    """Run the selected source rule packs over one parsed tree.
+
+    The modules are collected and parsed once; every pack runs against
+    the same :class:`~repro.lint.selfrules.SourceContext` (sharing its
+    analysis caches), and the reports merge into one.
+    """
+    # Importing the pack modules registers their rules.
+    import repro.lint.concrules  # noqa: F401
+    import repro.lint.resrules  # noqa: F401
+    import repro.lint.selfrules  # noqa: F401
+
+    ctx = collect_modules(root or default_source_root(), files)
+    report = LintReport()
+    for pack in packs:
+        rules = pack_rules(pack)
+        if not rules:
+            raise ValueError(f"unknown rule pack {pack!r}")
+        report.merge(run_rules(rules, ctx, pack=pack))
+    return report
+
+
 def main(argv: Optional[list] = None) -> int:
-    """Run the self-lint, apply the baseline, report and gate."""
+    """Run the source lint, apply the baseline, report and gate."""
     parser = argparse.ArgumentParser(
         prog="repro.lint.self",
-        description="determinism self-lint over the repro sources",
+        description="static analysis over the repro sources "
+                    "(determinism, concurrency, resource safety)",
     )
     parser.add_argument("--src", default=None, metavar="DIR",
                         help="source root to audit (default: the "
@@ -55,6 +89,10 @@ def main(argv: Optional[list] = None) -> int:
                              "root)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full JSON report to PATH")
+    parser.add_argument("--packs", default=",".join(DEFAULT_PACKS),
+                        metavar="NAMES",
+                        help="comma-separated rule packs to run "
+                             f"(default: {','.join(DEFAULT_PACKS)})")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current "
                              "findings instead of gating on them")
@@ -63,8 +101,12 @@ def main(argv: Optional[list] = None) -> int:
     root = Path(args.src) if args.src else default_source_root()
     baseline_path = (Path(args.baseline) if args.baseline
                      else default_baseline_path())
+    packs = tuple(p.strip() for p in args.packs.split(",") if p.strip())
 
-    report = lint_sources(root)
+    try:
+        report = lint_python(root, packs=packs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.update_baseline:
         Baseline.from_report(report).save(baseline_path)
@@ -74,11 +116,20 @@ def main(argv: Optional[list] = None) -> int:
 
     baseline = Baseline.load(baseline_path)
     report.apply_baseline(baseline)
+    stale = baseline.stale_entries(root)
 
     if args.json:
+        payload = report.to_json()
+        payload["stale_baseline"] = stale
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    for fingerprint in stale:
+        entry = stale[fingerprint]
+        print(f"stale baseline entry {fingerprint}: "
+              f"[{entry.get('rule')}] {entry.get('location')} no "
+              f"longer exists; prune with --update-baseline")
 
     if report.diagnostics:
         print(report.format_text())
@@ -88,7 +139,7 @@ def main(argv: Optional[list] = None) -> int:
         return EXIT_LINT_FAILED
     print(f"self-lint OK: 0 new findings "
           f"({len(report.suppressed)} baselined, "
-          f"{len(baseline)} baseline entries)")
+          f"{len(baseline)} baseline entries, {len(stale)} stale)")
     return 0
 
 

@@ -28,8 +28,11 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
+from repro.lint import annotations
 from repro.lint.core import (
     Diagnostic,
     ERROR,
@@ -89,20 +92,26 @@ class SourceModule:
         return ""
 
     def suppresses(self, lineno: int, rule_id: str) -> bool:
-        """True when the line carries ``# lint: disable=<rule_id>``."""
-        text = self.line(lineno)
-        marker = "# lint: disable="
-        if marker not in text:
-            return False
-        listed = text.split(marker, 1)[1].split("#", 1)[0]
-        return rule_id in [part.strip() for part in listed.split(",")]
+        """True when the line carries ``# lint: disable=...,<rule_id>``.
+
+        Backed by real comment tokens (:mod:`repro.lint.annotations`),
+        so directive text quoted inside a docstring is inert, and the
+        rule list is properly comma-separated.
+        """
+        return annotations.suppresses(self.text, lineno, rule_id)
 
 
 @dataclass
 class SourceContext:
-    """The file set one self-lint run audits."""
+    """The file set one self-lint run audits.
+
+    ``caches`` is scratch space for rule packs that compute one
+    expensive per-module analysis shared by several rules (the
+    CFG/dataflow packs cache their per-module findings here).
+    """
 
     modules: List[SourceModule] = field(default_factory=list)
+    caches: Dict[str, Any] = field(default_factory=dict, repr=False)
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -298,6 +307,57 @@ def check_cache_key_purity(ctx: SourceContext) -> Iterable[Diagnostic]:
                     )
                     if diag:
                         yield diag
+
+
+def _known_rule_ids() -> frozenset:
+    """Every registered rule ID across all packs.
+
+    Imports the rule-pack modules lazily (they register on import) so
+    this module stays importable without dragging the netlist stack
+    in, and so the packs that import *us* don't cycle.
+    """
+    import repro.lint.concrules  # noqa: F401 - registration side effect
+    import repro.lint.netlist_rules  # noqa: F401
+    import repro.lint.resrules  # noqa: F401
+    from repro.lint.core import RULE_PACKS
+
+    ids: List[str] = []
+    for pack_name in sorted(RULE_PACKS):
+        ids.extend(entry.id for entry in RULE_PACKS[pack_name])
+    return frozenset(ids)
+
+
+@rule(PACK, "SELF007", "malformed lint directive", severity=ERROR,
+      hint="directives are `# lint: disable=<RULE,...>`, "
+           "`shared-under=<lock>`, `holds=<lock>` or `durable`; a "
+           "typo silently suppresses nothing")
+def check_directives(ctx: SourceContext) -> Iterable[Diagnostic]:
+    """Unknown ``# lint:`` keys and disable= lists naming rules that
+    do not exist (both would otherwise fail silently)."""
+    entry = _rule("SELF007")
+    known_ids = _known_rule_ids()
+    for module in ctx.modules:
+        for directive in annotations.parse_directives(module.text):
+            if directive.key not in annotations.KNOWN_KEYS:
+                yield make_diagnostic(
+                    entry,
+                    f"unknown lint directive key "
+                    f"{directive.key!r}",
+                    file=module.path,
+                    line=directive.lineno,
+                    snippet=module.line(directive.lineno),
+                )
+            elif directive.key == "disable":
+                for value in directive.values:
+                    if value not in known_ids:
+                        yield make_diagnostic(
+                            entry,
+                            f"lint: disable references unknown rule "
+                            f"id {value!r}",
+                            file=module.path,
+                            line=directive.lineno,
+                            snippet=module.line(directive.lineno),
+                        )
 
 
 def _rule(rule_id: str) -> Rule:

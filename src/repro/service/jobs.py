@@ -241,24 +241,24 @@ class JobManager:
         self._build_experiment = (build_experiment
                                   or _default_build_experiment)
         self._lock = threading.Lock()
-        self._jobs: Dict[str, _Job] = {}
-        self._order: List[str] = []
+        self._jobs: Dict[str, _Job] = {}  # lint: shared-under=_lock
+        self._order: List[str] = []  # lint: shared-under=_lock
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
-        self._spec_locks: Dict[str, List[Any]] = {}
-        self._running: Dict[str, _Job] = {}
+        self._spec_locks: Dict[str, List[Any]] = {}  # lint: shared-under=_lock
+        self._running: Dict[str, _Job] = {}  # lint: shared-under=_lock
         #: Jobs a worker has dequeued but not yet finished — wider
         #: than ``_running`` (covers the spec-lock wait), so drain
         #: cannot falsely report idle mid-handoff.
-        self._inflight = 0
-        self._draining = False
-        self.degraded = False
-        self.degraded_reason: Optional[str] = None
+        self._inflight = 0  # lint: shared-under=_lock
+        self._draining = False  # lint: shared-under=_lock
+        self._degraded = False  # lint: shared-under=_lock
+        self._degraded_reason: Optional[str] = None  # lint: shared-under=_lock
         #: Recent job run durations, for the ``Retry-After`` hint.
-        self._durations: "deque[float]" = deque(maxlen=16)
+        self._durations: "deque[float]" = deque(maxlen=16)  # lint: shared-under=_lock
         #: Torn-line high-water mark per job journal, so the torn
         #: counter advances by deltas across repeated status polls.
-        self._journal_torn: Dict[str, int] = {}
-        self._counters: Dict[str, int] = {
+        self._journal_torn: Dict[str, int] = {}  # lint: shared-under=_lock
+        self._counters: Dict[str, int] = {  # lint: shared-under=_lock
             "jobs_submitted": 0,
             "jobs_completed": 0,
             "jobs_failed": 0,
@@ -310,38 +310,41 @@ class JobManager:
         """
         replay = JobStore.replay(self.store_dir)
         resumable: List[_Job] = []
-        for record in replay.records:
-            job = _Job(record.id, record.request,
-                       self.journal_dir / f"{record.id}.jsonl",
-                       coalesced_with=record.coalesced_with)
-            job.submitted_at = record.submitted_at
-            job.started_at = record.started_at
-            job.finished_at = record.finished_at
-            job.error = record.error
-            if record.state in TERMINAL_STATES:
-                job.state = record.state
-                report_wire = replay.reports.get(record.id)
-                if report_wire is not None:
-                    try:
-                        job.report = report_from_wire(report_wire)
-                    except WireError:
-                        # A torn report line: the job stays done, the
-                        # payload is gone.  /result will say so.
-                        pass
-                self._counters["jobs_recovered"] += 1
-            else:
-                job.state = JOB_INTERRUPTED
-                job.resume = True
-                self._counters["jobs_interrupted"] += 1
-                resumable.append(job)
-            self._jobs[job.id] = job
-            self._order.append(job.id)
-        if replay.records or replay.torn_lines:
+        # _recover runs from __init__ before the worker threads start,
+        # but the lock keeps the guarded-state contract uniform.
+        with self._lock:
+            for record in replay.records:
+                job = _Job(record.id, record.request,
+                           self.journal_dir / f"{record.id}.jsonl",
+                           coalesced_with=record.coalesced_with)
+                job.submitted_at = record.submitted_at
+                job.started_at = record.started_at
+                job.finished_at = record.finished_at
+                job.error = record.error
+                if record.state in TERMINAL_STATES:
+                    job.state = record.state
+                    report_wire = replay.reports.get(record.id)
+                    if report_wire is not None:
+                        try:
+                            job.report = report_from_wire(report_wire)
+                        except WireError:
+                            # A torn report line: the job stays done,
+                            # the payload is gone.  /result says so.
+                            pass
+                    self._counters["jobs_recovered"] += 1
+                else:
+                    job.state = JOB_INTERRUPTED
+                    job.resume = True
+                    self._counters["jobs_interrupted"] += 1
+                    resumable.append(job)
+                self._jobs[job.id] = job
+                self._order.append(job.id)
             self._counters["store_torn_lines"] += replay.torn_lines
+            recovered = self._counters["jobs_recovered"]
+        if replay.records or replay.torn_lines:
             self.registry.inc("repro_store_torn_lines_total",
                               replay.torn_lines)
-            self.registry.inc("repro_jobs_total",
-                              self._counters["jobs_recovered"],
+            self.registry.inc("repro_jobs_total", recovered,
                               event="recovered")
             self.registry.inc("repro_jobs_total", len(resumable),
                               event="interrupted")
@@ -435,7 +438,7 @@ class JobManager:
         with self._lock:
             return self._retry_after_locked()
 
-    def _retry_after_locked(self) -> float:
+    def _retry_after_locked(self) -> float:  # lint: holds=_lock
         durations = list(self._durations)
         estimate = (sum(durations) / len(durations) if durations
                     else 5.0)
@@ -494,7 +497,7 @@ class JobManager:
         return job.record()
 
     # -- lookup ----------------------------------------------------------
-    def _get(self, job_id: str) -> _Job:
+    def _get(self, job_id: str) -> _Job:  # lint: holds=_lock
         job = self._jobs.get(job_id)
         if job is None:
             raise UnknownJobError(job_id)
@@ -519,7 +522,8 @@ class JobManager:
         and the torn count is surfaced in the payload and the
         ``repro_journal_torn_lines_total`` counter rather than hidden.
         """
-        job = self._get(job_id)
+        with self._lock:
+            job = self._get(job_id)
         events, torn = read_journal_stats(job.journal)
         if torn:
             with self._lock:
@@ -538,7 +542,8 @@ class JobManager:
 
     def report(self, job_id: str) -> Optional[SweepReport]:
         """The finished job's sweep report, or None while running."""
-        return self._get(job_id).report
+        with self._lock:
+            return self._get(job_id).report
 
     # -- cancellation ----------------------------------------------------
     def cancel(self, job_id: str) -> JobRecord:
@@ -757,20 +762,34 @@ class JobManager:
         clears it.
         """
         with self._lock:
-            if self.degraded:
+            if self._degraded:
                 return
-            self.degraded = True
-            self.degraded_reason = reason
+            self._degraded = True
+            self._degraded_reason = reason
         self.registry.inc("repro_cache_write_failures_total", 1)
         self.registry.set("repro_degraded", 1)
         obs.counter("service.degraded")
         obs.emit("service_degraded", "error", reason=reason)
 
+    @property
+    def degraded(self) -> bool:
+        """True once a cache write failure flipped the daemon into
+        read-only-cache mode (see :meth:`_enter_degraded_mode`)."""
+        with self._lock:
+            return self._degraded
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Why the daemon degraded, or None while healthy."""
+        with self._lock:
+            return self._degraded_reason
+
     # -- drain -----------------------------------------------------------
     @property
     def draining(self) -> bool:
         """True once :meth:`begin_drain` was called."""
-        return self._draining
+        with self._lock:
+            return self._draining
 
     def begin_drain(self) -> None:
         """Stop admitting new jobs (idempotent).
@@ -839,11 +858,14 @@ class JobManager:
         jobs and FileNotFoundError while the job has not yet written
         its trace bundle — the server maps both to 404.
         """
-        job = self._get(job_id)
-        if job.trace_path is None:
+        with self._lock:
+            job = self._get(job_id)
+            trace_path = job.trace_path
+            state = job.state
+        if trace_path is None:
             raise FileNotFoundError(
-                f"job {job_id} has no trace yet (state {job.state})")
-        return obs.merge_traces(obs.read_trace_file(job.trace_path))
+                f"job {job_id} has no trace yet (state {state})")
+        return obs.merge_traces(obs.read_trace_file(trace_path))
 
     # -- observability ---------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
@@ -851,6 +873,9 @@ class JobManager:
         with self._lock:
             counters = dict(self._counters)
             running = len(self._running)
+            draining = self._draining
+            degraded = self._degraded
+            degraded_reason = self._degraded_reason
             states: Dict[str, int] = {}
             for jid in self._order:
                 state = self._jobs[jid].state
@@ -866,9 +891,9 @@ class JobManager:
                                if lookups else 0.0),
             "jobs_by_state": states,
             "max_pending": self.max_pending,
-            "draining": self._draining,
-            "degraded": self.degraded,
-            "degraded_reason": self.degraded_reason,
+            "draining": draining,
+            "degraded": degraded,
+            "degraded_reason": degraded_reason,
         }
 
     def prom_registry(self) -> obs.MetricsRegistry:

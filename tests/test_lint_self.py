@@ -211,3 +211,111 @@ def test_self_main_runs_as_module():
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "self-lint OK" in proc.stdout
+
+
+def test_self_main_rejects_unknown_pack(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "ok.py").write_text("x = 1\n")
+    with pytest.raises(SystemExit) as exc:
+        self_main(["--src", str(src), "--packs", "self,nosuch"])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Suppression lists and SELF007 (directive hygiene)
+
+
+def test_disable_accepts_comma_separated_rule_list(tmp_path):
+    report = _lint_snippet(tmp_path, """\
+        def f(x):
+            return list({i for i in set(x)})  # lint: disable=SELF001,SELF005
+    """)
+    assert "SELF001" not in _ids(report)
+    assert "SELF005" not in _ids(report)
+
+
+def test_disable_list_only_suppresses_named_rules(tmp_path):
+    report = _lint_snippet(tmp_path, """\
+        def f(x):
+            return list({i for i in set(x)})  # lint: disable=SELF001
+    """)
+    assert "SELF001" not in _ids(report)
+    assert "SELF005" in _ids(report)
+
+
+def test_self007_flags_unknown_rule_in_disable(tmp_path):
+    report = _lint_snippet(tmp_path, """\
+        def f(x):
+            return x  # lint: disable=SELF001,NOPE999
+    """)
+    findings = [d for d in report.diagnostics if d.rule_id == "SELF007"]
+    assert len(findings) == 1
+    assert "NOPE999" in findings[0].message
+
+
+def test_self007_flags_unknown_directive_key(tmp_path):
+    report = _lint_snippet(tmp_path, """\
+        x = 1  # lint: sharred-under=_lock
+    """)
+    findings = [d for d in report.diagnostics if d.rule_id == "SELF007"]
+    assert len(findings) == 1
+    assert "sharred-under" in findings[0].message
+
+
+def test_self007_ignores_directives_in_docstrings(tmp_path):
+    report = _lint_snippet(tmp_path, '''\
+        def f():
+            """Write "# lint: disable=NOPE999" to suppress a rule."""
+            return 1
+    ''')
+    assert "SELF007" not in _ids(report)
+
+
+# ---------------------------------------------------------------------------
+# Report schema and baseline staleness
+
+
+def test_report_json_schema_is_versioned(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "dirty.py").write_text("def f(x):\n    return list(set(x))\n")
+    out = tmp_path / "report.json"
+    code = self_main(["--src", str(src),
+                      "--baseline", str(tmp_path / "baseline.json"),
+                      "--json", str(out)])
+    assert code == 4
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 2
+    assert "stale_baseline" in payload
+
+
+def test_stale_baseline_entries_are_reported_not_fatal(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    doomed = src / "doomed.py"
+    doomed.write_text("def f(x):\n    return list(set(x))\n")
+    baseline = tmp_path / "baseline.json"
+    assert self_main(["--src", str(src), "--baseline", str(baseline),
+                      "--update-baseline"]) == 0
+    capsys.readouterr()
+
+    # The flagged file disappears: its baseline entry goes stale, the
+    # gate stays green, and the staleness is reported.
+    doomed.unlink()
+    (src / "clean.py").write_text("x = 1\n")
+    out = tmp_path / "report.json"
+    assert self_main(["--src", str(src), "--baseline", str(baseline),
+                      "--json", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "stale baseline entry" in printed
+    assert "doomed.py" in printed
+    assert "1 stale" in printed
+    assert json.loads(out.read_text())["stale_baseline"]
+
+    # --update-baseline prunes the stale entry.
+    assert self_main(["--src", str(src), "--baseline", str(baseline),
+                      "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text())["entries"] == {}
